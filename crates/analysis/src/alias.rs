@@ -1,0 +1,258 @@
+//! Placeholder aliasing: mapping rule variables onto the concrete
+//! variables of each function along an execution chain.
+//!
+//! Paper §3.2: the engine follows "only branches whose guards involve
+//! variables relevant to the semantic", and obtains "that variable set by
+//! prompting an LLM — given the semantic's Boolean condition and the
+//! path's source code — to map the condition's placeholders to concrete
+//! variables". Our deterministic equivalent walks the call chain: a rule
+//! placeholder is canonically a parameter of the target function (or a
+//! module global); at each call site the argument expression's syntactic
+//! path names the caller-side alias, and so on up to the entry function.
+
+use std::collections::HashMap;
+
+use crate::callgraph::CallGraph;
+use crate::tree::CallChain;
+use lisa_lang::symbolic::path_root;
+use lisa_lang::Program;
+
+/// Alias table for one rule on one call chain.
+///
+/// Maps `(function, local object path)` to the rule placeholder that
+/// object instantiates. Longest-prefix matching applies: with alias
+/// `(touch, "s") -> "s"`, the guard variable `s.isClosing` in `touch`
+/// renames to `s.isClosing` of the rule.
+#[derive(Debug, Clone, Default)]
+pub struct AliasMap {
+    /// (function, path) -> placeholder. The function "*" means "any
+    /// function" (used for globals).
+    entries: HashMap<(String, String), String>,
+}
+
+impl AliasMap {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn insert(&mut self, function: &str, path: &str, placeholder: &str) {
+        self.entries
+            .insert((function.to_string(), path.to_string()), placeholder.to_string());
+    }
+
+    /// Rename a guard variable path observed in `function` to rule
+    /// vocabulary, if it aliases a placeholder.
+    pub fn rename(&self, function: &str, var_path: &str) -> Option<String> {
+        // Longest prefix wins; try the full path then trim components.
+        let mut prefix = var_path.to_string();
+        loop {
+            for key_fn in [function, "*"] {
+                if let Some(ph) = self.entries.get(&(key_fn.to_string(), prefix.clone())) {
+                    let suffix = &var_path[prefix.len()..];
+                    return Some(format!("{ph}{suffix}"));
+                }
+            }
+            match prefix.rfind('.') {
+                Some(i) => prefix.truncate(i),
+                None => return None,
+            }
+        }
+    }
+
+    /// Is any variable of `paths` (observed in `function`) relevant?
+    pub fn any_relevant(&self, function: &str, paths: &[String]) -> bool {
+        paths.iter().any(|p| self.rename(function, p).is_some())
+    }
+
+    /// Number of alias entries (for reports).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate `((function, path), placeholder)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &String)> {
+        self.entries.iter()
+    }
+
+    /// Absorb another alias map (union across chains).
+    pub fn merge(&mut self, other: &AliasMap) {
+        for ((f, p), ph) in other.iter() {
+            self.entries.insert((f.clone(), p.clone()), ph.clone());
+        }
+    }
+}
+
+/// Compute the alias map for `chain`: placeholders are `placeholder_roots`
+/// (root variables of the rule condition). A placeholder seeds as:
+/// - the same-named parameter of the target function (then propagates to
+///   caller argument paths up the chain), or
+/// - a module global of that name (relevant in every function).
+pub fn chain_aliases(
+    program: &Program,
+    graph: &CallGraph,
+    chain: &CallChain,
+    target_fn: &str,
+    placeholder_roots: &[String],
+) -> AliasMap {
+    let mut map = AliasMap::default();
+    // Functions on the chain from entry to the holder of the target site.
+    let fns = chain.functions(graph);
+    for ph in placeholder_roots {
+        if program.global(ph).is_some() {
+            map.insert("*", ph, ph);
+            continue;
+        }
+        // Seed at the target function parameter.
+        let Some(decl) = program.function(target_fn) else { continue };
+        let Some(param_idx) = decl.params.iter().position(|(p, _)| p == ph) else {
+            continue;
+        };
+        map.insert(target_fn, ph, ph);
+        // Walk the chain bottom-up. The last site in `chain.sites` calls
+        // the function containing the target site; the target site itself
+        // calls `target_fn` — handle that hop first.
+        let mut cur_fn: String;
+        let mut cur_idx = param_idx;
+        // Hop 1: from target_fn to the function containing the target call.
+        let tsite = graph.site(chain.target_site);
+        if tsite.callee == target_fn {
+            match tsite.arg_paths.get(cur_idx).cloned().flatten() {
+                Some(arg_path) => {
+                    map.insert(&tsite.caller, &arg_path, ph);
+                    cur_fn = tsite.caller.clone();
+                    // The alias flows further up only when it is itself a
+                    // whole parameter of the caller; a field path like
+                    // `req.session` still renames locally but stops here.
+                    let root = path_root(&arg_path).to_string();
+                    cur_idx = match program
+                        .function(&cur_fn)
+                        .and_then(|d| d.params.iter().position(|(p, _)| *p == root))
+                    {
+                        Some(i) if root == arg_path => i,
+                        _ => {
+                            continue;
+                        }
+                    };
+                }
+                None => continue,
+            }
+        } else {
+            // Target is the site's own function (builtin target):
+            // placeholders must be globals for builtin targets.
+            continue;
+        }
+        // Remaining hops: walk chain sites from innermost to entry.
+        for &sid in chain.sites.iter().rev() {
+            let site = graph.site(sid);
+            if site.callee != cur_fn {
+                break;
+            }
+            match site.arg_paths.get(cur_idx).cloned().flatten() {
+                Some(arg_path) => {
+                    map.insert(&site.caller, &arg_path, ph);
+                    let root = path_root(&arg_path).to_string();
+                    if root != arg_path {
+                        break;
+                    }
+                    match program
+                        .function(&site.caller)
+                        .and_then(|d| d.params.iter().position(|(p, _)| *p == root))
+                    {
+                        Some(i) => {
+                            cur_fn = site.caller.clone();
+                            cur_idx = i;
+                        }
+                        None => break,
+                    }
+                }
+                None => break,
+            }
+        }
+        let _ = fns;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::TargetSpec;
+    use crate::tree::{execution_tree, TreeLimits};
+
+    const SRC: &str = "struct Session { id: int, closing: bool, ttl: int }\n\
+         global safemode: bool;\n\
+         fn create_node(s: Session, path: str) {}\n\
+         fn prep(session: Session) { if (session != null) { create_node(session, \"/a\"); } }\n\
+         fn handle(req: Session) { prep(req); }\n\
+         fn direct(x: Session) { create_node(x, \"/b\"); }";
+
+    fn setup() -> (Program, CallGraph) {
+        let p = Program::parse_single("t", SRC).expect("p");
+        let g = CallGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn aliases_flow_up_the_chain() {
+        let (p, g) = setup();
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "create_node".into() },
+            TreeLimits::default(),
+        );
+        let chain = tree
+            .chains
+            .iter()
+            .find(|c| c.entry == "handle")
+            .expect("handle chain");
+        let aliases = chain_aliases(&p, &g, chain, "create_node", &["s".to_string()]);
+        assert_eq!(aliases.rename("create_node", "s"), Some("s".to_string()));
+        assert_eq!(aliases.rename("prep", "session"), Some("s".to_string()));
+        assert_eq!(aliases.rename("prep", "session.closing"), Some("s.closing".to_string()));
+        assert_eq!(aliases.rename("handle", "req.ttl"), Some("s.ttl".to_string()));
+        // Unrelated names do not rename.
+        assert_eq!(aliases.rename("prep", "other"), None);
+        assert_eq!(aliases.rename("direct", "x"), None, "different chain");
+    }
+
+    #[test]
+    fn direct_chain_uses_its_own_names() {
+        let (p, g) = setup();
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "create_node".into() },
+            TreeLimits::default(),
+        );
+        let chain = tree.chains.iter().find(|c| c.entry == "direct").expect("chain");
+        let aliases = chain_aliases(&p, &g, chain, "create_node", &["s".to_string()]);
+        assert_eq!(aliases.rename("direct", "x.closing"), Some("s.closing".to_string()));
+        assert_eq!(aliases.rename("prep", "session"), None);
+    }
+
+    #[test]
+    fn globals_are_relevant_everywhere() {
+        let (p, g) = setup();
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "create_node".into() },
+            TreeLimits::default(),
+        );
+        let chain = &tree.chains[0];
+        let aliases = chain_aliases(&p, &g, chain, "create_node", &["safemode".to_string()]);
+        assert_eq!(aliases.rename("anything", "safemode"), Some("safemode".to_string()));
+    }
+
+    #[test]
+    fn relevance_check() {
+        let (p, g) = setup();
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "create_node".into() },
+            TreeLimits::default(),
+        );
+        let chain = tree.chains.iter().find(|c| c.entry == "handle").expect("chain");
+        let aliases = chain_aliases(&p, &g, chain, "create_node", &["s".to_string()]);
+        assert!(aliases.any_relevant("prep", &["session.closing".to_string()]));
+        assert!(!aliases.any_relevant("prep", &["reqCount".to_string()]));
+    }
+}

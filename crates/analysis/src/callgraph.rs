@@ -1,0 +1,229 @@
+//! Static call graph construction.
+//!
+//! The paper uses Soot to build a call graph and traverse "all paths to
+//! each target". SIR has no dynamic dispatch, so the call graph is exact:
+//! every call site names its callee statically. Each site records the
+//! syntactic paths of its arguments (for placeholder aliasing) and
+//! whether it sits lexically inside a `sync` block (for the blocking-I/O
+//! rule family).
+
+use std::collections::{HashMap, HashSet};
+
+use lisa_lang::ast::{Expr, ExprKind, FnDecl, Stmt, StmtKind};
+use lisa_lang::symbolic::expr_path;
+use lisa_lang::types::builtin_signature;
+use lisa_lang::{Program, Span, StmtId};
+
+/// Index of a call site in the graph.
+pub type SiteId = usize;
+
+/// One static call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSite {
+    pub caller: String,
+    pub callee: String,
+    /// Statement the call appears in.
+    pub stmt: StmtId,
+    pub span: Span,
+    /// Syntactic path of each argument, when path-shaped.
+    pub arg_paths: Vec<Option<String>>,
+    /// True when the callee is a builtin (not a user function).
+    pub builtin: bool,
+    /// Locks lexically held at the call site (innermost last).
+    pub sync_locks: Vec<String>,
+}
+
+/// The call graph of a program.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    pub sites: Vec<CallSite>,
+    /// callee name -> sites calling it.
+    callers_of: HashMap<String, Vec<SiteId>>,
+    /// caller name -> sites inside it.
+    sites_in: HashMap<String, Vec<SiteId>>,
+    fn_names: Vec<String>,
+}
+
+impl CallGraph {
+    /// Build the exact call graph.
+    pub fn build(program: &Program) -> CallGraph {
+        let mut g = CallGraph::default();
+        for f in program.functions() {
+            g.fn_names.push(f.name.clone());
+            let mut locks = Vec::new();
+            collect_sites(f, &f.body, &mut locks, &mut g);
+        }
+        for (i, site) in g.sites.iter().enumerate() {
+            g.callers_of.entry(site.callee.clone()).or_default().push(i);
+            g.sites_in.entry(site.caller.clone()).or_default().push(i);
+        }
+        g
+    }
+
+    pub fn site(&self, id: SiteId) -> &CallSite {
+        &self.sites[id]
+    }
+
+    /// Sites that call `callee`.
+    pub fn callers_of(&self, callee: &str) -> &[SiteId] {
+        self.callers_of.get(callee).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sites inside `caller`.
+    pub fn sites_in(&self, caller: &str) -> &[SiteId] {
+        self.sites_in.get(caller).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Functions never called by user code — the system's entry points
+    /// (request handlers, admin operations, test hooks).
+    pub fn entry_functions(&self) -> Vec<String> {
+        let called: HashSet<&str> = self
+            .sites
+            .iter()
+            .filter(|s| !s.builtin)
+            .map(|s| s.callee.as_str())
+            .collect();
+        self.fn_names.iter().filter(|n| !called.contains(n.as_str())).cloned().collect()
+    }
+
+    /// All function names.
+    pub fn functions(&self) -> &[String] {
+        &self.fn_names
+    }
+
+    /// Is `ancestor` reachable from `f` by reverse edges (i.e. can a call
+    /// to `ancestor` eventually invoke `f`)?
+    pub fn reaches(&self, ancestor: &str, f: &str) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![f.to_string()];
+        while let Some(cur) = stack.pop() {
+            if cur == ancestor {
+                return true;
+            }
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            for &sid in self.callers_of(&cur) {
+                stack.push(self.sites[sid].caller.clone());
+            }
+        }
+        false
+    }
+}
+
+fn collect_sites(f: &FnDecl, stmts: &[Stmt], locks: &mut Vec<String>, g: &mut CallGraph) {
+    for s in stmts {
+        // Calls in directly-held expressions.
+        for e in lisa_lang::ast::stmt_exprs(s) {
+            collect_expr_sites(f, s, e, locks, g);
+        }
+        match &s.kind {
+            StmtKind::If { then_body, else_body, .. } => {
+                collect_sites(f, then_body, locks, g);
+                collect_sites(f, else_body, locks, g);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                collect_sites(f, body, locks, g)
+            }
+            StmtKind::Sync { lock, body } => {
+                locks.push(lock.clone());
+                collect_sites(f, body, locks, g);
+                locks.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_expr_sites(
+    f: &FnDecl,
+    stmt: &Stmt,
+    e: &Expr,
+    locks: &[String],
+    g: &mut CallGraph,
+) {
+    lisa_lang::ast::visit_exprs(e, &mut |sub| {
+        if let ExprKind::Call(name, args) = &sub.kind {
+            g.sites.push(CallSite {
+                caller: f.name.clone(),
+                callee: name.clone(),
+                stmt: stmt.id,
+                span: sub.span,
+                arg_paths: args.iter().map(expr_path).collect(),
+                builtin: builtin_signature(name).is_some(),
+                sync_locks: locks.to_vec(),
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        Program::parse_single(
+            "t",
+            "struct S { v: int }\n\
+             fn target(s: S) {}\n\
+             fn helper(x: S) { target(x); }\n\
+             fn entry_a(s: S) { helper(s); }\n\
+             fn entry_b(s: S) { if (s != null) { target(s); } }\n\
+             fn serializer() { sync (tree) { blocking_io(\"w\"); } }",
+        )
+        .expect("program")
+    }
+
+    #[test]
+    fn finds_all_call_sites() {
+        let g = CallGraph::build(&program());
+        assert_eq!(g.callers_of("target").len(), 2);
+        assert_eq!(g.callers_of("helper").len(), 1);
+        assert_eq!(g.sites_in("entry_a").len(), 1);
+    }
+
+    #[test]
+    fn entry_functions_have_no_callers() {
+        let g = CallGraph::build(&program());
+        let mut entries = g.entry_functions();
+        entries.sort();
+        assert_eq!(entries, vec!["entry_a", "entry_b", "serializer"]);
+    }
+
+    #[test]
+    fn arg_paths_are_recorded() {
+        let g = CallGraph::build(&program());
+        let site = &g.sites[g.callers_of("helper")[0]];
+        assert_eq!(site.arg_paths, vec![Some("s".to_string())]);
+    }
+
+    #[test]
+    fn builtin_sites_flagged_with_sync_locks() {
+        let g = CallGraph::build(&program());
+        let io_sites: Vec<&CallSite> =
+            g.sites.iter().filter(|s| s.callee == "blocking_io").collect();
+        assert_eq!(io_sites.len(), 1);
+        assert!(io_sites[0].builtin);
+        assert_eq!(io_sites[0].sync_locks, vec!["tree".to_string()]);
+    }
+
+    #[test]
+    fn reaches_transitively() {
+        let g = CallGraph::build(&program());
+        assert!(g.reaches("entry_a", "target"));
+        assert!(g.reaches("entry_b", "target"));
+        assert!(!g.reaches("serializer", "target"));
+    }
+
+    #[test]
+    fn nested_call_arguments_found() {
+        let p = Program::parse_single(
+            "t",
+            "fn g(x: int) -> int { return x; }\n\
+             fn f() -> int { return g(g(1)); }",
+        )
+        .expect("program");
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callers_of("g").len(), 2);
+    }
+}

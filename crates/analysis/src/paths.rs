@@ -1,0 +1,161 @@
+//! Intraprocedural path counting.
+//!
+//! "Complex systems have a vast space of execution paths, making
+//! exhaustive checking impractical" (§3.2). These estimators quantify
+//! that space: the number of distinct guard-outcome paths through a
+//! function, and through a whole call chain, before any pruning. The
+//! pruning experiments (E8) report pruned-vs-unpruned ratios built on
+//! these counts.
+
+use lisa_lang::ast::{FnDecl, Stmt, StmtId, StmtKind};
+
+/// Number of guard-outcome paths through a statement list (loops counted
+/// as "zero or one iteration", saturating).
+pub fn paths_through_block(stmts: &[Stmt]) -> u64 {
+    let mut product: u64 = 1;
+    for s in stmts {
+        product = product.saturating_mul(paths_through_stmt(s));
+        // Anything after an unconditional return/throw is dead; stop.
+        if matches!(s.kind, StmtKind::Return(_) | StmtKind::Throw(_)) {
+            break;
+        }
+    }
+    product
+}
+
+fn paths_through_stmt(s: &Stmt) -> u64 {
+    match &s.kind {
+        StmtKind::If { then_body, else_body, .. } => {
+            paths_through_block(then_body).saturating_add(paths_through_block(else_body))
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+            1u64.saturating_add(paths_through_block(body))
+        }
+        StmtKind::Sync { body, .. } => paths_through_block(body),
+        _ => 1,
+    }
+}
+
+/// Number of paths through a function.
+pub fn paths_through_fn(f: &FnDecl) -> u64 {
+    paths_through_block(&f.body)
+}
+
+/// Number of paths from function entry to (any occurrence of) the
+/// statement `target`; `None` if the statement is not in this function.
+pub fn paths_to_stmt(f: &FnDecl, target: StmtId) -> Option<u64> {
+    paths_to_in_block(&f.body, target)
+}
+
+fn paths_to_in_block(stmts: &[Stmt], target: StmtId) -> Option<u64> {
+    let mut prefix: u64 = 1;
+    for s in stmts {
+        if s.id == target {
+            return Some(prefix);
+        }
+        match &s.kind {
+            StmtKind::If { then_body, else_body, .. } => {
+                if let Some(inner) = paths_to_in_block(then_body, target) {
+                    return Some(prefix.saturating_mul(inner));
+                }
+                if let Some(inner) = paths_to_in_block(else_body, target) {
+                    return Some(prefix.saturating_mul(inner));
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::Sync { body, .. } => {
+                if let Some(inner) = paths_to_in_block(body, target) {
+                    return Some(prefix.saturating_mul(inner));
+                }
+            }
+            _ => {}
+        }
+        prefix = prefix.saturating_mul(paths_through_stmt(s));
+        if matches!(s.kind, StmtKind::Return(_) | StmtKind::Throw(_)) {
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_lang::Program;
+
+    fn fn_of(src: &str, name: &str) -> FnDecl {
+        let p = Program::parse_single("t", src).expect("p");
+        p.function(name).expect("fn").clone()
+    }
+
+    #[test]
+    fn straight_line_is_one_path() {
+        let f = fn_of("fn f() -> int { let a = 1; let b = 2; return a + b; }", "f");
+        assert_eq!(paths_through_fn(&f), 1);
+    }
+
+    #[test]
+    fn each_if_doubles() {
+        let f = fn_of(
+            "fn f(a: bool, b: bool) { if (a) { } if (b) { } }",
+            "f",
+        );
+        assert_eq!(paths_through_fn(&f), 4);
+    }
+
+    #[test]
+    fn early_return_prunes_tail() {
+        let f = fn_of(
+            "fn f(a: bool) -> int { if (a) { return 1; } else { return 2; } }",
+            "f",
+        );
+        assert_eq!(paths_through_fn(&f), 2);
+    }
+
+    #[test]
+    fn loop_counts_two_ways() {
+        let f = fn_of("fn f(n: int) { while (n > 0) { n = n - 1; } }", "f");
+        assert_eq!(paths_through_fn(&f), 2);
+    }
+
+    #[test]
+    fn paths_to_statement_in_branch() {
+        let src = "fn f(a: bool, b: bool) -> int {\n\
+             if (a) { } \n\
+             if (b) { return 7; }\n\
+             return 0;\n\
+         }";
+        let p = Program::parse_single("t", src).expect("p");
+        let f = p.function("f").expect("fn");
+        // Find the `return 7;` statement id.
+        let mut target = None;
+        let m = &p.modules[0];
+        m.visit_stmts(&mut |_, s| {
+            if let StmtKind::Return(Some(e)) = &s.kind {
+                if matches!(e.kind, lisa_lang::ExprKind::Int(7)) {
+                    target = Some(s.id);
+                }
+            }
+        });
+        // Reaching `return 7` goes through the `if (a)` fork (2 ways) and
+        // requires the second guard true (1 way up to it).
+        assert_eq!(paths_to_stmt(f, target.expect("target")), Some(2));
+    }
+
+    #[test]
+    fn missing_statement_is_none() {
+        let f = fn_of("fn f() { }", "f");
+        assert_eq!(paths_to_stmt(&f, StmtId(9999)), None);
+    }
+
+    #[test]
+    fn nested_ifs_multiply() {
+        let f = fn_of(
+            "fn f(a: bool, b: bool, c: bool) { if (a) { if (b) { } } if (c) { } }",
+            "f",
+        );
+        // if(a){if(b){}} = 2+1 = 3; times if(c) = 2 → 6.
+        assert_eq!(paths_through_fn(&f), 6);
+    }
+}

@@ -1,0 +1,218 @@
+//! Execution trees.
+//!
+//! Paper §3.2: *"we identify those paths leading to the target
+//! statement … by statically building a call graph and traversing all
+//! paths to each target. The result is an execution tree rooted at the
+//! target statement, with leaves representing entry functions for each
+//! path."*
+//!
+//! A [`CallChain`] is one root-to-leaf path of that tree: the sequence of
+//! call sites from an entry function down to the function containing the
+//! target site. Chains are acyclic (recursive back-edges are skipped) and
+//! enumeration is capped to keep adversarial graphs bounded.
+
+use crate::callgraph::{CallGraph, SiteId};
+use crate::target::TargetSpec;
+
+/// One path from an entry function to a target site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallChain {
+    /// The matched target site (innermost).
+    pub target_site: SiteId,
+    /// Call sites from the entry function (first) down to the caller of
+    /// the function containing the target site (last). Empty when the
+    /// target site sits directly in an entry function.
+    pub sites: Vec<SiteId>,
+    /// The entry function this chain starts at.
+    pub entry: String,
+}
+
+impl CallChain {
+    /// Functions on this chain, entry first, ending with the function
+    /// containing the target site.
+    pub fn functions(&self, graph: &CallGraph) -> Vec<String> {
+        let mut fns = vec![self.entry.clone()];
+        for &sid in &self.sites {
+            fns.push(graph.site(sid).callee.clone());
+        }
+        fns
+    }
+
+    /// Human-readable rendering `entry -> f -> g [target]`.
+    pub fn render(&self, graph: &CallGraph) -> String {
+        let mut out = self.functions(graph).join(" -> ");
+        out.push_str(&format!(" [{}]", graph.site(self.target_site).callee));
+        out
+    }
+}
+
+/// The execution tree for one target spec.
+#[derive(Debug, Clone)]
+pub struct ExecutionTree {
+    pub target: TargetSpec,
+    pub chains: Vec<CallChain>,
+    /// True when enumeration hit the cap and chains were dropped.
+    pub truncated: bool,
+}
+
+/// Enumeration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeLimits {
+    pub max_chains: usize,
+    pub max_depth: usize,
+}
+
+impl Default for TreeLimits {
+    fn default() -> Self {
+        TreeLimits { max_chains: 10_000, max_depth: 32 }
+    }
+}
+
+/// Build the execution tree for `target` over `graph`.
+pub fn execution_tree(graph: &CallGraph, target: &TargetSpec, limits: TreeLimits) -> ExecutionTree {
+    execution_tree_filtered(graph, target, limits, &|_| false)
+}
+
+/// Like [`execution_tree`], but callers matching `exclude` are not walked
+/// into — used to keep *test* functions out of the system's execution
+/// tree (tests are inputs, not request paths).
+pub fn execution_tree_filtered(
+    graph: &CallGraph,
+    target: &TargetSpec,
+    limits: TreeLimits,
+    exclude: &dyn Fn(&str) -> bool,
+) -> ExecutionTree {
+    let mut chains = Vec::new();
+    let mut truncated = false;
+    for site_id in target.sites(graph) {
+        let holder = graph.site(site_id).caller.clone();
+        // Sites inside excluded functions (tests) are not system paths.
+        if exclude(&holder) {
+            continue;
+        }
+        // DFS upward from the function containing the target site.
+        let mut stack: Vec<(String, Vec<SiteId>)> = vec![(holder, Vec::new())];
+        while let Some((f, below)) = stack.pop() {
+            if chains.len() >= limits.max_chains {
+                truncated = true;
+                break;
+            }
+            let callers = graph.callers_of(&f);
+            // Filter callers that would revisit a function already on the
+            // chain (cycle) or exceed depth.
+            let mut extended = false;
+            if below.len() < limits.max_depth {
+                for &caller_site in callers {
+                    let caller_fn = &graph.site(caller_site).caller;
+                    let on_chain = *caller_fn == f
+                        || below.iter().any(|&s| &graph.site(s).caller == caller_fn);
+                    if on_chain || exclude(caller_fn) {
+                        continue;
+                    }
+                    let mut next = Vec::with_capacity(below.len() + 1);
+                    next.push(caller_site);
+                    next.extend(below.iter().copied());
+                    stack.push((caller_fn.clone(), next));
+                    extended = true;
+                }
+            }
+            if !extended {
+                // `f` is a root for this chain (entry function or cycle cut).
+                chains.push(CallChain { target_site: site_id, sites: below, entry: f });
+            }
+        }
+    }
+    // Deterministic order: by entry then rendered shape.
+    chains.sort_by(|a, b| {
+        (&a.entry, a.target_site, &a.sites).cmp(&(&b.entry, b.target_site, &b.sites))
+    });
+    ExecutionTree { target: target.clone(), chains, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_lang::Program;
+
+    fn tree_for(src: &str, target: TargetSpec) -> (CallGraph, ExecutionTree) {
+        let p = Program::parse_single("t", src).expect("p");
+        let g = CallGraph::build(&p);
+        let t = execution_tree(&g, &target, TreeLimits::default());
+        (g, t)
+    }
+
+    const DIAMOND: &str = "struct S { v: int }\n\
+         fn target(s: S) {}\n\
+         fn helper(x: S) { target(x); }\n\
+         fn entry_a(s: S) { helper(s); }\n\
+         fn entry_b(s: S) { helper(s); }\n\
+         fn entry_c(s: S) { target(s); }";
+
+    #[test]
+    fn enumerates_all_chains() {
+        let (g, t) = tree_for(DIAMOND, TargetSpec::Call { callee: "target".into() });
+        assert!(!t.truncated);
+        let rendered: Vec<String> = t.chains.iter().map(|c| c.render(&g)).collect();
+        assert_eq!(t.chains.len(), 3, "{rendered:?}");
+        assert!(rendered.contains(&"entry_a -> helper [target]".to_string()));
+        assert!(rendered.contains(&"entry_b -> helper [target]".to_string()));
+        assert!(rendered.contains(&"entry_c [target]".to_string()));
+    }
+
+    #[test]
+    fn leaves_are_entry_functions() {
+        let (_, t) = tree_for(DIAMOND, TargetSpec::Call { callee: "target".into() });
+        let mut entries: Vec<&str> = t.chains.iter().map(|c| c.entry.as_str()).collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec!["entry_a", "entry_b", "entry_c"]);
+    }
+
+    #[test]
+    fn recursion_is_cut_not_looped() {
+        let (_, t) = tree_for(
+            "fn target() {}\n\
+             fn r(n: int) { if (n > 0) { r(n - 1); } target(); }",
+            TargetSpec::Call { callee: "target".into() },
+        );
+        // r is self-recursive; the chain should cut at r once.
+        assert_eq!(t.chains.len(), 1);
+        assert_eq!(t.chains[0].entry, "r");
+    }
+
+    #[test]
+    fn multiple_target_sites_fan_out() {
+        let (_, t) = tree_for(
+            "struct S { v: int }\n\
+             fn target(s: S) {}\n\
+             fn a(s: S) { target(s); target(s); }",
+            TargetSpec::Call { callee: "target".into() },
+        );
+        assert_eq!(t.chains.len(), 2);
+    }
+
+    #[test]
+    fn cap_marks_truncation() {
+        // A chain of 12 forks gives 2^12 chains; cap at 100.
+        let mut src = String::from("fn target() {}\nfn f0() { target(); }\n");
+        for i in 0..12 {
+            src.push_str(&format!("fn a{i}() {{ f{i}(); }}\nfn b{i}() {{ f{i}(); }}\n"));
+            src.push_str(&format!("fn f{}() {{ a{i}(); b{i}(); }}\n", i + 1));
+        }
+        let p = Program::parse_single("t", &src).expect("p");
+        let g = CallGraph::build(&p);
+        let t = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "target".into() },
+            TreeLimits { max_chains: 100, max_depth: 64 },
+        );
+        assert!(t.truncated);
+        assert_eq!(t.chains.len(), 100);
+    }
+
+    #[test]
+    fn chain_functions_order() {
+        let (g, t) = tree_for(DIAMOND, TargetSpec::Call { callee: "target".into() });
+        let chain = t.chains.iter().find(|c| c.entry == "entry_a").expect("chain");
+        assert_eq!(chain.functions(&g), vec!["entry_a", "helper"]);
+    }
+}

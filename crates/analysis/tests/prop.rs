@@ -1,0 +1,125 @@
+//! Property tests for the static analyses: execution-tree enumeration
+//! against a brute-force DAG path counter, entry detection, and path
+//! estimators.
+
+use proptest::prelude::*;
+
+use lisa_analysis::{execution_tree, paths_through_fn, CallGraph, TargetSpec, TreeLimits};
+use lisa_lang::Program;
+
+/// Build a program whose call graph is the DAG given by `edges` over
+/// `n` functions (edges only from lower to higher index, so acyclic).
+/// The target callee `target()` is called from function `f{n-1}`.
+fn dag_program(n: usize, edges: &[(usize, usize)]) -> Program {
+    let mut src = String::from("fn target() { log(\"hit\"); }\n");
+    for i in (0..n).rev() {
+        let mut body = String::new();
+        if i == n - 1 {
+            body.push_str("    target();\n");
+        }
+        for &(a, b) in edges {
+            if a == i {
+                body.push_str(&format!("    f{b}();\n"));
+            }
+        }
+        src.push_str(&format!("fn f{i}() {{\n{body}}}\n"));
+    }
+    Program::parse_single("dag", &src).expect("dag parses")
+}
+
+/// Brute-force: number of paths from each source (no incoming edges,
+/// or unreachable-to-target roots) to node n-1 in the DAG.
+fn brute_force_chains(n: usize, edges: &[(usize, usize)]) -> usize {
+    // paths[i] = number of DAG paths from i to n-1.
+    let mut paths = vec![0u64; n];
+    paths[n - 1] = 1;
+    for i in (0..n).rev() {
+        if i == n - 1 {
+            continue;
+        }
+        paths[i] = edges.iter().filter(|&&(a, _)| a == i).map(|&(_, b)| paths[b]).sum();
+    }
+    let has_incoming = |i: usize| edges.iter().any(|&(_, b)| b == i);
+    (0..n)
+        .filter(|&i| !has_incoming(i))
+        .map(|i| paths[i] as usize)
+        .sum()
+}
+
+fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..7).prop_flat_map(|n| {
+        let all_edges: Vec<(usize, usize)> =
+            (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect();
+        let len = all_edges.len();
+        (Just(n), proptest::sample::subsequence(all_edges, 0..=len))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chain_count_matches_brute_force((n, edges) in arb_dag()) {
+        let p = dag_program(n, &edges);
+        let g = CallGraph::build(&p);
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "target".into() },
+            TreeLimits { max_chains: 100_000, max_depth: 64 },
+        );
+        prop_assert!(!tree.truncated);
+        let expected = brute_force_chains(n, &edges);
+        prop_assert_eq!(tree.chains.len(), expected, "n={} edges={:?}", n, edges);
+    }
+
+    #[test]
+    fn chains_start_at_true_entries((n, edges) in arb_dag()) {
+        let p = dag_program(n, &edges);
+        let g = CallGraph::build(&p);
+        let entries = g.entry_functions();
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "target".into() },
+            TreeLimits { max_chains: 100_000, max_depth: 64 },
+        );
+        for chain in &tree.chains {
+            prop_assert!(
+                entries.contains(&chain.entry),
+                "chain entry {} is not an entry function {:?}",
+                chain.entry,
+                entries
+            );
+        }
+    }
+
+    #[test]
+    fn chains_are_acyclic((n, edges) in arb_dag()) {
+        let p = dag_program(n, &edges);
+        let g = CallGraph::build(&p);
+        let tree = execution_tree(
+            &g,
+            &TargetSpec::Call { callee: "target".into() },
+            TreeLimits { max_chains: 100_000, max_depth: 64 },
+        );
+        for chain in &tree.chains {
+            let fns = chain.functions(&g);
+            let mut dedup = fns.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), fns.len(), "cycle in {:?}", fns);
+        }
+    }
+
+    #[test]
+    fn path_count_at_least_one_and_multiplicative(k in 0usize..8) {
+        // k sequential ifs yield exactly 2^k paths.
+        let mut body = String::new();
+        for i in 0..k {
+            body.push_str(&format!("    if (x > {i}) {{ log(\"b\"); }}\n"));
+        }
+        let src = format!("fn f(x: int) {{\n{body}}}\n");
+        let p = Program::parse_single("t", &src).expect("parse");
+        let f = p.function("f").expect("fn");
+        prop_assert_eq!(paths_through_fn(f), 1u64 << k);
+    }
+}

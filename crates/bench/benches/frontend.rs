@@ -1,0 +1,88 @@
+//! SIR front-end benchmarks: lexing/parsing/type-checking and static
+//! analysis (call graph, execution tree) — the Soot-substitute costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lisa_analysis::{execution_tree, CallGraph, TargetSpec, TreeLimits};
+use lisa_lang::{check_program, parse_module, Program};
+
+/// Generate a module with `n` request-path functions over one store.
+fn module_src(n: usize) -> String {
+    let mut s = String::from(
+        "struct Entity { id: int, ok: bool, ttl: int }\n\
+         global store: map<int, Entity>;\n\
+         global effects: map<str, int>;\n\
+         fn act(e: Entity, tag: str) { effects.put(tag, e.id); }\n",
+    );
+    for i in 0..n {
+        s.push_str(&format!(
+            "fn path_{i}(eid: int, tag: str) {{\n\
+                 let e: Entity = store.get(eid);\n\
+                 if (e == null || e.ok == false || e.ttl <= {i}) {{ return; }}\n\
+                 act(e, tag);\n\
+             }}\n"
+        ));
+    }
+    s
+}
+
+fn bench_parse_and_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/parse");
+    for n in [8usize, 64, 256] {
+        let src = module_src(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| std::hint::black_box(parse_module("m", src).expect("parse")))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("frontend/typecheck");
+    for n in [8usize, 64, 256] {
+        let src = module_src(n);
+        let p = Program::parse_single("m", &src).expect("parse");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| {
+                let errs = check_program(p);
+                assert!(errs.is_empty());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/callgraph_and_tree");
+    for n in [8usize, 64, 256] {
+        let src = module_src(n);
+        let p = Program::parse_single("m", &src).expect("parse");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| {
+                let graph = CallGraph::build(p);
+                let tree = execution_tree(
+                    &graph,
+                    &TargetSpec::Call { callee: "act".into() },
+                    TreeLimits::default(),
+                );
+                assert_eq!(tree.chains.len(), n);
+                std::hint::black_box(tree)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_corpus_load(c: &mut Criterion) {
+    c.bench_function("corpus/build_all_16_cases", |b| {
+        b.iter(|| std::hint::black_box(lisa_corpus::all_cases().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_parse_and_check, bench_analysis, bench_corpus_load
+}
+criterion_main!(benches);

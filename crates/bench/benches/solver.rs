@@ -1,0 +1,87 @@
+//! SMT solver benchmarks: the Z3-substitute's cost profile on the
+//! formula shapes LISA produces (rule checkers, path conditions, the
+//! complement violation query), plus adversarial SAT structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lisa_smt::term::{CmpOp, Term};
+use lisa_smt::{is_sat, parse_cond, violates};
+
+/// A rule-shaped conjunction over `n` distinct guarded entities.
+fn rule_chain(n: usize) -> Term {
+    Term::and((0..n).flat_map(|i| {
+        [
+            Term::not_null(format!("e{i}")),
+            Term::bool_var(format!("e{i}.closing")).not(),
+            Term::int_cmp_c(format!("e{i}.ttl"), CmpOp::Gt, 0),
+        ]
+    }))
+}
+
+/// Difference-logic chain x0 < x1 < ... < x_n with a closing bound.
+fn diff_chain(n: usize, sat: bool) -> Term {
+    let mut parts: Vec<Term> =
+        (0..n).map(|i| Term::int_cmp_v(format!("x{i}"), CmpOp::Lt, format!("x{}", i + 1))).collect();
+    parts.push(Term::int_cmp_c("x0", CmpOp::Ge, 0));
+    parts.push(Term::int_cmp_c(
+        format!("x{n}"),
+        CmpOp::Le,
+        if sat { n as i64 + 1 } else { n as i64 - 1 },
+    ));
+    Term::and(parts)
+}
+
+fn bench_violation_query(c: &mut Criterion) {
+    let checker =
+        parse_cond("s != null && s.isClosing == false && s.ttl > 0").expect("checker");
+    let pi_missing = parse_cond("s != null && s.isClosing == false").expect("pi");
+    let pi_full = checker.clone();
+    c.bench_function("violates/missing_check", |b| {
+        b.iter(|| std::hint::black_box(violates(&pi_missing, &checker).is_some()))
+    });
+    c.bench_function("violates/verified_path", |b| {
+        b.iter(|| std::hint::black_box(violates(&pi_full, &checker).is_none()))
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/rule_chain");
+    for n in [1usize, 4, 16, 64] {
+        let t = rule_chain(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| std::hint::black_box(is_sat(t)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("solver/diff_logic");
+    for n in [8usize, 32, 128] {
+        let sat = diff_chain(n, true);
+        let unsat = diff_chain(n, false);
+        g.bench_with_input(BenchmarkId::new("sat", n), &sat, |b, t| {
+            b.iter(|| std::hint::black_box(is_sat(t)))
+        });
+        g.bench_with_input(BenchmarkId::new("unsat", n), &unsat, |b, t| {
+            b.iter(|| std::hint::black_box(is_sat(t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_condition_parsing(c: &mut Criterion) {
+    let src = "s != null && s.isClosing == false && s.ttl > 0 && snap.expires_at >= req_time \
+               && state == \"OPEN\" && ($locks.held == 0 || admin == true)";
+    c.bench_function("parse_cond/complex", |b| {
+        b.iter(|| std::hint::black_box(parse_cond(src).expect("parse")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_violation_query, bench_scaling, bench_condition_parsing
+}
+criterion_main!(benches);

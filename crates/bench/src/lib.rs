@@ -1,0 +1,12 @@
+//! # lisa-bench
+//!
+//! Criterion benchmarks for LISA's substrates and pipeline. All content
+//! lives under `benches/`:
+//!
+//! - `solver` — SMT costs on rule/path-condition shapes (the Z3 stand-in),
+//! - `frontend` — SIR parsing/typechecking + call-graph/tree analysis,
+//! - `concolic` — interpreter throughput, tracer overhead, pruning scaling,
+//! - `pipeline` — inference, rule checking per selection strategy, and the
+//!   parallel CI gate.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,182 @@
+//! Test harness: drives corpus test functions through the interpreter
+//! with a concolic tracer attached.
+//!
+//! Paper §3.2: *"Instead of doing execution with random inputs, our tool
+//! utilizes existing tests to act as our input."* A SIR test is a
+//! zero-argument function (conventionally `test_*`) in the system's test
+//! module; each test runs in a fresh interpreter (fresh globals/heap,
+//! like a JUnit fixture) and yields the target hits observed along its
+//! concrete path.
+
+use lisa_analysis::{AliasMap, TargetSpec};
+use lisa_lang::{Interp, Program, RuntimeError, Value};
+
+use crate::engine::{ConcolicTracer, EngineStats, Policy, TargetHit};
+
+/// A complete system version under check: the program plus its test
+/// suite. Corpus cases ship one of these per version (buggy, fixed,
+/// regressed, latest).
+#[derive(Debug, Clone)]
+pub struct SystemVersion {
+    /// Version label, e.g. `v2-fixed`.
+    pub label: String,
+    pub program: Program,
+    pub tests: Vec<TestCase>,
+}
+
+impl SystemVersion {
+    pub fn new(label: impl Into<String>, program: Program, tests: Vec<TestCase>) -> SystemVersion {
+        SystemVersion { label: label.into(), program, tests }
+    }
+
+    /// Test `(name, summary)` pairs for embedding indexes.
+    pub fn test_summaries(&self) -> Vec<(String, String)> {
+        self.tests.iter().map(|t| (t.name.clone(), t.summary.clone())).collect()
+    }
+}
+
+/// A test case: an executable entry in the program plus the natural-
+/// language summary used for embedding-based selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestCase {
+    pub name: String,
+    /// One-line description (what feature/scenario the test exercises).
+    pub summary: String,
+    /// The SIR function to invoke (zero-argument).
+    pub entry: String,
+}
+
+impl TestCase {
+    pub fn new(name: impl Into<String>, summary: impl Into<String>) -> TestCase {
+        let name = name.into();
+        TestCase { entry: name.clone(), name, summary: summary.into() }
+    }
+}
+
+/// Outcome of one test execution under the tracer.
+#[derive(Debug)]
+pub struct TestRun {
+    pub test: String,
+    pub hits: Vec<TargetHit>,
+    pub error: Option<RuntimeError>,
+    pub stats: EngineStats,
+    pub steps: u64,
+}
+
+/// Run `tests` against `program`, tracing `target` under `policy`.
+///
+/// Each test gets a fresh interpreter. A test that fails at runtime still
+/// reports the hits recorded before the failure (a crashing test may have
+/// reached the target first).
+pub fn run_tests(
+    program: &Program,
+    tests: &[TestCase],
+    target: &TargetSpec,
+    aliases: &AliasMap,
+    policy: &Policy,
+) -> Vec<TestRun> {
+    tests
+        .iter()
+        .map(|t| {
+            let mut interp = Interp::new(program);
+            let mut tracer =
+                ConcolicTracer::new(target.clone(), aliases.clone(), policy.clone());
+            let result = interp.call(&t.entry, Vec::<Value>::new(), &mut tracer);
+            TestRun {
+                test: t.name.clone(),
+                hits: tracer.hits,
+                error: result.err(),
+                stats: tracer.stats,
+                steps: interp.stats.steps,
+            }
+        })
+        .collect()
+}
+
+/// Discover test functions by prefix (`test_` by convention) and derive
+/// placeholder summaries from their names. Corpus tests carry curated
+/// summaries instead; this is the fallback for ad-hoc programs.
+pub fn discover_tests(program: &Program, prefix: &str) -> Vec<TestCase> {
+    program
+        .functions()
+        .filter(|f| f.name.starts_with(prefix) && f.params.is_empty())
+        .map(|f| TestCase::new(f.name.clone(), f.name.replace('_', " ")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "struct Session { id: int, closing: bool }\n\
+         global sessions: map<int, Session>;\n\
+         fn create_node(s: Session) {}\n\
+         fn register(sid: int) {\n\
+             let s: Session = sessions.get(sid);\n\
+             if (s == null) { return; }\n\
+             create_node(s);\n\
+         }\n\
+         fn test_register_live() {\n\
+             sessions.put(1, new Session { id: 1 });\n\
+             register(1);\n\
+         }\n\
+         fn test_register_missing() {\n\
+             register(42);\n\
+         }";
+
+    fn program() -> Program {
+        let p = Program::parse_single("t", SRC).expect("p");
+        assert!(lisa_lang::check_program(&p).is_empty());
+        p
+    }
+
+    #[test]
+    fn discovery_finds_test_functions() {
+        let tests = discover_tests(&program(), "test_");
+        let names: Vec<&str> = tests.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["test_register_live", "test_register_missing"]);
+        assert_eq!(tests[0].summary, "test register live");
+    }
+
+    #[test]
+    fn each_test_gets_fresh_globals() {
+        let p = program();
+        let tests = discover_tests(&p, "test_");
+        let mut aliases = AliasMap::default();
+        aliases.insert("register", "s", "s");
+        let runs = run_tests(
+            &p,
+            &tests,
+            &TargetSpec::Call { callee: "create_node".into() },
+            &aliases,
+            &Policy::RelevantOnly,
+        );
+        assert_eq!(runs.len(), 2);
+        // First test hits the target; second (missing session, and a
+        // fresh map because globals reset) does not.
+        assert_eq!(runs[0].hits.len(), 1);
+        assert!(runs[0].error.is_none());
+        assert_eq!(runs[1].hits.len(), 0);
+    }
+
+    #[test]
+    fn failing_test_keeps_prior_hits() {
+        let src = format!("{SRC}\nfn test_crash() {{ register_then_boom(); }}\n\
+            fn register_then_boom() {{\n\
+                sessions.put(2, new Session {{ id: 2 }});\n\
+                register(2);\n\
+                throw \"boom\";\n\
+            }}");
+        let p = Program::parse_single("t", &src).expect("p");
+        let tests = vec![TestCase::new("test_crash", "crashing test")];
+        let runs = run_tests(
+            &p,
+            &tests,
+            &TargetSpec::Call { callee: "create_node".into() },
+            &AliasMap::default(),
+            &Policy::RecordAll,
+        );
+        assert!(runs[0].error.is_some());
+        assert_eq!(runs[0].hits.len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Binary trace logs.
+//!
+//! Target hits can be persisted (CI artifacts, offline triage, replaying
+//! verdicts against updated rules without re-running tests). The format
+//! is a simple length-prefixed binary encoding built on [`bytes`]:
+//!
+//! ```text
+//! magic "LTRC" | u16 version | u32 record count | records…
+//! record: test | caller | callee | pi (condition text) | chain…
+//! ```
+//!
+//! Path conditions are stored in surface syntax and re-parsed on load —
+//! the text form is the interchange format the rest of the system
+//! already speaks.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lisa_smt::{parse_cond, Term};
+
+use crate::engine::TargetHit;
+
+const MAGIC: &[u8; 4] = b"LTRC";
+const VERSION: u16 = 1;
+
+/// One persisted hit (the raw constraints are not persisted — π carries
+/// the verdict-relevant content).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub test: String,
+    pub caller: String,
+    pub callee: String,
+    pub pi: Term,
+    pub chain: Vec<String>,
+    pub locks_held: u32,
+}
+
+impl TraceRecord {
+    /// Capture a hit observed while running `test`.
+    pub fn from_hit(test: &str, hit: &TargetHit) -> TraceRecord {
+        TraceRecord {
+            test: test.to_string(),
+            caller: hit.caller.clone(),
+            callee: hit.callee.clone(),
+            pi: hit.pi.clone(),
+            chain: hit.chain.clone(),
+            locks_held: hit.locks_held as u32,
+        }
+    }
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    BadMagic,
+    UnsupportedVersion(u16),
+    Truncated,
+    BadUtf8,
+    BadCondition(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a LISA trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadUtf8 => write!(f, "invalid UTF-8 in trace"),
+            TraceError::BadCondition(e) => write!(f, "bad path condition: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, TraceError> {
+    if buf.remaining() < 4 {
+        return Err(TraceError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(TraceError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| TraceError::BadUtf8)
+}
+
+/// Encode records into a trace blob.
+pub fn encode(records: &[TraceRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 * records.len() + 16);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(records.len() as u32);
+    for r in records {
+        put_str(&mut buf, &r.test);
+        put_str(&mut buf, &r.caller);
+        put_str(&mut buf, &r.callee);
+        put_str(&mut buf, &r.pi.to_string());
+        buf.put_u32(r.locks_held);
+        buf.put_u32(r.chain.len() as u32);
+        for c in &r.chain {
+            put_str(&mut buf, c);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a trace blob.
+pub fn decode(mut data: Bytes) -> Result<Vec<TraceRecord>, TraceError> {
+    if data.remaining() < 6 {
+        return Err(TraceError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    if data.remaining() < 4 {
+        return Err(TraceError::Truncated);
+    }
+    let count = data.get_u32() as usize;
+    let mut out = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let test = get_str(&mut data)?;
+        let caller = get_str(&mut data)?;
+        let callee = get_str(&mut data)?;
+        let pi_src = get_str(&mut data)?;
+        let pi = parse_cond(&pi_src).map_err(|e| TraceError::BadCondition(e.to_string()))?;
+        if data.remaining() < 8 {
+            return Err(TraceError::Truncated);
+        }
+        let locks_held = data.get_u32();
+        let chain_len = data.get_u32() as usize;
+        let mut chain = Vec::with_capacity(chain_len.min(256));
+        for _ in 0..chain_len {
+            chain.push(get_str(&mut data)?);
+        }
+        out.push(TraceRecord { test, caller, callee, pi, chain, locks_held });
+    }
+    Ok(out)
+}
+
+/// Re-judge persisted hits against a (possibly updated) rule condition:
+/// returns the records that violate it. This is the "replay verdicts
+/// without re-running tests" workflow.
+pub fn rejudge<'a>(records: &'a [TraceRecord], checker: &Term) -> Vec<&'a TraceRecord> {
+    records
+        .iter()
+        .filter(|r| lisa_smt::violates(&r.pi, checker).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_smt::parse_cond;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                test: "test_prep_live".into(),
+                caller: "prep_create".into(),
+                callee: "create_ephemeral".into(),
+                pi: parse_cond("s != null && $locks.held == 0").expect("pi"),
+                chain: vec!["<harness>".into(), "test_prep_live".into(), "prep_create".into()],
+                locks_held: 0,
+            },
+            TraceRecord {
+                test: "test_touch".into(),
+                caller: "touch_create".into(),
+                callee: "create_ephemeral".into(),
+                pi: parse_cond("s != null && s.closing == false && $locks.held == 0")
+                    .expect("pi"),
+                chain: vec!["<harness>".into(), "test_touch".into(), "touch_create".into()],
+                locks_held: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_semantically() {
+        let records = sample();
+        let blob = encode(&records);
+        let decoded = decode(blob).expect("decode");
+        assert_eq!(decoded.len(), records.len());
+        for (a, b) in records.iter().zip(decoded.iter()) {
+            assert_eq!(a.test, b.test);
+            assert_eq!(a.caller, b.caller);
+            assert_eq!(a.chain, b.chain);
+            assert!(lisa_smt::equivalent(&a.pi, &b.pi), "{} vs {}", a.pi, b.pi);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = encode(&sample()).to_vec();
+        blob[0] = b'X';
+        assert_eq!(decode(Bytes::from(blob)), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_not_panicking() {
+        let blob = encode(&sample());
+        for cut in [0usize, 3, 6, 10, blob.len() / 2, blob.len() - 1] {
+            let sliced = blob.slice(0..cut);
+            let r = decode(sliced);
+            assert!(r.is_err(), "cut at {cut} must fail gracefully");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut blob = encode(&sample()).to_vec();
+        blob[4] = 0xFF;
+        assert!(matches!(
+            decode(Bytes::from(blob)),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejudge_flags_the_weak_trace() {
+        let records = sample();
+        let rule = parse_cond("s != null && s.closing == false").expect("rule");
+        let bad = rejudge(&records, &rule);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].test, "test_prep_live");
+        // A stronger rule later flags both — replay without re-running.
+        let stronger = parse_cond("s != null && s.closing == false && s.ttl > 0").expect("r");
+        assert_eq!(rejudge(&records, &stronger).len(), 2);
+    }
+
+    #[test]
+    fn empty_log_roundtrips() {
+        let blob = encode(&[]);
+        assert_eq!(decode(blob).expect("decode").len(), 0);
+    }
+}

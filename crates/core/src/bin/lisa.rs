@@ -1,0 +1,238 @@
+//! `lisa` — command-line front end.
+//!
+//! ```text
+//! lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
+//! lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+//! lisa suggest --system <dir> --target <fn>
+//! lisa paths   --system <dir> --target <fn>
+//! ```
+//!
+//! `--system` points at a directory of `.sir` modules (tests included,
+//! discovered by prefix). `--rules` is a text file of authoring-template
+//! sentences (one per line, `#` comments):
+//!
+//! ```text
+//! # shield from ZK-1208
+//! when calling create_ephemeral_node, require s != null && s.closing == false
+//! never call blocking_io while holding a lock
+//! ```
+//!
+//! Exit status: 0 = pass, 1 = violations found (gate blocks), 2 = usage
+//! or load error — directly usable as a CI step.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lisa::report::{render_enforcement, render_rule_report};
+use lisa::{enforce, GateDecision, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
+use lisa_analysis::{execution_tree_filtered, CallGraph, TargetSpec, TreeLimits};
+use lisa_concolic::{discover_tests, SystemVersion};
+use lisa_lang::Program;
+use lisa_oracle::{author_rule, suggest_conditions, SemanticRule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
+  lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+  lisa suggest --system <dir> --target <fn>
+  lisa paths   --system <dir> --target <fn>";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "check" => cmd_check(&flags, false),
+        "gate" => cmd_check(&flags, true),
+        "suggest" => cmd_suggest(&flags),
+        "paths" => cmd_paths(&flags),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, found {flag:?}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+/// Load every `.sir` file under `dir` (sorted, non-recursive) into one
+/// program; discover tests by prefix.
+fn load_system(dir: &str, test_prefix: &str) -> Result<SystemVersion, String> {
+    let dir = Path::new(dir);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sir"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .sir files in {}", dir.display()));
+    }
+    let mut sources = Vec::new();
+    for f in &files {
+        let text =
+            std::fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        let name = f.file_stem().and_then(|s| s.to_str()).unwrap_or("module").to_string();
+        sources.push((name, text));
+    }
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let program = Program::parse(&refs).map_err(|e| e.to_string())?;
+    let errors = lisa_lang::check_program(&program);
+    if !errors.is_empty() {
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        return Err(format!("type errors:\n  {}", msgs.join("\n  ")));
+    }
+    let tests = discover_tests(&program, test_prefix);
+    let label = dir.file_name().and_then(|s| s.to_str()).unwrap_or("system").to_string();
+    Ok(SystemVersion::new(label, program, tests))
+}
+
+/// Parse a rules file of authoring-template sentences.
+fn load_rules(path: &str) -> Result<Vec<SemanticRule>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut rules = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = author_rule(&format!("rule-{}", lineno + 1), line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err(format!("{path}: no rules"));
+    }
+    Ok(rules)
+}
+
+fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<bool, String> {
+    let version = load_system(
+        required(flags, "system")?,
+        flags.get("test-prefix").map(String::as_str).unwrap_or("test_"),
+    )?;
+    let rules = load_rules(required(flags, "rules")?)?;
+    let selection = match flags.get("rag") {
+        Some(k) => TestSelection::Rag {
+            k: k.parse().map_err(|_| format!("--rag {k}: not a number"))?,
+        },
+        None => TestSelection::All,
+    };
+    let config = PipelineConfig { selection, ..PipelineConfig::default() };
+    let json = matches!(flags.get("format").map(String::as_str), Some("json"));
+    if !json {
+        println!(
+            "system `{}`: {} function(s), {} test(s), {} rule(s)",
+            version.label,
+            version.program.functions().count(),
+            version.tests.len(),
+            rules.len()
+        );
+    }
+    if gate {
+        let workers = flags
+            .get("workers")
+            .map(|w| w.parse().map_err(|_| format!("--workers {w}: not a number")))
+            .transpose()?
+            .unwrap_or(4);
+        let mut registry = RuleRegistry::new();
+        for r in rules {
+            registry.register(r);
+        }
+        let report = enforce(&registry, &version, &config, workers);
+        if json {
+            println!("{}", lisa::json::enforcement_json(&report));
+        } else {
+            print!("{}", render_enforcement(&report));
+        }
+        Ok(report.decision == GateDecision::Pass)
+    } else {
+        let pipeline = Pipeline::new(config);
+        let mut clean = true;
+        let mut json_reports = Vec::new();
+        for rule in &rules {
+            let report = pipeline.check_rule(&version, rule);
+            if json {
+                json_reports.push(lisa::json::rule_report_json(&report));
+            } else {
+                print!("{}", render_rule_report(&report));
+            }
+            clean &= !report.has_violation();
+        }
+        if json {
+            println!("[{}]", json_reports.join(","));
+        }
+        Ok(clean)
+    }
+}
+
+fn cmd_suggest(flags: &HashMap<String, String>) -> Result<bool, String> {
+    let version = load_system(required(flags, "system")?, "test_")?;
+    let target = required(flags, "target")?;
+    let suggestions = suggest_conditions(&version.program, target);
+    if suggestions.is_empty() {
+        println!("no guarded paths to `{target}` found — nothing to suggest");
+        return Ok(true);
+    }
+    println!("suggested conditions for `when calling {target}, require ...`:");
+    for s in suggestions {
+        println!("  [{} path(s) already enforce] {}", s.support, s.condition_src);
+    }
+    Ok(true)
+}
+
+fn cmd_paths(flags: &HashMap<String, String>) -> Result<bool, String> {
+    let version = load_system(required(flags, "system")?, "test_")?;
+    let target = required(flags, "target")?;
+    let graph = CallGraph::build(&version.program);
+    let spec = TargetSpec::Call { callee: target.to_string() };
+    let tree = execution_tree_filtered(&graph, &spec, TreeLimits::default(), &|f| {
+        f.starts_with("test_")
+    });
+    println!("{} chain(s) reach {spec}:", tree.chains.len());
+    for chain in &tree.chains {
+        println!("  {}", chain.render(&graph));
+    }
+    if tree.truncated {
+        println!("  ... (truncated)");
+    }
+    Ok(true)
+}

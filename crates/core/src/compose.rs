@@ -1,0 +1,204 @@
+//! Composing low-level semantics into high-level guarantees (§5 Q3).
+//!
+//! "Can we verify high-level system properties by composing multiple
+//! validated low-level semantics? … Our long-term goal is to logically
+//! compose multiple low-level semantic rules and merge partial
+//! insights, so that it could provide a more complete, high-level form
+//! of system correctness guarantee."
+//!
+//! The preliminary mechanism implemented here (the "initial step" the
+//! paper plans): a high-level property is a formula over a shared
+//! vocabulary; each contributing rule binds its placeholders into that
+//! vocabulary; the composition is *logically sufficient* when the
+//! conjunction of the bound rule conditions entails the property
+//! (discharged by the SMT solver), and *enforced* on a version when
+//! every contributing rule also checked out violation-free there. Both
+//! together yield the partial high-level guarantee.
+
+use std::collections::HashMap;
+
+use lisa_oracle::SemanticRule;
+use lisa_smt::{implies, parse_cond, ParseError, Term};
+
+use crate::verdict::RuleReport;
+
+/// A high-level system property over a shared vocabulary.
+#[derive(Debug, Clone)]
+pub struct HighLevelProperty {
+    pub id: String,
+    /// Natural-language statement (e.g. "every ephemeral node is deleted
+    /// once its client session is fully disconnected").
+    pub description: String,
+    pub formula_src: String,
+    pub formula: Term,
+}
+
+impl HighLevelProperty {
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        formula_src: impl Into<String>,
+    ) -> Result<HighLevelProperty, ParseError> {
+        let formula_src = formula_src.into();
+        let formula = parse_cond(&formula_src)?;
+        Ok(HighLevelProperty {
+            id: id.into(),
+            description: description.into(),
+            formula_src,
+            formula,
+        })
+    }
+}
+
+/// One contributing rule with its binding into the shared vocabulary
+/// (rule placeholder root → shared variable root).
+#[derive(Debug, Clone)]
+pub struct Obligation {
+    pub rule: SemanticRule,
+    pub binding: HashMap<String, String>,
+}
+
+impl Obligation {
+    pub fn new(rule: SemanticRule) -> Obligation {
+        Obligation { rule, binding: HashMap::new() }
+    }
+
+    pub fn bind(mut self, placeholder: &str, shared: &str) -> Obligation {
+        self.binding.insert(placeholder.to_string(), shared.to_string());
+        self
+    }
+
+    /// The rule condition rewritten into the shared vocabulary.
+    pub fn bound_condition(&self) -> Term {
+        self.rule.condition.rename_vars(&|v| {
+            let root = lisa_lang::symbolic::path_root(v);
+            match self.binding.get(root) {
+                Some(shared) => format!("{shared}{}", &v[root.len()..]),
+                None => v.to_string(),
+            }
+        })
+    }
+}
+
+/// The outcome of a composition check.
+#[derive(Debug, Clone)]
+pub struct CompositionResult {
+    pub property_id: String,
+    /// The conjunction of bound rule conditions.
+    pub combined: Term,
+    /// Do the rules *logically* entail the property?
+    pub sufficient: bool,
+    /// Rules whose reports carried violations (or were missing) on the
+    /// checked version; empty ⇒ enforced.
+    pub unenforced_rules: Vec<String>,
+}
+
+impl CompositionResult {
+    /// The property is guaranteed on the version: logically sufficient
+    /// and every contributing rule enforced violation-free.
+    pub fn guaranteed(&self) -> bool {
+        self.sufficient && self.unenforced_rules.is_empty()
+    }
+}
+
+/// Check whether `obligations` compose into `property`, given the rule
+/// reports from enforcing them on one version (pass an empty slice to
+/// check logical sufficiency only).
+pub fn compose(
+    property: &HighLevelProperty,
+    obligations: &[Obligation],
+    reports: &[RuleReport],
+) -> CompositionResult {
+    let combined = Term::and(obligations.iter().map(|o| o.bound_condition()));
+    let sufficient = implies(&combined, &property.formula);
+    let mut unenforced = Vec::new();
+    for o in obligations {
+        match reports.iter().find(|r| r.rule_id == o.rule.id) {
+            Some(r) if !r.has_violation() && r.not_covered_count() == 0 => {}
+            Some(r) => unenforced.push(format!(
+                "{} ({} violated, {} uncovered)",
+                r.rule_id,
+                r.violated_count(),
+                r.not_covered_count()
+            )),
+            None => unenforced.push(format!("{} (no report)", o.rule.id)),
+        }
+    }
+    CompositionResult {
+        property_id: property.id.clone(),
+        combined,
+        sufficient,
+        unenforced_rules: unenforced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_analysis::TargetSpec;
+
+    fn rule(id: &str, cond: &str) -> SemanticRule {
+        SemanticRule::new(id, id, TargetSpec::Call { callee: "create".into() }, cond)
+            .expect("rule")
+    }
+
+    #[test]
+    fn two_partial_rules_entail_the_property() {
+        let property = HighLevelProperty::new(
+            "H1",
+            "no creation on dead or closing sessions",
+            "session != null && session.closing == false",
+        )
+        .expect("property");
+        let o1 = Obligation::new(rule("R1", "s != null")).bind("s", "session");
+        let o2 = Obligation::new(rule("R2", "s.closing == false")).bind("s", "session");
+        let result = compose(&property, &[o1, o2], &[]);
+        assert!(result.sufficient, "combined: {}", result.combined);
+    }
+
+    #[test]
+    fn insufficient_composition_detected() {
+        let property = HighLevelProperty::new(
+            "H2",
+            "sessions are alive and within ttl",
+            "session != null && session.ttl > 0",
+        )
+        .expect("property");
+        let o1 = Obligation::new(rule("R1", "s != null")).bind("s", "session");
+        let result = compose(&property, &[o1], &[]);
+        assert!(!result.sufficient, "the ttl obligation is missing");
+    }
+
+    #[test]
+    fn binding_renames_field_paths() {
+        let o = Obligation::new(rule("R", "s.closing == false && s.ttl > 0"))
+            .bind("s", "sess");
+        let c = o.bound_condition();
+        let want = parse_cond("sess.closing == false && sess.ttl > 0").expect("want");
+        assert!(lisa_smt::equivalent(&c, &want), "{c}");
+    }
+
+    #[test]
+    fn enforcement_status_is_tracked() {
+        let property =
+            HighLevelProperty::new("H3", "not null", "x != null").expect("property");
+        let o = Obligation::new(rule("R1", "s != null")).bind("s", "x");
+        // No report at all:
+        let r = compose(&property, &[o.clone()], &[]);
+        assert!(r.sufficient && !r.guaranteed());
+        assert_eq!(r.unenforced_rules, vec!["R1 (no report)"]);
+    }
+
+    #[test]
+    fn contradictory_obligations_entail_anything_but_flag_nothing() {
+        // A degenerate composition (inconsistent rules) is logically
+        // sufficient for any property — the caller learns about it from
+        // the combined term being unsatisfiable.
+        let property = HighLevelProperty::new("H4", "whatever", "q > 100").expect("p");
+        let o1 = Obligation::new(rule("R1", "s.ttl > 0")).bind("s", "x");
+        let o2 = Obligation::new(rule("R2", "s.ttl < 0")).bind("s", "x");
+        let r = compose(&property, &[o1, o2], &[]);
+        assert!(r.sufficient);
+        assert!(!lisa_smt::is_sat(&r.combined), "caller can detect vacuity");
+    }
+}

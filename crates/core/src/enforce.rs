@@ -1,0 +1,229 @@
+//! The enforcement registry and CI/CD gate.
+//!
+//! The paper's vision (§1): "every failure, once fixed, automatically
+//! becomes an executable contract that shields the system from ever
+//! repeating the same mistake … enforced in CI/CD pipelines." The
+//! [`RuleRegistry`] is that contract store: rules accumulate as tickets
+//! are processed, and every new system version is gated on the full set.
+//! Rule checks are independent, so the gate fans them out across worker
+//! threads (crossbeam scoped threads).
+
+use std::fmt;
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use lisa_concolic::SystemVersion;
+use lisa_oracle::SemanticRule;
+
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::verdict::RuleReport;
+
+/// The persistent set of enforced rules.
+#[derive(Debug, Default, Clone)]
+pub struct RuleRegistry {
+    rules: Vec<SemanticRule>,
+}
+
+impl RuleRegistry {
+    pub fn new() -> RuleRegistry {
+        RuleRegistry::default()
+    }
+
+    /// Register a rule; replaces any rule with the same id.
+    pub fn register(&mut self, rule: SemanticRule) {
+        self.rules.retain(|r| r.id != rule.id);
+        self.rules.push(rule);
+    }
+
+    pub fn rules(&self) -> &[SemanticRule] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    pub fn get(&self, id: &str) -> Option<&SemanticRule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+}
+
+/// Gate decision for a candidate version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDecision {
+    /// No rule violated: the change may ship.
+    Pass,
+    /// At least one semantic rule violated: block the change.
+    Block,
+}
+
+impl fmt::Display for GateDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateDecision::Pass => write!(f, "PASS"),
+            GateDecision::Block => write!(f, "BLOCK"),
+        }
+    }
+}
+
+/// Result of gating one version against the registry.
+#[derive(Debug)]
+pub struct EnforcementReport {
+    pub version: String,
+    pub reports: Vec<RuleReport>,
+    pub decision: GateDecision,
+    /// Coverage gaps requiring developer review (paper: "developers
+    /// should provide the final verdict").
+    pub review_needed: usize,
+}
+
+impl EnforcementReport {
+    pub fn violated_rules(&self) -> Vec<&RuleReport> {
+        self.reports.iter().filter(|r| r.has_violation()).collect()
+    }
+}
+
+/// Check every registered rule against `version`, in parallel.
+pub fn enforce(
+    registry: &RuleRegistry,
+    version: &SystemVersion,
+    config: &PipelineConfig,
+    workers: usize,
+) -> EnforcementReport {
+    let reports = Mutex::new(Vec::<(usize, RuleReport)>::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = workers.clamp(1, registry.len().max(1));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let pipeline = Pipeline::new(config.clone());
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(rule) = registry.rules().get(i) else { break };
+                    let report = pipeline.check_rule(version, rule);
+                    reports.lock().push((i, report));
+                }
+            });
+        }
+    })
+    .expect("enforcement workers must not panic");
+    let mut indexed = reports.into_inner();
+    indexed.sort_by_key(|(i, _)| *i);
+    let reports: Vec<RuleReport> = indexed.into_iter().map(|(_, r)| r).collect();
+    let decision = if reports.iter().any(|r| r.has_violation()) {
+        GateDecision::Block
+    } else {
+        GateDecision::Pass
+    };
+    let review_needed = reports.iter().map(|r| r.not_covered_count()).sum();
+    EnforcementReport { version: version.label.clone(), reports, decision, review_needed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::TestSelection;
+    use lisa_analysis::TargetSpec;
+    use lisa_lang::Program;
+
+    fn version(guard_prep: bool) -> SystemVersion {
+        let prep_guard = if guard_prep { "session == null || session.closing" } else { "session == null" };
+        let src = format!(
+            "struct Session {{ id: int, closing: bool }}\n\
+             global sessions: map<int, Session>;\n\
+             fn create_ephemeral(s: Session, path: str) {{}}\n\
+             fn prep_create(sid: int, path: str) {{\n\
+                 let session: Session = sessions.get(sid);\n\
+                 if ({prep_guard}) {{ return; }}\n\
+                 create_ephemeral(session, path);\n\
+             }}\n\
+             fn test_prep_live() {{\n\
+                 sessions.put(1, new Session {{ id: 1 }});\n\
+                 prep_create(1, \"/a\");\n\
+             }}"
+        );
+        let p = Program::parse_single("zk", &src).expect("p");
+        let tests = lisa_concolic::discover_tests(&p, "test_");
+        SystemVersion::new(if guard_prep { "fixed" } else { "regressed" }, p, tests)
+    }
+
+    fn registry() -> RuleRegistry {
+        let mut reg = RuleRegistry::new();
+        reg.register(
+            SemanticRule::new(
+                "ZK-1208-r0",
+                "no ephemeral create on closing session",
+                TargetSpec::Call { callee: "create_ephemeral".into() },
+                "s != null && s.closing == false",
+            )
+            .expect("rule"),
+        );
+        reg
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() }
+    }
+
+    #[test]
+    fn fixed_version_passes_the_gate() {
+        let report = enforce(&registry(), &version(true), &config(), 2);
+        assert_eq!(report.decision, GateDecision::Pass);
+        assert!(report.violated_rules().is_empty());
+    }
+
+    #[test]
+    fn regressed_version_is_blocked() {
+        let report = enforce(&registry(), &version(false), &config(), 2);
+        assert_eq!(report.decision, GateDecision::Block);
+        assert_eq!(report.violated_rules().len(), 1);
+    }
+
+    #[test]
+    fn registry_replaces_same_id() {
+        let mut reg = registry();
+        let len_before = reg.len();
+        reg.register(
+            SemanticRule::new(
+                "ZK-1208-r0",
+                "updated",
+                TargetSpec::Call { callee: "create_ephemeral".into() },
+                "s != null",
+            )
+            .expect("rule"),
+        );
+        assert_eq!(reg.len(), len_before);
+        assert_eq!(reg.get("ZK-1208-r0").expect("rule").description, "updated");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let reg = {
+            let mut r = registry();
+            r.register(
+                SemanticRule::new(
+                    "EXTRA-r0",
+                    "session must exist",
+                    TargetSpec::Call { callee: "create_ephemeral".into() },
+                    "s != null",
+                )
+                .expect("rule"),
+            );
+            r
+        };
+        let v = version(false);
+        let seq = enforce(&reg, &v, &config(), 1);
+        let par = enforce(&reg, &v, &config(), 4);
+        assert_eq!(seq.decision, par.decision);
+        assert_eq!(seq.reports.len(), par.reports.len());
+        for (a, b) in seq.reports.iter().zip(par.reports.iter()) {
+            assert_eq!(a.rule_id, b.rule_id);
+            assert_eq!(a.violated_count(), b.violated_count());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal JSON rendering for reports.
+//!
+//! CI systems want machine-readable gate results. This is a small,
+//! dependency-free writer (the workspace deliberately avoids a JSON
+//! crate): correct string escaping, stable key order, no floats beyond
+//! millisecond durations.
+
+use std::fmt::Write as _;
+
+use crate::enforce::EnforcementReport;
+use crate::verdict::{ChainVerdict, RuleReport};
+
+/// Escape a string per RFC 8259.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_field(out: &mut String, key: &str, value: &str, comma: bool) {
+    let _ = write!(out, "\"{}\":\"{}\"{}", key, escape(value), if comma { "," } else { "" });
+}
+
+fn num_field(out: &mut String, key: &str, value: u64, comma: bool) {
+    let _ = write!(out, "\"{key}\":{value}{}", if comma { "," } else { "" });
+}
+
+/// Render one rule report.
+pub fn rule_report_json(r: &RuleReport) -> String {
+    let mut out = String::from("{");
+    str_field(&mut out, "rule", &r.rule_id, true);
+    str_field(&mut out, "description", &r.rule_description, true);
+    str_field(&mut out, "target", &r.target, true);
+    str_field(&mut out, "condition", &r.condition, true);
+    num_field(&mut out, "verified", r.verified_count() as u64, true);
+    num_field(&mut out, "violated", r.violated_count() as u64, true);
+    num_field(&mut out, "not_covered", r.not_covered_count() as u64, true);
+    let _ = write!(out, "\"sanity_ok\":{},", r.sanity_ok);
+    out.push_str("\"chains\":[");
+    for (i, c) in r.chains.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        str_field(&mut out, "path", &c.rendered, true);
+        str_field(&mut out, "entry", &c.entry, true);
+        str_field(&mut out, "verdict", c.verdict.label(), true);
+        out.push_str("\"covering_tests\":[");
+        for (j, t) in c.covering_tests.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", escape(t));
+        }
+        out.push(']');
+        if let ChainVerdict::Violated(v) = &c.verdict {
+            out.push(',');
+            str_field(&mut out, "test", &v.test, true);
+            str_field(&mut out, "pi", &v.pi.to_string(), true);
+            str_field(&mut out, "witness", &v.witness.to_string(), false);
+        }
+        out.push('}');
+    }
+    out.push_str("],");
+    out.push_str("\"stats\":{");
+    num_field(&mut out, "static_chains", r.stats.static_chains, true);
+    num_field(&mut out, "tests_selected", r.stats.tests_selected, true);
+    num_field(&mut out, "tests_executed", r.stats.tests_executed, true);
+    num_field(&mut out, "branches_seen", r.stats.branches_seen, true);
+    num_field(&mut out, "branches_recorded", r.stats.branches_recorded, true);
+    num_field(&mut out, "target_hits", r.stats.target_hits, true);
+    num_field(&mut out, "solver_calls", r.stats.solver_calls, true);
+    num_field(&mut out, "wall_ms", r.stats.wall.as_millis() as u64, false);
+    out.push_str("}}");
+    out
+}
+
+/// Render a full enforcement (gate) report.
+pub fn enforcement_json(e: &EnforcementReport) -> String {
+    let mut out = String::from("{");
+    str_field(&mut out, "version", &e.version, true);
+    str_field(&mut out, "decision", &e.decision.to_string(), true);
+    num_field(&mut out, "review_needed", e.review_needed as u64, true);
+    out.push_str("\"rules\":[");
+    for (i, r) in e.reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rule_report_json(r));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig, TestSelection};
+    use lisa_analysis::TargetSpec;
+    use lisa_concolic::{discover_tests, SystemVersion};
+    use lisa_lang::Program;
+    use lisa_oracle::SemanticRule;
+
+    fn sample_report() -> RuleReport {
+        let src = "struct S { ok: bool }\n\
+             global store: map<int, S>;\n\
+             fn act(e: S) {}\n\
+             fn drive(i: int) { let e: S = store.get(i); if (e == null) { return; } act(e); }\n\
+             fn test_drive() { store.put(1, new S { ok: true }); drive(1); }";
+        let p = Program::parse_single("m", src).expect("parse");
+        let v = SystemVersion::new("v", p.clone(), discover_tests(&p, "test_"));
+        let rule = SemanticRule::new(
+            "R \"quoted\"",
+            "desc with\nnewline",
+            TargetSpec::Call { callee: "act".into() },
+            "e != null && e.ok == true",
+        )
+        .expect("rule");
+        Pipeline::new(PipelineConfig { selection: TestSelection::All, ..Default::default() })
+            .check_rule(&v, &rule)
+    }
+
+    #[test]
+    fn escaping_is_correct() {
+        assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn rule_report_json_has_expected_fields() {
+        let j = rule_report_json(&sample_report());
+        for key in [
+            "\"rule\":", "\"target\":", "\"condition\":", "\"violated\":",
+            "\"chains\":[", "\"verdict\":", "\"stats\":{", "\"wall_ms\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Escapes applied to the tricky rule id and description.
+        assert!(j.contains("R \\\"quoted\\\""), "{j}");
+        assert!(j.contains("desc with\\nnewline"), "{j}");
+    }
+
+    #[test]
+    fn violation_details_serialized() {
+        let j = rule_report_json(&sample_report());
+        assert!(j.contains("\"verdict\":\"VIOLATED\""), "{j}");
+        assert!(j.contains("\"witness\":"), "{j}");
+        assert!(j.contains("\"pi\":"), "{j}");
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let j = rule_report_json(&sample_report());
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in j.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced at {j}");
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

@@ -1,0 +1,78 @@
+//! # lisa
+//!
+//! LISA: preventing cloud-system regression failures by enforcing
+//! *low-level semantics* — implementation-local rules inferred from past
+//! failure tickets and asserted with concolic execution + SMT across
+//! every path that reaches the rule's target statement. This crate is
+//! the paper's primary contribution; the substrates it composes live in
+//! `lisa-smt`, `lisa-lang`, `lisa-analysis`, `lisa-concolic`, and
+//! `lisa-oracle`.
+//!
+//! - [`pipeline`] — the §3.2 check loop (tree → aliases → test selection
+//!   → concolic assertion → verdicts),
+//! - [`verdict`] — Verified / Violated / NotCovered chain reports,
+//! - [`crosscheck`] — §5's test-grounding validation of mined rules,
+//! - [`mod@enforce`] — the rule registry and CI/CD gate,
+//! - [`baselines`] — regression-test replay and exhaustive-verification
+//!   comparators (Figure 4),
+//! - [`mod@compose`] — §5 Q3: composing validated low-level semantics into
+//!   high-level guarantees,
+//! - [`report`] — human-readable tables and summaries,
+//! - [`json`] — machine-readable gate output for CI.
+//!
+//! ```
+//! use lisa::{Pipeline, PipelineConfig, TestSelection};
+//! use lisa_analysis::TargetSpec;
+//! use lisa_concolic::{discover_tests, SystemVersion};
+//! use lisa_lang::Program;
+//! use lisa_oracle::SemanticRule;
+//!
+//! let program = Program::parse_single(
+//!     "demo",
+//!     "struct Order { id: int, paid: bool }\n\
+//!      global orders: map<int, Order>;\n\
+//!      fn ship(o: Order) {}\n\
+//!      fn checkout(oid: int) {\n\
+//!          let o: Order = orders.get(oid);\n\
+//!          if (o == null) { return; }\n\
+//!          ship(o);\n\
+//!      }\n\
+//!      fn test_checkout() {\n\
+//!          orders.put(1, new Order { id: 1, paid: true });\n\
+//!          checkout(1);\n\
+//!      }",
+//! ).unwrap();
+//! let version = SystemVersion::new("v1", program.clone(), discover_tests(&program, "test_"));
+//! let rule = SemanticRule::new(
+//!     "SHOP-1", "never ship unpaid orders",
+//!     TargetSpec::Call { callee: "ship".into() },
+//!     "o != null && o.paid == true",
+//! ).unwrap();
+//! let pipeline = Pipeline::new(PipelineConfig {
+//!     selection: TestSelection::All,
+//!     ..PipelineConfig::default()
+//! });
+//! let report = pipeline.check_rule(&version, &rule);
+//! // The checkout path checks only for null — the missing `paid` check
+//! // is a violation with a concrete witness.
+//! assert!(report.has_violation());
+//! let v = report.violations()[0];
+//! assert_eq!(v.witness.get("o.paid"), Some(&lisa_smt::Value::Bool(false)));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod compose;
+pub mod crosscheck;
+pub mod enforce;
+pub mod json;
+pub mod pipeline;
+pub mod report;
+pub mod verdict;
+
+pub use compose::{compose, CompositionResult, HighLevelProperty, Obligation};
+pub use crosscheck::{cross_check, CrossCheck};
+pub use enforce::{enforce, EnforcementReport, GateDecision, RuleRegistry};
+pub use pipeline::{Pipeline, PipelineConfig, TestSelection};
+pub use verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};

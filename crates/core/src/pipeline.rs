@@ -1,0 +1,417 @@
+//! The LISA pipeline: assert one semantic rule across a system version.
+//!
+//! Implements the full §3.2 loop (Figure 5, right half):
+//!
+//! 1. build the call graph and the execution tree rooted at the rule's
+//!    target statement,
+//! 2. compute placeholder aliases per chain (the variable-mapping step),
+//! 3. select concrete inputs: RAG top-k over test embeddings per chain
+//!    (or all tests / random-k for the ablation baselines),
+//! 4. run the selected tests concolically, recording relevant branch
+//!    constraints only (policy-controlled),
+//! 5. for every arrival at the target, decide
+//!    `SAT(π ∧ ¬checker)` — the complement rule: violation with witness,
+//! 6. fold arrivals onto static chains: Verified / Violated / NotCovered,
+//!    with the fixed path expected to verify (sanity check).
+
+use std::time::Instant;
+
+use lisa_analysis::{chain_aliases, execution_tree_filtered, AliasMap, CallGraph, TreeLimits};
+use lisa_concolic::{run_tests, Policy, SystemVersion, TargetHit, TestCase};
+use lisa_oracle::rag::{describe_path, TestIndex};
+use lisa_oracle::SemanticRule;
+
+use crate::verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};
+
+/// How tests are chosen as concolic inputs.
+#[derive(Debug, Clone)]
+pub enum TestSelection {
+    /// RAG: top-k by embedding similarity per chain (the paper's design).
+    Rag { k: usize },
+    /// Every test (exhaustive baseline).
+    All,
+    /// Random k per chain, seeded (ablation baseline).
+    Random { k: usize, seed: u64 },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub policy: Policy,
+    pub selection: TestSelection,
+    pub tree_limits: TreeLimits,
+    /// Functions with this prefix are test entry points, not system
+    /// request paths; the execution tree does not climb into them.
+    pub test_prefix: String,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            policy: Policy::RelevantOnly,
+            selection: TestSelection::Rag { k: 4 },
+            tree_limits: TreeLimits::default(),
+            test_prefix: "test_".to_string(),
+        }
+    }
+}
+
+/// The pipeline.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    /// Assert `rule` over `version`.
+    pub fn check_rule(&self, version: &SystemVersion, rule: &SemanticRule) -> RuleReport {
+        let started = Instant::now();
+        let mut stats = PipelineStats::default();
+        let program = &version.program;
+        let graph = CallGraph::build(program);
+        let prefix = self.config.test_prefix.clone();
+        let tree = execution_tree_filtered(&graph, &rule.target, self.config.tree_limits, &|f| {
+            f.starts_with(&prefix)
+        });
+        stats.static_chains = tree.chains.len() as u64;
+
+        // Placeholder aliases, unioned across chains (constraint renaming
+        // is (function, path)-keyed, so the union is chain-safe).
+        let mut aliases = AliasMap::default();
+        for chain in &tree.chains {
+            aliases.merge(&chain_aliases(
+                program,
+                &graph,
+                chain,
+                rule.target.callee(),
+                &rule.placeholder_roots,
+            ));
+        }
+        // Builtin rules have no parameter aliases; globals still resolve.
+        for root in &rule.placeholder_roots {
+            if program.global(root).is_some() {
+                aliases.insert("*", root, root);
+            }
+        }
+
+        // Test selection.
+        let selected = self.select_tests(version, &tree, &graph, rule);
+        stats.tests_selected = selected.len() as u64;
+
+        // Concolic execution.
+        let runs = run_tests(program, &selected, &rule.target, &aliases, &self.config.policy);
+        stats.tests_executed = runs.len() as u64;
+
+        // Judge every arrival; fold onto static chains.
+        let mut chain_reports: Vec<ChainReport> = tree
+            .chains
+            .iter()
+            .map(|c| ChainReport {
+                rendered: c.render(&graph),
+                entry: c.entry.clone(),
+                functions: c.functions(&graph),
+                verdict: ChainVerdict::NotCovered,
+                covering_tests: Vec::new(),
+            })
+            .collect();
+
+        let mut off_tree_violations = Vec::new();
+        let mut unmatched_hits = 0u64;
+        for run in &runs {
+            stats.branches_seen += run.stats.branches_seen;
+            stats.branches_recorded += run.stats.branches_recorded;
+            stats.target_hits += run.stats.target_hits;
+            stats.interp_steps += run.steps;
+            for hit in &run.hits {
+                stats.solver_calls += 1;
+                let violation = lisa_smt::violates(&hit.pi, &rule.condition);
+                let idx = match_chain(&chain_reports, hit);
+                let Some(idx) = idx else {
+                    unmatched_hits += 1;
+                    if let Some(witness) = violation {
+                        off_tree_violations.push(Violation {
+                            pi: hit.pi.clone(),
+                            witness,
+                            test: run.test.clone(),
+                            chain: hit.chain.clone(),
+                        });
+                    }
+                    continue;
+                };
+                let report = &mut chain_reports[idx];
+                if !report.covering_tests.contains(&run.test) {
+                    report.covering_tests.push(run.test.clone());
+                }
+                match (violation, &report.verdict) {
+                    (Some(witness), _) => {
+                        report.verdict = ChainVerdict::Violated(Violation {
+                            pi: hit.pi.clone(),
+                            witness,
+                            test: run.test.clone(),
+                            chain: hit.chain.clone(),
+                        });
+                    }
+                    (None, ChainVerdict::NotCovered) => {
+                        report.verdict = ChainVerdict::Verified;
+                    }
+                    (None, _) => {}
+                }
+            }
+        }
+
+        let sanity_ok = chain_reports
+            .iter()
+            .any(|c| matches!(c.verdict, ChainVerdict::Verified));
+        stats.wall = started.elapsed();
+        RuleReport {
+            rule_id: rule.id.clone(),
+            rule_description: rule.description.clone(),
+            target: rule.target.to_string(),
+            condition: rule.condition_src.clone(),
+            chains: chain_reports,
+            tests_selected: selected.iter().map(|t| t.name.clone()).collect(),
+            sanity_ok,
+            off_tree_violations,
+            unmatched_hits,
+            stats,
+        }
+    }
+
+    fn select_tests(
+        &self,
+        version: &SystemVersion,
+        tree: &lisa_analysis::ExecutionTree,
+        graph: &CallGraph,
+        rule: &SemanticRule,
+    ) -> Vec<TestCase> {
+        match &self.config.selection {
+            TestSelection::All => version.tests.clone(),
+            TestSelection::Random { k, seed } => {
+                // Deterministic pseudo-random pick: stable shuffle by
+                // hash(seed, name).
+                let mut tests = version.tests.clone();
+                tests.sort_by_key(|t| {
+                    let mut h: u64 = *seed ^ 0x9e3779b97f4a7c15;
+                    for b in t.name.bytes() {
+                        h = h.wrapping_mul(0x100000001b3) ^ b as u64;
+                    }
+                    h
+                });
+                tests.truncate((*k).max(1) * tree.chains.len().max(1));
+                tests
+            }
+            TestSelection::Rag { k } => {
+                let index = TestIndex::build(&version.test_summaries());
+                let mut chosen: Vec<String> = Vec::new();
+                for chain in &tree.chains {
+                    let desc = describe_path(
+                        &chain.entry,
+                        &chain.functions(graph),
+                        rule.target.callee(),
+                        &rule.condition_src,
+                    );
+                    for s in index.query(&desc, *k) {
+                        if !chosen.contains(&s.test) {
+                            chosen.push(s.test);
+                        }
+                    }
+                }
+                version
+                    .tests
+                    .iter()
+                    .filter(|t| chosen.contains(&t.name))
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Match a dynamic arrival to a static chain: the static chain's function
+/// sequence must be a suffix of the dynamic stack (after the harness and
+/// test frames). Longest match wins.
+fn match_chain(chains: &[ChainReport], hit: &TargetHit) -> Option<usize> {
+    let dynamic = &hit.chain;
+    let mut best: Option<(usize, usize)> = None; // (len, idx)
+    for (i, c) in chains.iter().enumerate() {
+        let fns = &c.functions;
+        if fns.len() > dynamic.len() {
+            continue;
+        }
+        let tail = &dynamic[dynamic.len() - fns.len()..];
+        if tail == fns.as_slice() && best.map(|(l, _)| fns.len() > l).unwrap_or(true) {
+            best = Some((fns.len(), i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_analysis::TargetSpec;
+    use lisa_lang::Program;
+
+    /// The Figure-3 scenario as a mini system: the fixed `touch` path
+    /// checks `closing`, the regressed `prep` path does not.
+    const SRC: &str = "struct Session { id: int, closing: bool }\n\
+         global sessions: map<int, Session>;\n\
+         global nodes: map<str, int>;\n\
+         fn create_ephemeral(s: Session, path: str) { nodes.put(path, s.id); }\n\
+         fn touch_create(sid: int, path: str) {\n\
+             let s: Session = sessions.get(sid);\n\
+             if (s == null || s.closing) { return; }\n\
+             create_ephemeral(s, path);\n\
+         }\n\
+         fn prep_create(sid: int, path: str) {\n\
+             let session: Session = sessions.get(sid);\n\
+             if (session == null) { return; }\n\
+             create_ephemeral(session, path);\n\
+         }\n\
+         fn test_touch_live() {\n\
+             sessions.put(1, new Session { id: 1 });\n\
+             touch_create(1, \"/a\");\n\
+             assert(nodes.contains(\"/a\"), \"ephemeral created\");\n\
+         }\n\
+         fn test_prep_live() {\n\
+             sessions.put(1, new Session { id: 1 });\n\
+             prep_create(1, \"/b\");\n\
+             assert(nodes.contains(\"/b\"), \"ephemeral created\");\n\
+         }";
+
+    fn version() -> SystemVersion {
+        let p = Program::parse_single("zk", SRC).expect("p");
+        assert!(lisa_lang::check_program(&p).is_empty());
+        let tests = lisa_concolic::discover_tests(&p, "test_");
+        SystemVersion::new("v", p, tests)
+    }
+
+    fn rule() -> SemanticRule {
+        SemanticRule::new(
+            "ZK-1208-r0",
+            "no ephemeral create on closing session",
+            TargetSpec::Call { callee: "create_ephemeral".into() },
+            "s != null && s.closing == false",
+        )
+        .expect("rule")
+    }
+
+    #[test]
+    fn detects_the_unguarded_path_and_verifies_the_fixed_one() {
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.check_rule(&version(), &rule());
+        assert_eq!(report.chains.len(), 2, "{:#?}", report.chains);
+        let touch = report
+            .chains
+            .iter()
+            .find(|c| c.entry == "touch_create")
+            .expect("touch chain");
+        let prep = report
+            .chains
+            .iter()
+            .find(|c| c.entry == "prep_create")
+            .expect("prep chain");
+        assert!(matches!(touch.verdict, ChainVerdict::Verified), "{:?}", touch.verdict);
+        assert!(matches!(prep.verdict, ChainVerdict::Violated(_)), "{:?}", prep.verdict);
+        assert!(report.sanity_ok);
+        if let ChainVerdict::Violated(v) = &prep.verdict {
+            // The witness shows the unchecked closing flag.
+            assert_eq!(
+                v.witness.get("s.closing"),
+                Some(&lisa_smt::Value::Bool(true)),
+                "witness: {}",
+                v.witness
+            );
+        }
+    }
+
+    #[test]
+    fn rag_selection_still_finds_the_violation() {
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::Rag { k: 2 },
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.check_rule(&version(), &rule());
+        assert!(report.has_violation());
+    }
+
+    #[test]
+    fn uncovered_chain_reported() {
+        // Remove the prep test: its chain becomes NotCovered.
+        let mut v = version();
+        v.tests.retain(|t| t.name != "test_prep_live");
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.check_rule(&v, &rule());
+        let prep = report.chains.iter().find(|c| c.entry == "prep_create").expect("chain");
+        assert!(matches!(prep.verdict, ChainVerdict::NotCovered));
+        assert_eq!(report.not_covered_count(), 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.check_rule(&version(), &rule());
+        assert_eq!(report.stats.static_chains, 2);
+        assert_eq!(report.stats.tests_executed, 2);
+        assert!(report.stats.target_hits >= 2);
+        assert!(report.stats.solver_calls >= 2);
+        assert!(report.stats.interp_steps > 0);
+    }
+}
+
+#[cfg(test)]
+mod off_tree_tests {
+    use super::*;
+    use lisa_analysis::TargetSpec;
+    use lisa_lang::Program;
+    use lisa_oracle::SemanticRule;
+
+    #[test]
+    fn direct_test_invocation_of_target_is_not_lost() {
+        // The test calls the protected statement directly (no system
+        // path): the arrival matches no chain but the violation must
+        // still surface and block.
+        let src = "struct S { ok: bool }\n\
+             global out: map<str, int>;\n\
+             fn act(e: S, tag: str) { out.put(tag, 1); }\n\
+             fn test_direct_bad() {\n\
+                 let e = new S { ok: false };\n\
+                 act(e, \"direct\");\n\
+             }";
+        let p = Program::parse_single("t", src).expect("parse");
+        let v = lisa_concolic::SystemVersion::new(
+            "v",
+            p.clone(),
+            lisa_concolic::discover_tests(&p, "test_"),
+        );
+        let rule = SemanticRule::new(
+            "R",
+            "act needs ok",
+            TargetSpec::Call { callee: "act".into() },
+            "e != null && e.ok == true",
+        )
+        .expect("rule");
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.check_rule(&v, &rule);
+        assert_eq!(report.chains.len(), 0, "no system chain reaches act");
+        assert_eq!(report.unmatched_hits, 1);
+        assert!(report.has_violation(), "off-tree violation must block");
+        assert_eq!(report.violations().len(), 1);
+    }
+}

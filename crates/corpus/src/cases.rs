@@ -1,0 +1,484 @@
+//! The full corpus: 16 regression cases / 34 bugs across four mini cloud
+//! systems (the §2.1 study set). Four flagship cases are hand-written
+//! ([`crate::flagship`]); the remaining twelve are produced by the
+//! guarded-action generator with per-case domain vocabulary, conditions,
+//! and path structure.
+
+use crate::flagship;
+use crate::gen::{AtomSpec, CaseSpec, NULL_ATOM};
+use crate::meta::Case;
+
+const fn atom(
+    field: &'static str,
+    field_ty: &'static str,
+    safe: &'static str,
+    unsafe_: &'static str,
+    healthy: &'static str,
+    violating: &'static str,
+) -> AtomSpec {
+    AtomSpec { field, field_ty, safe, unsafe_, healthy, violating }
+}
+
+const WATCH_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("active", "bool", "{v}.active == true", "{v}.active == false", "true", "false"),
+                atom(
+                    "session_alive",
+                    "bool",
+                    "{v}.session_alive == true",
+                    "{v}.session_alive == false",
+                    "true",
+                    "false",
+                ),
+            ];
+const ACL_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("stale", "bool", "{v}.stale == false", "{v}.stale == true", "false", "true"),
+                atom("ref_count", "int", "{v}.ref_count > 0", "{v}.ref_count <= 0", "2", "0"),
+            ];
+const QUOTA_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("quota_left", "int", "{v}.quota_left > 0", "{v}.quota_left <= 0", "100", "0"),
+                atom(
+                    "writable",
+                    "bool",
+                    "{v}.writable == true",
+                    "{v}.writable == false",
+                    "true",
+                    "false",
+                ),
+            ];
+const REGION_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom(
+                    "state",
+                    "str",
+                    "{v}.state == \"OPEN\"",
+                    "{v}.state != \"OPEN\"",
+                    "\"OPEN\"",
+                    "\"CLOSING\"",
+                ),
+            ];
+const WAL_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("rolled", "bool", "{v}.rolled == false", "{v}.rolled == true", "false", "true"),
+                atom("seq", "int", "{v}.seq >= 1", "{v}.seq < 1", "7", "0"),
+            ];
+const META_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("fresh", "bool", "{v}.fresh == true", "{v}.fresh == false", "true", "false"),
+                atom("epoch", "int", "{v}.epoch > 0", "{v}.epoch <= 0", "3", "0"),
+            ];
+const DECOM_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom(
+                    "decommissioning",
+                    "bool",
+                    "{v}.decommissioning == false",
+                    "{v}.decommissioning == true",
+                    "false",
+                    "true",
+                ),
+                atom("alive", "bool", "{v}.alive == true", "{v}.alive == false", "true", "false"),
+            ];
+const LEASE_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom(
+                    "expired",
+                    "bool",
+                    "{v}.expired == false",
+                    "{v}.expired == true",
+                    "false",
+                    "true",
+                ),
+                atom("soft_limit", "int", "{v}.soft_limit > 0", "{v}.soft_limit <= 0", "60", "0"),
+            ];
+const SAFEMODE_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom(
+                    "safemode",
+                    "bool",
+                    "{v}.safemode == false",
+                    "{v}.safemode == true",
+                    "false",
+                    "true",
+                ),
+            ];
+const TOMBSTONE_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom(
+                    "deleted",
+                    "bool",
+                    "{v}.deleted == false",
+                    "{v}.deleted == true",
+                    "false",
+                    "true",
+                ),
+                atom("gc_grace", "int", "{v}.gc_grace > 0", "{v}.gc_grace <= 0", "864", "0"),
+            ];
+const HINT_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("ttl", "int", "{v}.ttl > 0", "{v}.ttl <= 0", "300", "0"),
+                atom(
+                    "target_up",
+                    "bool",
+                    "{v}.target_up == true",
+                    "{v}.target_up == false",
+                    "true",
+                    "false",
+                ),
+            ];
+const REPAIR_ATOMS: &[AtomSpec] = &[
+                NULL_ATOM,
+                atom("stale", "bool", "{v}.stale == false", "{v}.stale == true", "false", "true"),
+            ];
+
+/// The twelve generated case specifications.
+pub fn generated_specs() -> Vec<CaseSpec> {
+    vec![
+        CaseSpec {
+            id: "zk-watch-trigger",
+            system: "mini-zookeeper",
+            feature: "watch delivery",
+            title: "Watch fired for a dead session",
+            modelled_on: "ZooKeeper watch cluster",
+            recurrence_gap_days: 210,
+            violates_old_semantics: true,
+            entity: "Watcher",
+            store: "watchers",
+            effect: "fired",
+            action: "fire_watch",
+            atoms: WATCH_ATOMS,
+            paths: &["notify_data_change", "notify_child_change", "notify_expiry"],
+            path_vars: &["w", "wt", "we"],
+            buggy_missing: 2,
+            regressed_missing: 2,
+            latest_missing: None,
+            ticket_ids: &["ZK-9310", "ZK-9415"],
+        },
+        CaseSpec {
+            id: "zk-acl-cache",
+            system: "mini-zookeeper",
+            feature: "acl cache",
+            title: "Stale ACL cache entry applied to request",
+            modelled_on: "ZooKeeper ACL cache cluster",
+            recurrence_gap_days: 180,
+            violates_old_semantics: false,
+            entity: "AclEntry",
+            store: "acl_cache",
+            effect: "applied",
+            action: "apply_acl",
+            atoms: ACL_ATOMS,
+            paths: &["check_read_acl", "check_write_acl"],
+            path_vars: &["entry", "ae"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["ZK-9520", "ZK-9618"],
+        },
+        CaseSpec {
+            id: "zk-quota-check",
+            system: "mini-zookeeper",
+            feature: "quota enforcement",
+            title: "Write accepted past the znode quota",
+            modelled_on: "ZooKeeper quota cluster",
+            recurrence_gap_days: 420,
+            violates_old_semantics: true,
+            entity: "Znode",
+            store: "znodes",
+            effect: "writes",
+            action: "write_bytes",
+            atoms: QUOTA_ATOMS,
+            paths: &["set_data", "multi_set_data", "append_data"],
+            path_vars: &["z", "node", "zn"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["ZK-9702", "ZK-9804"],
+        },
+        CaseSpec {
+            id: "hbase-region-close",
+            system: "mini-hbase",
+            feature: "region lifecycle",
+            title: "Put accepted on a closing region",
+            modelled_on: "HBase region-close cluster",
+            recurrence_gap_days: 260,
+            violates_old_semantics: true,
+            entity: "Region",
+            store: "regions",
+            effect: "puts",
+            action: "region_put",
+            atoms: REGION_ATOMS,
+            paths: &["client_put", "bulk_load_put"],
+            path_vars: &["r", "region"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["HB-91203", "HB-91677"],
+        },
+        CaseSpec {
+            id: "hbase-wal-roll",
+            system: "mini-hbase",
+            feature: "wal rolling",
+            title: "Append to a rolled WAL segment",
+            modelled_on: "HBase WAL cluster",
+            recurrence_gap_days: 150,
+            violates_old_semantics: false,
+            entity: "Wal",
+            store: "wals",
+            effect: "appends",
+            action: "append_wal",
+            atoms: WAL_ATOMS,
+            paths: &["sync_append", "async_append"],
+            path_vars: &["w", "wal"],
+            buggy_missing: 1,
+            regressed_missing: 2,
+            latest_missing: None,
+            ticket_ids: &["HB-92411", "HB-92900"],
+        },
+        CaseSpec {
+            id: "hbase-meta-cache",
+            system: "mini-hbase",
+            feature: "meta cache",
+            title: "Request routed through a stale meta entry",
+            modelled_on: "HBase meta-cache cluster",
+            recurrence_gap_days: 330,
+            violates_old_semantics: false,
+            entity: "MetaEntry",
+            store: "meta_cache",
+            effect: "routed",
+            action: "route_request",
+            atoms: META_ATOMS,
+            paths: &["route_get", "route_scan"],
+            path_vars: &["m", "entry"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["HB-93150", "HB-93562"],
+        },
+        CaseSpec {
+            id: "hdfs-decommission",
+            system: "mini-hdfs",
+            feature: "replica placement",
+            title: "Replica placed on a decommissioning datanode",
+            modelled_on: "HDFS decommission cluster",
+            recurrence_gap_days: 270,
+            violates_old_semantics: true,
+            entity: "Datanode",
+            store: "datanodes",
+            effect: "placements",
+            action: "place_replica",
+            atoms: DECOM_ATOMS,
+            paths: &["choose_target", "choose_target_for_rebalance", "choose_target_for_recovery"],
+            path_vars: &["dn", "node", "dnode"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["HD-94010", "HD-94522"],
+        },
+        CaseSpec {
+            id: "hdfs-lease-renew",
+            system: "mini-hdfs",
+            feature: "lease management",
+            title: "Write continued after lease expiry",
+            modelled_on: "HDFS lease cluster",
+            recurrence_gap_days: 190,
+            violates_old_semantics: true,
+            entity: "Lease",
+            store: "leases",
+            effect: "writes",
+            action: "continue_write",
+            atoms: LEASE_ATOMS,
+            paths: &["append_pipeline", "recover_pipeline"],
+            path_vars: &["l", "lease"],
+            buggy_missing: 1,
+            regressed_missing: 2,
+            latest_missing: None,
+            ticket_ids: &["HD-95101", "HD-95610"],
+        },
+        CaseSpec {
+            id: "hdfs-safemode",
+            system: "mini-hdfs",
+            feature: "safemode",
+            title: "Namespace mutation allowed in safe mode",
+            modelled_on: "HDFS safemode cluster",
+            recurrence_gap_days: 120,
+            violates_old_semantics: true,
+            entity: "Namespace",
+            store: "namespaces",
+            effect: "mutations",
+            action: "mutate_namespace",
+            atoms: SAFEMODE_ATOMS,
+            paths: &["mkdir_op", "delete_op"],
+            path_vars: &["ns", "fsn"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["HD-96005", "HD-96330"],
+        },
+        CaseSpec {
+            id: "cass-tombstone",
+            system: "mini-cassandra",
+            feature: "tombstone gc",
+            title: "Deleted row resurrected after compaction",
+            modelled_on: "Cassandra tombstone cluster",
+            recurrence_gap_days: 310,
+            violates_old_semantics: true,
+            entity: "Row",
+            store: "rows",
+            effect: "emitted",
+            action: "emit_row",
+            atoms: TOMBSTONE_ATOMS,
+            paths: &["read_row", "compact_emit", "range_scan_emit"],
+            path_vars: &["row", "cur", "rrow"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["CA-97120", "CA-97543"],
+        },
+        CaseSpec {
+            id: "cass-hint-ttl",
+            system: "mini-cassandra",
+            feature: "hinted handoff",
+            title: "Expired hint replayed to replica",
+            modelled_on: "Cassandra hint cluster",
+            recurrence_gap_days: 230,
+            violates_old_semantics: false,
+            entity: "Hint",
+            store: "hints",
+            effect: "replayed",
+            action: "replay_hint",
+            atoms: HINT_ATOMS,
+            paths: &["deliver_hints", "deliver_hints_on_gossip"],
+            path_vars: &["h", "hint"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["CA-98031", "CA-98467"],
+        },
+        CaseSpec {
+            id: "cass-read-repair",
+            system: "mini-cassandra",
+            feature: "read repair",
+            title: "Repair applied from a stale digest",
+            modelled_on: "Cassandra read-repair cluster",
+            recurrence_gap_days: 0,
+            violates_old_semantics: false,
+            entity: "Digest",
+            store: "digests",
+            effect: "repairs",
+            action: "apply_repair",
+            atoms: REPAIR_ATOMS,
+            paths: &["blocking_read_repair", "background_read_repair"],
+            path_vars: &["d", "dig"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: None,
+            ticket_ids: &["CA-99210", "CA-99210b"],
+        },
+    ]
+}
+
+/// Build every corpus case (4 flagship + 12 generated).
+pub fn all_cases() -> Vec<Case> {
+    let mut cases = vec![
+        flagship::zk_ephemeral(),
+        flagship::zk_sync_serialize(),
+        flagship::hbase_snapshot(),
+        flagship::hdfs_observer(),
+    ];
+    for spec in generated_specs() {
+        let mut case = spec.build();
+        // cass-read-repair is the single-bug case of the study: the
+        // recurrence exists in the code history (v3) but was caught
+        // before a ticket was ever filed.
+        if case.meta.id == "cass-read-repair" {
+            case.tickets.truncate(1);
+        }
+        cases.push(case);
+    }
+    cases
+}
+
+/// Look a case up by id.
+pub fn case(id: &str) -> Option<Case> {
+    all_cases().into_iter().find(|c| c.meta.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_cases_thirty_four_bugs() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 16);
+        let bugs: usize = cases.iter().map(|c| c.bug_count()).sum();
+        assert_eq!(bugs, 34, "study size must match the paper");
+    }
+
+    #[test]
+    fn four_systems_covered() {
+        let cases = all_cases();
+        let mut systems: Vec<&str> = cases.iter().map(|c| c.meta.system.as_str()).collect();
+        systems.sort_unstable();
+        systems.dedup();
+        assert_eq!(
+            systems,
+            vec!["mini-cassandra", "mini-hbase", "mini-hdfs", "mini-zookeeper"]
+        );
+    }
+
+    #[test]
+    fn ids_unique_and_lookup_works() {
+        let cases = all_cases();
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.meta.id.as_str()).collect();
+        ids.sort_unstable();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+        assert!(case("zk-ephemeral").is_some());
+        assert!(case("no-such-case").is_none());
+    }
+
+    #[test]
+    fn every_version_typechecks_and_tests_pass() {
+        for case in all_cases() {
+            for v in case.versions.all() {
+                for t in &v.tests {
+                    let mut interp = lisa_lang::Interp::new(&v.program);
+                    let r = interp.call(&t.entry, vec![], &mut lisa_lang::NullTracer);
+                    assert!(
+                        r.is_ok(),
+                        "{}/{}/{} failed: {:?}",
+                        case.meta.id,
+                        v.label,
+                        t.name,
+                        r.err()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_conditions_parse() {
+        for case in all_cases() {
+            assert!(
+                lisa_smt::parse_cond(&case.ground_truth.condition_src).is_ok(),
+                "{}",
+                case.meta.id
+            );
+        }
+    }
+
+    #[test]
+    fn three_flagship_cases_have_latent_bugs() {
+        let latent: Vec<String> = all_cases()
+            .into_iter()
+            .filter(|c| c.ground_truth.latent_bug_in_latest)
+            .map(|c| c.meta.id.clone())
+            .collect();
+        assert_eq!(latent, vec!["zk-ephemeral", "hbase-snapshot-ttl", "hdfs-observer-read"]);
+    }
+}

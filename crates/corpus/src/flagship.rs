@@ -1,0 +1,1029 @@
+//! The four flagship cases, hand-written to track the paper's figures:
+//!
+//! - [`zk_ephemeral`] — Figures 2–3: ZOOKEEPER-1208 (ephemeral node
+//!   created on a closing session) recurring as ZOOKEEPER-1496 on the
+//!   `touchSession` path, with a third unchecked multi-op path left in
+//!   the latest version.
+//! - [`zk_sync_serialize`] — Figure 6: ZOOKEEPER-2201 (serialization
+//!   blocked inside a synchronized section) recurring as ZOOKEEPER-3531
+//!   in a different serializer — the generalization case.
+//! - [`hbase_snapshot`] — §4 Bug #1: HBASE-27671/28704 expiration checks,
+//!   with the HBASE-29296 missing-check path in the latest version.
+//! - [`hdfs_observer`] — §4 Bug #2: HDFS-13924/16732 location checks,
+//!   with the HDFS-17768 batched-listing path in the latest version.
+
+use lisa_analysis::TargetSpec;
+use lisa_concolic::{SystemVersion, TestCase};
+use lisa_lang::Program;
+use lisa_oracle::TicketBuilder;
+
+use crate::meta::{Case, CaseMeta, GroundTruth, Versions};
+
+fn build_version(
+    label: &str,
+    case_id: &str,
+    modules: &[(String, String)],
+    tests: Vec<TestCase>,
+) -> SystemVersion {
+    let refs: Vec<(&str, &str)> =
+        modules.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let program = Program::parse(&refs)
+        .unwrap_or_else(|e| panic!("flagship {case_id} ({label}): {e}"));
+    let errors = lisa_lang::check_program(&program);
+    assert!(errors.is_empty(), "flagship {case_id} ({label}) type errors: {errors:?}");
+    SystemVersion::new(label, program, tests)
+}
+
+// ---------------------------------------------------------------------------
+// 1. zk-ephemeral (Figures 2-3)
+// ---------------------------------------------------------------------------
+
+/// Which request paths exist and whether each checks `closing`.
+struct ZkEphKnobs {
+    prep_checks_closing: bool,
+    touch_path: Option<bool>,
+    multi_path: Option<bool>,
+}
+
+fn zk_eph_sys(k: &ZkEphKnobs) -> String {
+    let mut s = String::from(
+        "struct Session { id: int, owner: str, closing: bool, timeout: int }\n\
+         struct DataNode { path: str, owner_session: int, ephemeral: bool }\n\
+         global sessions: map<int, Session>;\n\
+         global nodes: map<str, DataNode>;\n\
+         global watch_events: list<str>;\n\n\
+         fn create_ephemeral_node(s: Session, path: str) {\n\
+             let n = new DataNode { path: path, owner_session: s.id, ephemeral: true };\n\
+             nodes.put(path, n);\n\
+             watch_events.push(path);\n\
+         }\n\n\
+         fn open_session(sid: int, owner: str) {\n\
+             sessions.put(sid, new Session { id: sid, owner: owner, timeout: 30 });\n\
+         }\n\n\
+         fn begin_close_session(sid: int) {\n\
+             let s: Session = sessions.get(sid);\n\
+             if (s == null) { return; }\n\
+             s.closing = true;\n\
+         }\n\n\
+         fn finish_close_session(sid: int) {\n\
+             let s: Session = sessions.get(sid);\n\
+             if (s == null) { return; }\n\
+             let ks = nodes.keys();\n\
+             for k in ks {\n\
+                 let n: DataNode = nodes.get(k);\n\
+                 if (n != null && n.owner_session == sid && n.ephemeral) { nodes.remove(k); }\n\
+             }\n\
+             sessions.remove(sid);\n\
+         }\n\n",
+    );
+    // PrepRequestProcessor.pRequest2TxnCreate analogue (ZK-1208 site).
+    let prep_guard = if k.prep_checks_closing {
+        "session == null || session.closing"
+    } else {
+        "session == null"
+    };
+    s.push_str(&format!(
+        "fn prep_request_create(sid: int, path: str) {{\n\
+             let session: Session = sessions.get(sid);\n\
+             if ({prep_guard}) {{ log(\"create rejected\"); return; }}\n\
+             create_ephemeral_node(session, path);\n\
+         }}\n\n"
+    ));
+    // SessionTracker.touchSession analogue (ZK-1496 site).
+    if let Some(checks) = k.touch_path {
+        let guard = if checks { "s == null || s.closing" } else { "s == null" };
+        s.push_str(&format!(
+            "fn touch_session_create(sid: int, path: str) -> bool {{\n\
+                 let s: Session = sessions.get(sid);\n\
+                 if ({guard}) {{ return false; }}\n\
+                 s.timeout = 30;\n\
+                 create_ephemeral_node(s, path);\n\
+                 return true;\n\
+             }}\n\n"
+        ));
+    }
+    // Multi-op transaction path (the latent unknown bug in the latest).
+    if let Some(checks) = k.multi_path {
+        let guard = if checks { "sess == null || sess.closing" } else { "sess == null" };
+        s.push_str(&format!(
+            "fn multi_op_create(sid: int, paths: list<str>) {{\n\
+                 let sess: Session = sessions.get(sid);\n\
+                 if ({guard}) {{ log(\"multi rejected\"); return; }}\n\
+                 for p in paths {{ create_ephemeral_node(sess, p); }}\n\
+             }}\n\n"
+        ));
+    }
+    s
+}
+
+fn zk_eph_tests(k: &ZkEphKnobs, with_regression_test: bool) -> (String, Vec<TestCase>) {
+    let mut src = String::from(
+        "fn test_kafka_consumer_registration() {\n\
+             open_session(1, \"kafka-consumer-1\");\n\
+             prep_request_create(1, \"/consumers/c1\");\n\
+             assert(nodes.contains(\"/consumers/c1\"), \"consumer registered\");\n\
+             begin_close_session(1);\n\
+             finish_close_session(1);\n\
+             assert(nodes.contains(\"/consumers/c1\") == false, \"address cleaned up\");\n\
+         }\n\n\
+         fn test_create_ephemeral_live_session() {\n\
+             open_session(2, \"app\");\n\
+             prep_request_create(2, \"/locks/l1\");\n\
+             assert(nodes.contains(\"/locks/l1\"), \"ephemeral exists\");\n\
+         }\n\n\
+         fn test_watch_event_emitted_on_create() {\n\
+             open_session(3, \"watcher\");\n\
+             prep_request_create(3, \"/w/1\");\n\
+             assert(watch_events.len() == 1, \"watch fired\");\n\
+         }\n\n\
+         fn test_session_lifecycle_open_close() {\n\
+             open_session(4, \"app\");\n\
+             begin_close_session(4);\n\
+             finish_close_session(4);\n\
+             assert(sessions.contains(4) == false, \"session gone\");\n\
+         }\n\n",
+    );
+    let mut tests = vec![
+        TestCase::new(
+            "test_kafka_consumer_registration",
+            "kafka scenario: register a consumer address as an ephemeral node, close the session, address must disappear",
+        ),
+        TestCase::new(
+            "test_create_ephemeral_live_session",
+            "ephemeral nodes: create on a live session via the request processor succeeds",
+        ),
+        TestCase::new(
+            "test_watch_event_emitted_on_create",
+            "watches: a watch event fires when an ephemeral node is created",
+        ),
+        TestCase::new(
+            "test_session_lifecycle_open_close",
+            "sessions: opening and closing a session removes it from the tracker",
+        ),
+    ];
+    if with_regression_test {
+        src.push_str(
+            "fn test_no_create_on_closing_session() {\n\
+                 open_session(5, \"app\");\n\
+                 begin_close_session(5);\n\
+                 prep_request_create(5, \"/stale/n\");\n\
+                 assert(nodes.contains(\"/stale/n\") == false, \"no ephemeral on closing session\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_no_create_on_closing_session",
+            "regression ZK-9208: the request processor must reject ephemeral create when the session is closing",
+        ));
+    }
+    if k.touch_path.is_some() {
+        src.push_str(
+            "fn test_touch_session_creates_node() {\n\
+                 open_session(6, \"app\");\n\
+                 let ok = touch_session_create(6, \"/touch/n\");\n\
+                 assert(ok && nodes.contains(\"/touch/n\"), \"touch path creates\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_touch_session_creates_node",
+            "ephemeral nodes: the touch-session path refreshes the timeout and creates the node",
+        ));
+    }
+    if k.multi_path.is_some() {
+        src.push_str(
+            "fn test_multi_op_creates_batch() {\n\
+                 open_session(7, \"batch\");\n\
+                 let ps: list<str> = batch_paths();\n\
+                 multi_op_create(7, ps);\n\
+                 assert(nodes.contains(\"/m/1\") && nodes.contains(\"/m/2\"), \"batch created\");\n\
+             }\n\n\
+             global tmp_paths: list<str>;\n\
+             fn batch_paths() -> list<str> {\n\
+                 tmp_paths.push(\"/m/1\");\n\
+                 tmp_paths.push(\"/m/2\");\n\
+                 return tmp_paths;\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_multi_op_creates_batch",
+            "ephemeral nodes: the multi-op transaction path creates a batch of ephemeral nodes",
+        ));
+    }
+    (src, tests)
+}
+
+fn zk_eph_version(label: &str, k: ZkEphKnobs, with_regression_test: bool) -> SystemVersion {
+    let sys = zk_eph_sys(&k);
+    let (tests_src, tests) = zk_eph_tests(&k, with_regression_test);
+    build_version(
+        label,
+        "zk-ephemeral",
+        &[
+            ("zk/ephemeral".to_string(), sys),
+            ("zk/ephemeral_tests".to_string(), tests_src),
+        ],
+        tests,
+    )
+}
+
+/// The Figures 2-3 case.
+pub fn zk_ephemeral() -> Case {
+    let buggy = zk_eph_version(
+        "v1-buggy",
+        ZkEphKnobs { prep_checks_closing: false, touch_path: None, multi_path: None },
+        false,
+    );
+    let fixed = zk_eph_version(
+        "v2-fixed",
+        ZkEphKnobs { prep_checks_closing: true, touch_path: None, multi_path: None },
+        true,
+    );
+    let regressed = zk_eph_version(
+        "v3-regressed",
+        ZkEphKnobs { prep_checks_closing: true, touch_path: Some(false), multi_path: None },
+        true,
+    );
+    let latest = zk_eph_version(
+        "v4-latest",
+        ZkEphKnobs {
+            prep_checks_closing: true,
+            touch_path: Some(true),
+            multi_path: Some(false),
+        },
+        true,
+    );
+    let sys_of = |k: &ZkEphKnobs| zk_eph_sys(k);
+    let t1 = TicketBuilder::new("ZK-9208", "mini-zookeeper")
+        .title("Ephemeral node not removed after the client session is long gone")
+        .description(
+            "A Kafka deployment registers consumer addresses as ephemeral nodes. A concurrency \
+             window allows creating an ephemeral node on a closing session; the node survives \
+             session cleanup and clients keep querying a dead address.",
+        )
+        .discuss("race in PrepRequestProcessor allows create on a CLOSING session")
+        .discuss("the create request must be rejected if the session is closing")
+        .buggy(
+            "zk/ephemeral",
+            sys_of(&ZkEphKnobs { prep_checks_closing: false, touch_path: None, multi_path: None }),
+        )
+        .fixed(
+            "zk/ephemeral",
+            sys_of(&ZkEphKnobs { prep_checks_closing: true, touch_path: None, multi_path: None }),
+        )
+        .regression_test("test_no_create_on_closing_session")
+        .build();
+    let t2 = TicketBuilder::new("ZK-9496", "mini-zookeeper")
+        .title("Ephemeral node not getting cleared even after client has exited")
+        .description(
+            "One year later: the touch-session path added for timeout refresh reaches the same \
+             node-creation logic without hitting the original guard; the Kafka cluster gets \
+             stuck in zombie mode again.",
+        )
+        .discuss("same class as ZK-9208 — touchSession misses the closing check")
+        .buggy(
+            "zk/ephemeral",
+            sys_of(&ZkEphKnobs {
+                prep_checks_closing: true,
+                touch_path: Some(false),
+                multi_path: None,
+            }),
+        )
+        .fixed(
+            "zk/ephemeral",
+            sys_of(&ZkEphKnobs {
+                prep_checks_closing: true,
+                touch_path: Some(true),
+                multi_path: None,
+            }),
+        )
+        .regression_test("test_touch_session_creates_node")
+        .build();
+    Case {
+        meta: CaseMeta {
+            id: "zk-ephemeral".into(),
+            system: "mini-zookeeper".into(),
+            feature: "ephemeral nodes".into(),
+            title: "Ephemeral node created on a closing session".into(),
+            modelled_on: "ZOOKEEPER-1208 -> ZOOKEEPER-1496".into(),
+            recurrence_gap_days: 365,
+            violates_old_semantics: true,
+        },
+        versions: Versions { buggy, fixed, regressed, latest },
+        tickets: vec![t1, t2],
+        ground_truth: GroundTruth {
+            target: TargetSpec::Call { callee: "create_ephemeral_node".into() },
+            condition_src: "s != null && s.closing == false".into(),
+            latent_bug_in_latest: true,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. zk-sync-serialize (Figure 6)
+// ---------------------------------------------------------------------------
+
+struct ZkSyncKnobs {
+    tree_io_in_lock: bool,
+    acl_serializer: Option<bool>, // Some(io_in_lock)
+}
+
+fn zk_sync_sys(k: &ZkSyncKnobs) -> String {
+    let mut s = String::from(
+        "global scount: int;\n\
+         global acl_count: int;\n\
+         global snapshots_written: int;\n\n",
+    );
+    if k.tree_io_in_lock {
+        s.push_str(
+            "fn serialize_tree(path: str) {\n\
+                 sync (tree_lock) {\n\
+                     scount = scount + 1;\n\
+                     blocking_io(\"write tree node\");\n\
+                 }\n\
+             }\n\n",
+        );
+    } else {
+        s.push_str(
+            "fn serialize_tree(path: str) {\n\
+                 let seq = 0;\n\
+                 sync (tree_lock) {\n\
+                     scount = scount + 1;\n\
+                     seq = scount;\n\
+                 }\n\
+                 blocking_io(\"write tree node\");\n\
+             }\n\n",
+        );
+    }
+    if let Some(in_lock) = k.acl_serializer {
+        if in_lock {
+            s.push_str(
+                "fn serialize_acl_cache() {\n\
+                     sync (acl_lock) {\n\
+                         acl_count = acl_count + 1;\n\
+                         blocking_io(\"write acl entries\");\n\
+                     }\n\
+                 }\n\n",
+            );
+        } else {
+            s.push_str(
+                "fn serialize_acl_cache() {\n\
+                     let n = 0;\n\
+                     sync (acl_lock) {\n\
+                         acl_count = acl_count + 1;\n\
+                         n = acl_count;\n\
+                     }\n\
+                     blocking_io(\"write acl entries\");\n\
+                 }\n\n",
+            );
+        }
+    }
+    // Legitimate unlocked blocking I/O — the false-positive probe for the
+    // naively-broadened rule.
+    s.push_str(
+        "fn write_snapshot() {\n\
+             snapshots_written = snapshots_written + 1;\n\
+             blocking_io(\"write snapshot file\");\n\
+         }\n",
+    );
+    s
+}
+
+fn zk_sync_tests(k: &ZkSyncKnobs) -> (String, Vec<TestCase>) {
+    let mut src = String::from(
+        "fn test_serialize_tree_writes() {\n\
+             serialize_tree(\"/a\");\n\
+             assert(scount == 1, \"tree serialized\");\n\
+         }\n\n\
+         fn test_snapshot_write_unlocked() {\n\
+             write_snapshot();\n\
+             assert(snapshots_written == 1, \"snapshot written\");\n\
+         }\n\n",
+    );
+    let mut tests = vec![
+        TestCase::new(
+            "test_serialize_tree_writes",
+            "serialization: serializing the data tree writes every node",
+        ),
+        TestCase::new(
+            "test_snapshot_write_unlocked",
+            "snapshots: writing a snapshot file performs blocking io without holding locks",
+        ),
+    ];
+    if k.acl_serializer.is_some() {
+        src.push_str(
+            "fn test_serialize_acl_cache() {\n\
+                 serialize_acl_cache();\n\
+                 assert(acl_count == 1, \"acl cache serialized\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_serialize_acl_cache",
+            "serialization: the reference-counted acl cache serializes its entries",
+        ));
+    }
+    (src, tests)
+}
+
+fn zk_sync_version(label: &str, k: ZkSyncKnobs) -> SystemVersion {
+    let sys = zk_sync_sys(&k);
+    let (tests_src, tests) = zk_sync_tests(&k);
+    build_version(
+        label,
+        "zk-sync-serialize",
+        &[
+            ("zk/serialize".to_string(), sys),
+            ("zk/serialize_tests".to_string(), tests_src),
+        ],
+        tests,
+    )
+}
+
+/// The Figure-6 generalization case.
+pub fn zk_sync_serialize() -> Case {
+    let buggy =
+        zk_sync_version("v1-buggy", ZkSyncKnobs { tree_io_in_lock: true, acl_serializer: None });
+    let fixed =
+        zk_sync_version("v2-fixed", ZkSyncKnobs { tree_io_in_lock: false, acl_serializer: None });
+    let regressed = zk_sync_version(
+        "v3-regressed",
+        ZkSyncKnobs { tree_io_in_lock: false, acl_serializer: Some(true) },
+    );
+    let latest = zk_sync_version(
+        "v4-latest",
+        ZkSyncKnobs { tree_io_in_lock: false, acl_serializer: Some(false) },
+    );
+    let t1 = TicketBuilder::new("ZK-9201", "mini-zookeeper")
+        .title("Cluster zombie: writes silently blocked during tree serialization")
+        .description(
+            "serializeNode holds the tree lock while performing blocking I/O; when the disk \
+             stalls, every write operation in the cluster blocks behind the lock.",
+        )
+        .discuss("blocking write while holding the tree lock causes the zombie cluster")
+        .buggy(
+            "zk/serialize",
+            zk_sync_sys(&ZkSyncKnobs { tree_io_in_lock: true, acl_serializer: None }),
+        )
+        .fixed(
+            "zk/serialize",
+            zk_sync_sys(&ZkSyncKnobs { tree_io_in_lock: false, acl_serializer: None }),
+        )
+        .regression_test("test_serialize_tree_writes")
+        .build();
+    let t2 = TicketBuilder::new("ZK-9531", "mini-zookeeper")
+        .title("Cluster stuck again: ACL cache serialization blocks under lock")
+        .description(
+            "One year later a different serialization function — the reference-counted ACL \
+             cache — performs the same blocking write inside its synchronized section.",
+        )
+        .discuss("same class as ZK-9201: blocking I/O within a synchronized block")
+        .buggy(
+            "zk/serialize",
+            zk_sync_sys(&ZkSyncKnobs { tree_io_in_lock: false, acl_serializer: Some(true) }),
+        )
+        .fixed(
+            "zk/serialize",
+            zk_sync_sys(&ZkSyncKnobs { tree_io_in_lock: false, acl_serializer: Some(false) }),
+        )
+        .regression_test("test_serialize_acl_cache")
+        .build();
+    Case {
+        meta: CaseMeta {
+            id: "zk-sync-serialize".into(),
+            system: "mini-zookeeper".into(),
+            feature: "serialization".into(),
+            title: "Blocking I/O inside synchronized serialization".into(),
+            modelled_on: "ZOOKEEPER-2201 -> ZOOKEEPER-3531".into(),
+            recurrence_gap_days: 400,
+            violates_old_semantics: true,
+        },
+        versions: Versions { buggy, fixed, regressed, latest },
+        tickets: vec![t1, t2],
+        ground_truth: GroundTruth {
+            target: TargetSpec::BuiltinInSync { name: "blocking_io".into() },
+            condition_src: "$locks.held == 0".into(),
+            latent_bug_in_latest: false,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. hbase-snapshot-ttl (§4 Bug #1)
+// ---------------------------------------------------------------------------
+
+struct HbaseKnobs {
+    restore_checks_expiry: bool,
+    export_path: Option<bool>,
+    scan_path: Option<bool>,
+}
+
+fn hbase_sys(k: &HbaseKnobs) -> String {
+    let mut s = String::from(
+        "struct Snapshot { id: int, table: str, created_at: int, expires_at: int }\n\
+         global snapshots: map<int, Snapshot>;\n\
+         global served: map<str, int>;\n\n\
+         fn serve_snapshot(snap: Snapshot, req_time: int, tag: str) {\n\
+             served.put(tag, snap.id);\n\
+             log(\"snapshot served\");\n\
+         }\n\n\
+         fn take_snapshot(id: int, table: str, at: int, ttl: int) {\n\
+             let sn = new Snapshot { id: id, table: table, created_at: at, expires_at: at + ttl };\n\
+             snapshots.put(id, sn);\n\
+         }\n\n",
+    );
+    let guard = |var: &str, checks: bool| -> String {
+        if checks {
+            format!("{var} == null || {var}.expires_at < req_time")
+        } else {
+            format!("{var} == null")
+        }
+    };
+    s.push_str(&format!(
+        "fn restore_snapshot(snap_id: int, req_time: int, tag: str) {{\n\
+             let snap: Snapshot = snapshots.get(snap_id);\n\
+             if ({}) {{ log(\"restore rejected\"); return; }}\n\
+             serve_snapshot(snap, req_time, tag);\n\
+         }}\n\n",
+        guard("snap", k.restore_checks_expiry)
+    ));
+    if let Some(checks) = k.export_path {
+        s.push_str(&format!(
+            "fn export_snapshot(snap_id: int, req_time: int, tag: str) {{\n\
+                 let sn: Snapshot = snapshots.get(snap_id);\n\
+                 if ({}) {{ log(\"export rejected\"); return; }}\n\
+                 serve_snapshot(sn, req_time, tag);\n\
+             }}\n\n",
+            guard("sn", checks)
+        ));
+    }
+    if let Some(checks) = k.scan_path {
+        s.push_str(&format!(
+            "fn scan_snapshot(snap_id: int, req_time: int, tag: str) {{\n\
+                 let cur: Snapshot = snapshots.get(snap_id);\n\
+                 if ({}) {{ log(\"scan rejected\"); return; }}\n\
+                 serve_snapshot(cur, req_time, tag);\n\
+             }}\n\n",
+            guard("cur", checks)
+        ));
+    }
+    s
+}
+
+fn hbase_tests(k: &HbaseKnobs, with_regression_test: bool) -> (String, Vec<TestCase>) {
+    let mut src = String::from(
+        "fn test_restore_fresh_snapshot() {\n\
+             take_snapshot(1, \"orders\", 1000, 500);\n\
+             restore_snapshot(1, 1200, \"r1\");\n\
+             assert(served.contains(\"r1\"), \"fresh snapshot restorable\");\n\
+         }\n\n\
+         fn test_take_snapshot_records_expiry() {\n\
+             take_snapshot(2, \"users\", 1000, 300);\n\
+             let sn: Snapshot = snapshots.get(2);\n\
+             assert(sn != null && sn.expires_at == 1300, \"expiry recorded\");\n\
+         }\n\n",
+    );
+    let mut tests = vec![
+        TestCase::new(
+            "test_restore_fresh_snapshot",
+            "snapshots: restoring a snapshot before its ttl expires serves the data",
+        ),
+        TestCase::new(
+            "test_take_snapshot_records_expiry",
+            "snapshots: taking a snapshot records creation time plus ttl as expiry",
+        ),
+    ];
+    if with_regression_test {
+        src.push_str(
+            "fn test_restore_expired_snapshot_rejected() {\n\
+                 take_snapshot(3, \"orders\", 1000, 100);\n\
+                 restore_snapshot(3, 5000, \"r3\");\n\
+                 assert(served.contains(\"r3\") == false, \"expired snapshot must not be served\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_restore_expired_snapshot_rejected",
+            "regression HB-97671: restore must be rejected after the snapshot ttl has expired",
+        ));
+    }
+    if k.export_path.is_some() {
+        src.push_str(
+            "fn test_export_fresh_snapshot() {\n\
+                 take_snapshot(4, \"logs\", 1000, 500);\n\
+                 export_snapshot(4, 1100, \"e4\");\n\
+                 assert(served.contains(\"e4\"), \"fresh snapshot exportable\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_export_fresh_snapshot",
+            "snapshots: exporting a fresh snapshot with copytable serves the data",
+        ));
+    }
+    if k.scan_path.is_some() {
+        src.push_str(
+            "fn test_scan_fresh_snapshot() {\n\
+                 take_snapshot(5, \"events\", 1000, 500);\n\
+                 scan_snapshot(5, 1100, \"s5\");\n\
+                 assert(served.contains(\"s5\"), \"fresh snapshot scannable\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_scan_fresh_snapshot",
+            "snapshots: the scanner path reads a fresh snapshot",
+        ));
+    }
+    (src, tests)
+}
+
+fn hbase_version(label: &str, k: HbaseKnobs, with_regression_test: bool) -> SystemVersion {
+    let sys = hbase_sys(&k);
+    let (tests_src, tests) = hbase_tests(&k, with_regression_test);
+    build_version(
+        label,
+        "hbase-snapshot-ttl",
+        &[
+            ("hbase/snapshot".to_string(), sys),
+            ("hbase/snapshot_tests".to_string(), tests_src),
+        ],
+        tests,
+    )
+}
+
+/// §4 Bug #1 case: snapshot expiration checks.
+pub fn hbase_snapshot() -> Case {
+    let buggy = hbase_version(
+        "v1-buggy",
+        HbaseKnobs { restore_checks_expiry: false, export_path: None, scan_path: None },
+        false,
+    );
+    let fixed = hbase_version(
+        "v2-fixed",
+        HbaseKnobs { restore_checks_expiry: true, export_path: None, scan_path: None },
+        true,
+    );
+    let regressed = hbase_version(
+        "v3-regressed",
+        HbaseKnobs { restore_checks_expiry: true, export_path: Some(false), scan_path: None },
+        true,
+    );
+    let latest = hbase_version(
+        "v4-latest",
+        HbaseKnobs {
+            restore_checks_expiry: true,
+            export_path: Some(true),
+            scan_path: Some(false),
+        },
+        true,
+    );
+    let t1 = TicketBuilder::new("HB-97671", "mini-hbase")
+        .title("Client can restore/clone a snapshot after its ttl has expired")
+        .description("expired snapshots return to clients successfully without any alarm")
+        .discuss("missing expiration check on the restore path serves stale data")
+        .buggy(
+            "hbase/snapshot",
+            hbase_sys(&HbaseKnobs { restore_checks_expiry: false, export_path: None, scan_path: None }),
+        )
+        .fixed(
+            "hbase/snapshot",
+            hbase_sys(&HbaseKnobs { restore_checks_expiry: true, export_path: None, scan_path: None }),
+        )
+        .regression_test("test_restore_expired_snapshot_rejected")
+        .build();
+    let t2 = TicketBuilder::new("HB-98704", "mini-hbase")
+        .title("The expired snapshot can be read by copytable or exportsnapshot")
+        .description("the export path added for copytable reaches serve_snapshot without the expiry check")
+        .discuss("same class as HB-97671: export misses the ttl check")
+        .buggy(
+            "hbase/snapshot",
+            hbase_sys(&HbaseKnobs { restore_checks_expiry: true, export_path: Some(false), scan_path: None }),
+        )
+        .fixed(
+            "hbase/snapshot",
+            hbase_sys(&HbaseKnobs { restore_checks_expiry: true, export_path: Some(true), scan_path: None }),
+        )
+        .regression_test("test_export_fresh_snapshot")
+        .build();
+    Case {
+        meta: CaseMeta {
+            id: "hbase-snapshot-ttl".into(),
+            system: "mini-hbase".into(),
+            feature: "snapshot ttl".into(),
+            title: "Expired snapshot served to clients".into(),
+            modelled_on: "HBASE-27671 -> HBASE-28704 -> HBASE-29296 (new)".into(),
+            recurrence_gap_days: 300,
+            violates_old_semantics: true,
+        },
+        versions: Versions { buggy, fixed, regressed, latest },
+        tickets: vec![t1, t2],
+        ground_truth: GroundTruth {
+            target: TargetSpec::Call { callee: "serve_snapshot".into() },
+            condition_src: "snap != null && snap.expires_at >= req_time".into(),
+            latent_bug_in_latest: true,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. hdfs-observer-read (§4 Bug #2)
+// ---------------------------------------------------------------------------
+
+struct HdfsKnobs {
+    locations_checks: bool,
+    listing_path: Option<bool>,
+    batched_path: Option<bool>,
+}
+
+fn hdfs_sys(k: &HdfsKnobs) -> String {
+    let mut s = String::from(
+        "struct Block { id: int, file: str, has_location: bool, gen_stamp: int }\n\
+         global blocks: map<int, Block>;\n\
+         global returned: map<str, int>;\n\n\
+         fn return_block(b: Block, tag: str) {\n\
+             returned.put(tag, b.id);\n\
+             log(\"block returned to client\");\n\
+         }\n\n\
+         fn add_block(id: int, file: str) {\n\
+             blocks.put(id, new Block { id: id, file: file, gen_stamp: 1 });\n\
+         }\n\n\
+         fn apply_block_report(id: int) {\n\
+             let b: Block = blocks.get(id);\n\
+             if (b == null) { return; }\n\
+             b.has_location = true;\n\
+             b.gen_stamp = b.gen_stamp + 1;\n\
+         }\n\n",
+    );
+    let guard = |var: &str, checks: bool| -> String {
+        if checks {
+            format!("{var} == null || {var}.has_location == false")
+        } else {
+            format!("{var} == null")
+        }
+    };
+    s.push_str(&format!(
+        "fn get_block_locations(block_id: int, tag: str) {{\n\
+             let b: Block = blocks.get(block_id);\n\
+             if ({}) {{ log(\"locations unavailable, retry active\"); return; }}\n\
+             return_block(b, tag);\n\
+         }}\n\n",
+        guard("b", k.locations_checks)
+    ));
+    if let Some(checks) = k.listing_path {
+        s.push_str(&format!(
+            "fn get_listing(block_id: int, tag: str) {{\n\
+                 let blk: Block = blocks.get(block_id);\n\
+                 if ({}) {{ log(\"listing skipped, retry active\"); return; }}\n\
+                 return_block(blk, tag);\n\
+             }}\n\n",
+            guard("blk", checks)
+        ));
+    }
+    if let Some(checks) = k.batched_path {
+        s.push_str(&format!(
+            "fn get_batched_listing(block_id: int, tag: str) {{\n\
+                 let cur: Block = blocks.get(block_id);\n\
+                 if ({}) {{ log(\"batched listing skipped\"); return; }}\n\
+                 return_block(cur, tag);\n\
+             }}\n\n",
+            guard("cur", checks)
+        ));
+    }
+    s
+}
+
+fn hdfs_tests(k: &HdfsKnobs, with_regression_test: bool) -> (String, Vec<TestCase>) {
+    let mut src = String::from(
+        "fn test_locations_after_block_report() {\n\
+             add_block(1, \"/data/f1\");\n\
+             apply_block_report(1);\n\
+             get_block_locations(1, \"g1\");\n\
+             assert(returned.contains(\"g1\"), \"located block returned\");\n\
+         }\n\n\
+         fn test_block_report_sets_location() {\n\
+             add_block(2, \"/data/f2\");\n\
+             apply_block_report(2);\n\
+             let b: Block = blocks.get(2);\n\
+             assert(b != null && b.has_location, \"report recorded\");\n\
+         }\n\n",
+    );
+    let mut tests = vec![
+        TestCase::new(
+            "test_locations_after_block_report",
+            "observer reads: block locations are returned once the block report has arrived",
+        ),
+        TestCase::new(
+            "test_block_report_sets_location",
+            "block reports: applying a datanode block report marks the block located",
+        ),
+    ];
+    if with_regression_test {
+        src.push_str(
+            "fn test_no_locations_when_report_delayed() {\n\
+                 add_block(3, \"/data/f3\");\n\
+                 get_block_locations(3, \"g3\");\n\
+                 assert(returned.contains(\"g3\") == false, \"unlocated block must not be returned\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_no_locations_when_report_delayed",
+            "regression HD-93924: when the observer block report is delayed the block must not be returned without locations",
+        ));
+    }
+    if k.listing_path.is_some() {
+        src.push_str(
+            "fn test_listing_located_block() {\n\
+                 add_block(4, \"/data/f4\");\n\
+                 apply_block_report(4);\n\
+                 get_listing(4, \"l4\");\n\
+                 assert(returned.contains(\"l4\"), \"listing returns located block\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_listing_located_block",
+            "observer reads: the listing path returns blocks that have locations",
+        ));
+    }
+    if k.batched_path.is_some() {
+        src.push_str(
+            "fn test_batched_listing_located_block() {\n\
+                 add_block(5, \"/data/f5\");\n\
+                 apply_block_report(5);\n\
+                 get_batched_listing(5, \"b5\");\n\
+                 assert(returned.contains(\"b5\"), \"batched listing returns located block\");\n\
+             }\n\n",
+        );
+        tests.push(TestCase::new(
+            "test_batched_listing_located_block",
+            "observer reads: the batched listing path returns blocks that have locations",
+        ));
+    }
+    (src, tests)
+}
+
+fn hdfs_version(label: &str, k: HdfsKnobs, with_regression_test: bool) -> SystemVersion {
+    let sys = hdfs_sys(&k);
+    let (tests_src, tests) = hdfs_tests(&k, with_regression_test);
+    build_version(
+        label,
+        "hdfs-observer-read",
+        &[
+            ("hdfs/observer".to_string(), sys),
+            ("hdfs/observer_tests".to_string(), tests_src),
+        ],
+        tests,
+    )
+}
+
+/// §4 Bug #2 case: observer namenode location checks.
+pub fn hdfs_observer() -> Case {
+    let buggy = hdfs_version(
+        "v1-buggy",
+        HdfsKnobs { locations_checks: false, listing_path: None, batched_path: None },
+        false,
+    );
+    let fixed = hdfs_version(
+        "v2-fixed",
+        HdfsKnobs { locations_checks: true, listing_path: None, batched_path: None },
+        true,
+    );
+    let regressed = hdfs_version(
+        "v3-regressed",
+        HdfsKnobs { locations_checks: true, listing_path: Some(false), batched_path: None },
+        true,
+    );
+    let latest = hdfs_version(
+        "v4-latest",
+        HdfsKnobs {
+            locations_checks: true,
+            listing_path: Some(true),
+            batched_path: Some(false),
+        },
+        true,
+    );
+    let t1 = TicketBuilder::new("HD-93924", "mini-hdfs")
+        .title("BlockMissingException when reading from observer")
+        .description(
+            "if the observer namenode's block report is delayed, reads return blocks without \
+             any location and clients fail",
+        )
+        .discuss("missing location check: the observer is not up-to-date with the active namenode")
+        .buggy(
+            "hdfs/observer",
+            hdfs_sys(&HdfsKnobs { locations_checks: false, listing_path: None, batched_path: None }),
+        )
+        .fixed(
+            "hdfs/observer",
+            hdfs_sys(&HdfsKnobs { locations_checks: true, listing_path: None, batched_path: None }),
+        )
+        .regression_test("test_no_locations_when_report_delayed")
+        .build();
+    let t2 = TicketBuilder::new("HD-96732", "mini-hdfs")
+        .title("Avoid get location from observer when the block report is delayed")
+        .description("the listing path returns blocks without valid locations")
+        .discuss("same class as HD-93924: get_listing misses the location check")
+        .buggy(
+            "hdfs/observer",
+            hdfs_sys(&HdfsKnobs { locations_checks: true, listing_path: Some(false), batched_path: None }),
+        )
+        .fixed(
+            "hdfs/observer",
+            hdfs_sys(&HdfsKnobs { locations_checks: true, listing_path: Some(true), batched_path: None }),
+        )
+        .regression_test("test_listing_located_block")
+        .build();
+    Case {
+        meta: CaseMeta {
+            id: "hdfs-observer-read".into(),
+            system: "mini-hdfs".into(),
+            feature: "observer reads".into(),
+            title: "Observer returns blocks without locations".into(),
+            modelled_on: "HDFS-13924 -> HDFS-16732 -> HDFS-17768 (new)".into(),
+            recurrence_gap_days: 540,
+            violates_old_semantics: true,
+        },
+        versions: Versions { buggy, fixed, regressed, latest },
+        tickets: vec![t1, t2],
+        ground_truth: GroundTruth {
+            target: TargetSpec::Call { callee: "return_block".into() },
+            condition_src: "b != null && b.has_location == true".into(),
+            latent_bug_in_latest: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_lang::{Interp, NullTracer};
+
+    fn tests_pass(case: &Case) {
+        for v in case.versions.all() {
+            for t in &v.tests {
+                let mut interp = Interp::new(&v.program);
+                let r = interp.call(&t.entry, vec![], &mut NullTracer);
+                assert!(r.is_ok(), "{}/{}/{}: {:?}", case.meta.id, v.label, t.name, r.err());
+            }
+        }
+    }
+
+    #[test]
+    fn zk_ephemeral_builds_and_tests_pass() {
+        let c = zk_ephemeral();
+        assert_eq!(c.bug_count(), 3);
+        tests_pass(&c);
+    }
+
+    #[test]
+    fn zk_sync_builds_and_tests_pass() {
+        let c = zk_sync_serialize();
+        assert_eq!(c.bug_count(), 2);
+        tests_pass(&c);
+    }
+
+    #[test]
+    fn hbase_snapshot_builds_and_tests_pass() {
+        let c = hbase_snapshot();
+        assert_eq!(c.bug_count(), 3);
+        tests_pass(&c);
+    }
+
+    #[test]
+    fn hdfs_observer_builds_and_tests_pass() {
+        let c = hdfs_observer();
+        assert_eq!(c.bug_count(), 3);
+        tests_pass(&c);
+    }
+
+    #[test]
+    fn kafka_scenario_shows_the_failure_on_buggy_version() {
+        // On the buggy version, creating on a closing session leaves a
+        // stale node — the Figure-2 symptom.
+        let c = zk_ephemeral();
+        let p = &c.versions.buggy.program;
+        let mut interp = Interp::new(p);
+        let run = |i: &mut Interp, f: &str, args: Vec<lisa_lang::Value>| {
+            i.call(f, args, &mut NullTracer).expect(f)
+        };
+        use lisa_lang::Value::*;
+        run(&mut interp, "open_session", vec![Int(1), Str("kafka".into())]);
+        run(&mut interp, "begin_close_session", vec![Int(1)]);
+        // The buggy path creates on the closing session:
+        run(&mut interp, "prep_request_create", vec![Int(1), Str("/consumers/dead".into())]);
+        run(&mut interp, "finish_close_session", vec![Int(1)]);
+        // finish_close removes ephemeral nodes of the session, so the
+        // truly dangerous interleaving is create *after* cleanup:
+        run(&mut interp, "open_session", vec![Int(2), Str("kafka".into())]);
+        run(&mut interp, "begin_close_session", vec![Int(2)]);
+        run(&mut interp, "finish_close_session", vec![Int(2)]);
+        assert_eq!(interp.global("sessions").is_some(), true);
+    }
+
+    #[test]
+    fn ticket_diffs_contain_the_added_guards() {
+        let c = zk_ephemeral();
+        let (_, d) = &c.tickets[0].patch()[0];
+        assert!(d.added_lines().iter().any(|(_, l)| l.contains("session.closing")));
+        let c = hbase_snapshot();
+        let (_, d) = &c.tickets[1].patch()[0];
+        assert!(d
+            .added_lines()
+            .iter()
+            .any(|(_, l)| l.contains("expires_at < req_time")), "{d}");
+    }
+}

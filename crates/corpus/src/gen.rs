@@ -1,0 +1,525 @@
+//! Parameterized case generator.
+//!
+//! Twelve of the sixteen corpus cases share the *guarded action* shape
+//! that dominates the paper's study: an entity is looked up from a store
+//! and a state-changing action must only run when a conjunction of
+//! entity-local predicates holds. Bugs are missing conjuncts on one of
+//! several request paths; recurrences are new paths added later without
+//! the full guard. The generator assembles, per case: four source
+//! versions (buggy / fixed / regressed / latest), ticket bundles with
+//! real diffs, per-version test suites with curated summaries, and the
+//! ground-truth rule.
+//!
+//! The four flagship cases (ZK-1208, ZK-2201, HBASE-29296, HDFS-17768
+//! analogues) are hand-written in [`crate::flagship`] instead, to follow
+//! the paper's figures closely.
+
+use lisa_analysis::TargetSpec;
+use lisa_concolic::{SystemVersion, TestCase};
+use lisa_lang::Program;
+use lisa_oracle::TicketBuilder;
+
+use crate::meta::{Case, CaseMeta, GroundTruth, Versions};
+
+/// One conjunct of the safe condition.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomSpec {
+    /// Entity field involved ("" = the null/existence check).
+    pub field: &'static str,
+    /// SIR type of the field ("bool" | "int" | "str").
+    pub field_ty: &'static str,
+    /// Safe form with `{v}` placeholder, e.g. `{v}.closing == false`.
+    pub safe: &'static str,
+    /// Unsafe form (the early-return guard), e.g. `{v}.closing == true`.
+    pub unsafe_: &'static str,
+    /// Healthy literal for seeding tests.
+    pub healthy: &'static str,
+    /// Violating literal for negative tests.
+    pub violating: &'static str,
+}
+
+/// The standard existence atom, first in every spec.
+pub const NULL_ATOM: AtomSpec = AtomSpec {
+    field: "",
+    field_ty: "",
+    safe: "{v} != null",
+    unsafe_: "{v} == null",
+    healthy: "",
+    violating: "",
+};
+
+/// Full description of a generated case.
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    pub id: &'static str,
+    pub system: &'static str,
+    pub feature: &'static str,
+    pub title: &'static str,
+    pub modelled_on: &'static str,
+    pub recurrence_gap_days: u32,
+    pub violates_old_semantics: bool,
+    /// Entity struct name (e.g. `Region`).
+    pub entity: &'static str,
+    /// Store global (e.g. `regions`).
+    pub store: &'static str,
+    /// Effect global recording performed actions.
+    pub effect: &'static str,
+    /// The protected action function (rule target).
+    pub action: &'static str,
+    /// Safe-condition conjuncts; index 0 must be [`NULL_ATOM`].
+    pub atoms: &'static [AtomSpec],
+    /// Request-path entry functions (2 or 3). Path 0 exists from v1.
+    pub paths: &'static [&'static str],
+    /// Local variable name per path (distinct, exercises aliasing).
+    pub path_vars: &'static [&'static str],
+    /// Atom index missing on path 0 in the buggy version (bug #1).
+    pub buggy_missing: usize,
+    /// Atom index missing on path 1 in the regressed version (bug #2).
+    pub regressed_missing: usize,
+    /// Atom index missing on path 2 in the latest version (unknown bug),
+    /// if the case has a third path.
+    pub latest_missing: Option<usize>,
+    /// Ticket ids, original first (e.g. `["ZK-9001", "ZK-9107"]`).
+    pub ticket_ids: &'static [&'static str],
+}
+
+/// Which guard configuration each path has in one version.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PathGuard {
+    /// Path absent in this version.
+    Absent,
+    /// All atoms present.
+    Full,
+    /// All atoms except one.
+    Missing(usize),
+}
+
+impl CaseSpec {
+    fn sys_module(&self) -> String {
+        format!("{}/{}", self.system, self.feature.replace(' ', "_"))
+    }
+
+    fn tests_module(&self) -> String {
+        format!("{}/{}_tests", self.system, self.feature.replace(' ', "_"))
+    }
+
+    /// Render the system module for a given per-path guard config.
+    fn system_source(&self, guards: &[PathGuard]) -> String {
+        let mut s = String::new();
+        // Struct with id + all atom fields.
+        s.push_str(&format!("struct {} {{ id: int", self.entity));
+        for a in self.atoms.iter().filter(|a| !a.field.is_empty()) {
+            s.push_str(&format!(", {}: {}", a.field, a.field_ty));
+        }
+        s.push_str(" }\n");
+        s.push_str(&format!("global {}: map<int, {}>;\n", self.store, self.entity));
+        s.push_str(&format!("global {}: map<str, int>;\n", self.effect));
+        s.push_str("global request_count: int;\n\n");
+        // The protected action.
+        s.push_str(&format!(
+            "fn {action}(e: {entity}, tag: str) {{\n    {effect}.put(tag, e.id);\n    log(\"{action}\");\n}}\n\n",
+            action = self.action,
+            entity = self.entity,
+            effect = self.effect,
+        ));
+        // Request paths.
+        for (i, (path, guard)) in self.paths.iter().zip(guards.iter()).enumerate() {
+            let v = self.path_vars[i];
+            match guard {
+                PathGuard::Absent => continue,
+                cfg => {
+                    let atoms: Vec<&AtomSpec> = self
+                        .atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| !matches!(cfg, PathGuard::Missing(m) if m == k))
+                        .map(|(_, a)| a)
+                        .collect();
+                    let cond: Vec<String> =
+                        atoms.iter().map(|a| a.unsafe_.replace("{v}", v)).collect();
+                    s.push_str(&format!("fn {path}(eid: int, tag: str) {{\n"));
+                    s.push_str("    request_count = request_count + 1;\n");
+                    s.push_str(&format!(
+                        "    let {v}: {} = {}.get(eid);\n",
+                        self.entity, self.store
+                    ));
+                    s.push_str(&format!("    if ({}) {{ return; }}\n", cond.join(" || ")));
+                    s.push_str(&format!("    {}({v}, tag);\n}}\n\n", self.action));
+                }
+            }
+        }
+        // Rule-irrelevant admin surface: distractor guards that exercise
+        // relevance pruning and RAG selection without touching the rule.
+        s.push_str(&format!(
+            "fn {store}_stats() -> int {{\n    if (request_count > 1000) {{ log(\"hot store\"); }}\n    return {store}.size();\n}}\n\n",
+            store = self.store,
+        ));
+        s.push_str(&format!(
+            "fn {store}_gc(limit: int) -> int {{\n    let removed = 0;\n    let ks = {store}.keys();\n    for k in ks {{\n        if (removed >= limit) {{ return removed; }}\n        let cur: {entity} = {store}.get(k);\n        if (cur == null) {{ {store}.remove(k); removed = removed + 1; }}\n    }}\n    return removed;\n}}\n\n",
+            store = self.store,
+            entity = self.entity,
+        ));
+        // Seeding helper.
+        let params: Vec<String> = self
+            .atoms
+            .iter()
+            .filter(|a| !a.field.is_empty())
+            .map(|a| format!(", {}: {}", a.field, a.field_ty))
+            .collect();
+        let inits: Vec<String> = self
+            .atoms
+            .iter()
+            .filter(|a| !a.field.is_empty())
+            .map(|a| format!(", {f}: {f}", f = a.field))
+            .collect();
+        s.push_str(&format!(
+            "fn seed(id: int{params}) {{\n    {store}.put(id, new {entity} {{ id: id{inits} }});\n}}\n",
+            params = params.join(""),
+            inits = inits.join(""),
+            store = self.store,
+            entity = self.entity,
+        ));
+        s
+    }
+
+    fn healthy_args(&self) -> String {
+        self.atoms
+            .iter()
+            .filter(|a| !a.field.is_empty())
+            .map(|a| format!(", {}", a.healthy))
+            .collect()
+    }
+
+    /// Args with atom `idx` violating, others healthy.
+    fn violating_args(&self, idx: usize) -> String {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.field.is_empty())
+            .map(|(k, a)| format!(", {}", if k == idx { a.violating } else { a.healthy }))
+            .collect()
+    }
+
+    /// Render the test module. `with_regression_test` adds the negative
+    /// test introduced by the original fix; `paths_present` mirrors the
+    /// system version.
+    fn tests_source(&self, guards: &[PathGuard], with_regression_test: bool) -> String {
+        let mut s = String::new();
+        for (i, (path, guard)) in self.paths.iter().zip(guards.iter()).enumerate() {
+            if matches!(guard, PathGuard::Absent) {
+                continue;
+            }
+            s.push_str(&format!(
+                "fn test_{path}_healthy() {{\n    seed({id}{args});\n    {path}({id}, \"t{i}\");\n    assert({effect}.contains(\"t{i}\"), \"{action} performed\");\n}}\n\n",
+                id = i + 1,
+                args = self.healthy_args(),
+                effect = self.effect,
+                action = self.action,
+            ));
+        }
+        if with_regression_test {
+            let atom = &self.atoms[self.buggy_missing];
+            s.push_str(&format!(
+                "fn test_{feature}_rejected_when_{field}_bad() {{\n    seed(9{args});\n    {path}(9, \"neg\");\n    assert({effect}.contains(\"neg\") == false, \"{action} must be rejected\");\n}}\n\n",
+                feature = self.feature.replace(' ', "_"),
+                field = atom.field,
+                args = self.violating_args(self.buggy_missing),
+                path = self.paths[0],
+                effect = self.effect,
+                action = self.action,
+            ));
+        }
+        // Filler tests: store admin behaviour, unrelated to the rule.
+        s.push_str(&format!(
+            "fn test_{store}_seed_and_lookup() {{\n    seed(20{args});\n    assert({store}.contains(20), \"seeded\");\n}}\n\n",
+            store = self.store,
+            args = self.healthy_args(),
+        ));
+        s.push_str(&format!(
+            "fn test_{store}_remove_entry() {{\n    seed(21{args});\n    {store}.remove(21);\n    assert({store}.contains(21) == false, \"removed\");\n}}\n\n",
+            store = self.store,
+            args = self.healthy_args(),
+        ));
+        s.push_str(&format!(
+            "fn test_{store}_stats_and_gc() {{\n    seed(22{args});\n    let n = {store}_stats();\n    assert(n >= 1, \"stats count\");\n    assert({store}_gc(5) == 0, \"nothing to collect\");\n}}\n",
+            store = self.store,
+            args = self.healthy_args(),
+        ));
+        s
+    }
+
+    /// Test metadata with curated summaries (for RAG).
+    fn test_cases(&self, guards: &[PathGuard], with_regression_test: bool) -> Vec<TestCase> {
+        let mut tests = Vec::new();
+        for (path, guard) in self.paths.iter().zip(guards.iter()) {
+            if matches!(guard, PathGuard::Absent) {
+                continue;
+            }
+            tests.push(TestCase::new(
+                format!("test_{path}_healthy"),
+                format!(
+                    "{feature}: a healthy {entity} goes through {path} and {action} succeeds",
+                    feature = self.feature,
+                    entity = self.entity,
+                    path = path,
+                    action = self.action
+                ),
+            ));
+        }
+        if with_regression_test {
+            let atom = &self.atoms[self.buggy_missing];
+            tests.push(TestCase::new(
+                format!(
+                    "test_{}_rejected_when_{}_bad",
+                    self.feature.replace(' ', "_"),
+                    atom.field
+                ),
+                format!(
+                    "{feature}: {action} must be rejected when {entity} {field} is invalid",
+                    feature = self.feature,
+                    action = self.action,
+                    entity = self.entity,
+                    field = atom.field
+                ),
+            ));
+        }
+        tests.push(TestCase::new(
+            format!("test_{}_seed_and_lookup", self.store),
+            format!("store admin: seeding the {} store and looking entries up", self.store),
+        ));
+        tests.push(TestCase::new(
+            format!("test_{}_remove_entry", self.store),
+            format!("store admin: removing entries from the {} store", self.store),
+        ));
+        tests.push(TestCase::new(
+            format!("test_{}_stats_and_gc", self.store),
+            format!(
+                "store admin: stats counters and garbage collection over the {} store",
+                self.store
+            ),
+        ));
+        tests
+    }
+
+    fn build_version(
+        &self,
+        label: &str,
+        guards: &[PathGuard],
+        with_regression_test: bool,
+    ) -> SystemVersion {
+        let sys = self.system_source(guards);
+        let tests_src = self.tests_source(guards, with_regression_test);
+        let program = Program::parse(&[
+            (self.sys_module().as_str(), sys.as_str()),
+            (self.tests_module().as_str(), tests_src.as_str()),
+        ])
+        .unwrap_or_else(|e| panic!("corpus case {} ({label}): {e}", self.id));
+        let errors = lisa_lang::check_program(&program);
+        assert!(errors.is_empty(), "corpus case {} ({label}) type errors: {errors:?}", self.id);
+        SystemVersion::new(label, program, self.test_cases(guards, with_regression_test))
+    }
+
+    /// Assemble the full case.
+    pub fn build(&self) -> Case {
+        assert!(self.paths.len() >= 2 && self.paths.len() == self.path_vars.len());
+        assert!(self.buggy_missing != 0 && self.regressed_missing != 0);
+        let has_third = self.paths.len() >= 3;
+        let absent_tail = |n: usize| -> Vec<PathGuard> {
+            let mut v = Vec::new();
+            for i in 0..self.paths.len() {
+                v.push(if i < n { PathGuard::Full } else { PathGuard::Absent });
+            }
+            v
+        };
+        // Version guard layouts.
+        let mut buggy = absent_tail(1);
+        buggy[0] = PathGuard::Missing(self.buggy_missing);
+        let fixed = absent_tail(1);
+        let mut regressed = absent_tail(2);
+        regressed[1] = PathGuard::Missing(self.regressed_missing);
+        let regressed_fixed = absent_tail(2);
+        let mut latest = absent_tail(if has_third { 3 } else { 2 });
+        if let (Some(m), true) = (self.latest_missing, has_third) {
+            latest[2] = PathGuard::Missing(m);
+        }
+
+        let v_buggy = self.build_version("v1-buggy", &buggy, false);
+        let v_fixed = self.build_version("v2-fixed", &fixed, true);
+        let v_regressed = self.build_version("v3-regressed", &regressed, true);
+        let v_latest = self.build_version("v4-latest", &latest, true);
+
+        // Tickets with real source bundles.
+        let regression_test_name = format!(
+            "test_{}_rejected_when_{}_bad",
+            self.feature.replace(' ', "_"),
+            self.atoms[self.buggy_missing].field
+        );
+        let ticket1 = TicketBuilder::new(self.ticket_ids[0], self.system)
+            .title(self.title)
+            .description(format!(
+                "{} allowed even though the {} {} check fails; stale effect observed by clients",
+                self.action, self.entity, self.atoms[self.buggy_missing].field
+            ))
+            .discuss(format!(
+                "missing {} check on the {} path allows the bad state through",
+                self.atoms[self.buggy_missing].field, self.paths[0]
+            ))
+            .buggy(self.sys_module(), self.system_source(&buggy))
+            .buggy(self.tests_module(), self.tests_source(&buggy, false))
+            .fixed(self.sys_module(), self.system_source(&fixed))
+            .fixed(self.tests_module(), self.tests_source(&fixed, true))
+            .regression_test(regression_test_name)
+            .build();
+        let ticket2 = TicketBuilder::new(self.ticket_ids[1], self.system)
+            .title(format!("{} (recurrence)", self.title))
+            .description(format!(
+                "one year later: the new {} path reaches {} without the full guard",
+                self.paths[1], self.action
+            ))
+            .discuss(format!(
+                "{} was added without the {} check — same class as {}",
+                self.paths[1], self.atoms[self.regressed_missing].field, self.ticket_ids[0]
+            ))
+            .buggy(self.sys_module(), self.system_source(&regressed))
+            .buggy(self.tests_module(), self.tests_source(&regressed, true))
+            .fixed(self.sys_module(), self.system_source(&regressed_fixed))
+            .fixed(self.tests_module(), self.tests_source(&regressed_fixed, true))
+            .regression_test(format!("test_{}_healthy", self.paths[1]))
+            .build();
+
+        let condition_src = self
+            .atoms
+            .iter()
+            .map(|a| a.safe.replace("{v}", "e"))
+            .collect::<Vec<_>>()
+            .join(" && ");
+        Case {
+            meta: CaseMeta {
+                id: self.id.to_string(),
+                system: self.system.to_string(),
+                feature: self.feature.to_string(),
+                title: self.title.to_string(),
+                modelled_on: self.modelled_on.to_string(),
+                recurrence_gap_days: self.recurrence_gap_days,
+                violates_old_semantics: self.violates_old_semantics,
+            },
+            versions: Versions {
+                buggy: v_buggy,
+                fixed: v_fixed,
+                regressed: v_regressed,
+                latest: v_latest,
+            },
+            tickets: vec![ticket1, ticket2],
+            ground_truth: GroundTruth {
+                target: TargetSpec::Call { callee: self.action.to_string() },
+                condition_src,
+                latent_bug_in_latest: has_third && self.latest_missing.is_some(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CaseSpec {
+        CaseSpec {
+            id: "test-case",
+            system: "mini-test",
+            feature: "widget gating",
+            title: "Widget activated in closed state",
+            modelled_on: "SYNTH",
+            recurrence_gap_days: 365,
+            violates_old_semantics: true,
+            entity: "Widget",
+            store: "widgets",
+            effect: "activations",
+            action: "activate_widget",
+            atoms: &[
+                NULL_ATOM,
+                AtomSpec {
+                    field: "closed",
+                    field_ty: "bool",
+                    safe: "{v}.closed == false",
+                    unsafe_: "{v}.closed == true",
+                    healthy: "false",
+                    violating: "true",
+                },
+                AtomSpec {
+                    field: "quota",
+                    field_ty: "int",
+                    safe: "{v}.quota > 0",
+                    unsafe_: "{v}.quota <= 0",
+                    healthy: "5",
+                    violating: "0",
+                },
+            ],
+            paths: &["direct_activate", "batch_activate", "admin_activate"],
+            path_vars: &["w", "cur", "item"],
+            buggy_missing: 1,
+            regressed_missing: 1,
+            latest_missing: Some(2),
+            ticket_ids: &["TST-1", "TST-2"],
+        }
+    }
+
+    #[test]
+    fn all_versions_parse_and_typecheck() {
+        let case = spec().build();
+        for v in case.versions.all() {
+            assert!(v.program.function("activate_widget").is_some(), "{}", v.label);
+            assert!(!v.tests.is_empty());
+        }
+    }
+
+    #[test]
+    fn version_path_presence() {
+        let case = spec().build();
+        assert!(case.versions.buggy.program.function("batch_activate").is_none());
+        assert!(case.versions.regressed.program.function("batch_activate").is_some());
+        assert!(case.versions.regressed.program.function("admin_activate").is_none());
+        assert!(case.versions.latest.program.function("admin_activate").is_some());
+    }
+
+    #[test]
+    fn tests_pass_on_their_own_version() {
+        let case = spec().build();
+        for v in case.versions.all() {
+            for t in &v.tests {
+                let mut interp = lisa_lang::Interp::new(&v.program);
+                let r = interp.call(&t.entry, vec![], &mut lisa_lang::NullTracer);
+                assert!(r.is_ok(), "{} / {}: {:?}", v.label, t.name, r.err());
+            }
+        }
+    }
+
+    #[test]
+    fn regression_test_absent_before_fix() {
+        let case = spec().build();
+        let has_neg = |v: &SystemVersion| {
+            v.tests.iter().any(|t| t.name.contains("rejected_when"))
+        };
+        assert!(!has_neg(&case.versions.buggy));
+        assert!(has_neg(&case.versions.fixed));
+    }
+
+    #[test]
+    fn tickets_diff_shows_the_guard() {
+        let case = spec().build();
+        let (_, diff) = &case.original_ticket().patch()[0];
+        let added: Vec<&str> = diff.added_lines().iter().map(|(_, t)| *t).collect();
+        assert!(
+            added.iter().any(|l| l.contains("closed == true")),
+            "added lines: {added:?}"
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_parsable() {
+        let case = spec().build();
+        assert!(lisa_smt::parse_cond(&case.ground_truth.condition_src).is_ok());
+        assert!(case.ground_truth.latent_bug_in_latest);
+        assert_eq!(case.bug_count(), 3, "two tickets plus the latent bug");
+    }
+}

@@ -1,0 +1,28 @@
+//! # lisa-corpus
+//!
+//! The regression-failure corpus: four mini cloud systems written in SIR
+//! (mini-ZooKeeper, mini-HBase, mini-HDFS, mini-Cassandra), organized as
+//! **16 regression cases / 34 bugs** mirroring the paper's §2.1 study.
+//! Each case ships four source versions (buggy → fixed → regressed →
+//! latest), ticket bundles with real diffs and developer discussion,
+//! per-version test suites with curated summaries (for RAG selection),
+//! and a ground-truth rule used only for scoring.
+//!
+//! - [`flagship`] — the four hand-written headline cases (Figures 2-3,
+//!   Figure 6, §4 Bug #1 and Bug #2),
+//! - [`gen`] — the guarded-action generator behind the other twelve,
+//! - [`cases`] — corpus assembly and lookup,
+//! - [`stats`] — the §2.1 study statistics (experiment E1),
+//! - [`meta`] — case containers.
+
+#![forbid(unsafe_code)]
+
+pub mod cases;
+pub mod flagship;
+pub mod gen;
+pub mod meta;
+pub mod stats;
+
+pub use cases::{all_cases, case};
+pub use meta::{Case, CaseMeta, GroundTruth, Versions};
+pub use stats::{study_stats, StudyStats};

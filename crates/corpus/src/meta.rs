@@ -1,0 +1,84 @@
+//! Corpus case metadata and containers.
+//!
+//! A [`Case`] models one regression cluster from the §2.1 study: an
+//! original bug plus at least one recurrence of the same violated
+//! semantic, with full source versions, ticket bundles, tests, and the
+//! ground-truth rule the oracle should recover (used only for scoring,
+//! never by inference).
+
+use lisa_analysis::TargetSpec;
+use lisa_concolic::SystemVersion;
+use lisa_oracle::FailureTicket;
+
+/// Study metadata for one case (drives the E1 table).
+#[derive(Debug, Clone)]
+pub struct CaseMeta {
+    /// Case id, e.g. `zk-ephemeral`.
+    pub id: String,
+    /// Mini system, e.g. `mini-zookeeper`.
+    pub system: String,
+    /// Feature under regression, e.g. `ephemeral nodes`.
+    pub feature: String,
+    pub title: String,
+    /// Which real-world ticket cluster the case is modelled on.
+    pub modelled_on: String,
+    /// Days between the original fix and the first recurrence.
+    pub recurrence_gap_days: u32,
+    /// Whether the violated semantic predates the first stable release
+    /// (the study's "68% violate old semantics" dimension).
+    pub violates_old_semantics: bool,
+}
+
+/// The four source versions every case ships.
+#[derive(Debug, Clone)]
+pub struct Versions {
+    /// Before the original fix (bug #1 live).
+    pub buggy: SystemVersion,
+    /// After the original fix (bug #1 dead, regression test added).
+    pub fixed: SystemVersion,
+    /// After later evolution reintroduced the class (bug #2 live; the
+    /// original regression test still passes).
+    pub regressed: SystemVersion,
+    /// The current head: known bugs fixed, but (for the flagship §4
+    /// cases) a previously-unknown unchecked path exists.
+    pub latest: SystemVersion,
+}
+
+impl Versions {
+    pub fn all(&self) -> [&SystemVersion; 4] {
+        [&self.buggy, &self.fixed, &self.regressed, &self.latest]
+    }
+}
+
+/// The rule a perfect inference should produce (scoring only).
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pub target: TargetSpec,
+    pub condition_src: String,
+    /// Whether the `latest` version intentionally contains an unchecked
+    /// path (a "previously unknown bug" in the §4 sense).
+    pub latent_bug_in_latest: bool,
+}
+
+/// A full corpus case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub meta: CaseMeta,
+    pub versions: Versions,
+    /// One ticket per bug in the cluster (original first).
+    pub tickets: Vec<FailureTicket>,
+    pub ground_truth: GroundTruth,
+}
+
+impl Case {
+    /// Number of bugs in the cluster: filed tickets plus the latent
+    /// unknown bug (for the flagship §4 cases, the one LISA finds).
+    pub fn bug_count(&self) -> usize {
+        self.tickets.len() + usize::from(self.ground_truth.latent_bug_in_latest)
+    }
+
+    /// The ticket of the original bug.
+    pub fn original_ticket(&self) -> &FailureTicket {
+        &self.tickets[0]
+    }
+}

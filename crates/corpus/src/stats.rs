@@ -1,0 +1,96 @@
+//! Corpus statistics — the §2.1 study table (experiment E1).
+
+use std::collections::BTreeMap;
+
+use crate::meta::Case;
+
+/// Aggregate study statistics.
+#[derive(Debug, Clone)]
+pub struct StudyStats {
+    pub cases: usize,
+    pub bugs: usize,
+    /// (system, cases, bugs) rows.
+    pub per_system: Vec<(String, usize, usize)>,
+    /// Fraction of cases whose violated semantic predates the first
+    /// stable release.
+    pub old_semantics_fraction: f64,
+    /// Mean days between original fix and first recurrence (cases with a
+    /// recurrence).
+    pub mean_recurrence_gap_days: f64,
+    /// Mean number of tests per system version (the paper's "1,309 test
+    /// files" axis, scaled to the mini systems).
+    pub mean_tests_per_version: f64,
+    /// Mean SIR source lines per version.
+    pub mean_lines_per_version: f64,
+}
+
+/// Compute study statistics over a case set.
+pub fn study_stats(cases: &[Case]) -> StudyStats {
+    let mut per_system: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut old_sem = 0usize;
+    let mut gaps: Vec<f64> = Vec::new();
+    let mut test_counts: Vec<f64> = Vec::new();
+    let mut line_counts: Vec<f64> = Vec::new();
+    for c in cases {
+        let e = per_system.entry(c.meta.system.clone()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += c.bug_count();
+        if c.meta.violates_old_semantics {
+            old_sem += 1;
+        }
+        if c.meta.recurrence_gap_days > 0 {
+            gaps.push(c.meta.recurrence_gap_days as f64);
+        }
+        for v in c.versions.all() {
+            test_counts.push(v.tests.len() as f64);
+            line_counts.push(v.program.line_count() as f64);
+        }
+    }
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    StudyStats {
+        cases: cases.len(),
+        bugs: cases.iter().map(|c| c.bug_count()).sum(),
+        per_system: per_system.into_iter().map(|(s, (c, b))| (s, c, b)).collect(),
+        old_semantics_fraction: if cases.is_empty() {
+            0.0
+        } else {
+            old_sem as f64 / cases.len() as f64
+        },
+        mean_recurrence_gap_days: mean(&gaps),
+        mean_tests_per_version: mean(&test_counts),
+        mean_lines_per_version: mean(&line_counts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::all_cases;
+
+    #[test]
+    fn headline_numbers_match_the_paper_shape() {
+        let stats = study_stats(&all_cases());
+        assert_eq!(stats.cases, 16);
+        assert_eq!(stats.bugs, 34);
+        // Paper: 68% of studied failures violate old semantics; the
+        // corpus encodes 11/16 ≈ 0.69.
+        assert!(
+            (stats.old_semantics_fraction - 0.68).abs() < 0.03,
+            "old-semantics fraction {} should be ≈0.68",
+            stats.old_semantics_fraction
+        );
+        assert!(stats.mean_recurrence_gap_days > 100.0);
+        assert!(stats.mean_tests_per_version >= 4.0);
+        assert!(stats.mean_lines_per_version > 20.0);
+    }
+
+    #[test]
+    fn per_system_rows_sum_up() {
+        let stats = study_stats(&all_cases());
+        let cases: usize = stats.per_system.iter().map(|(_, c, _)| c).sum();
+        let bugs: usize = stats.per_system.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(cases, stats.cases);
+        assert_eq!(bugs, stats.bugs);
+        assert_eq!(stats.per_system.len(), 4);
+    }
+}

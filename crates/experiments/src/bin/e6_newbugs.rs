@@ -1,0 +1,42 @@
+//! E6 — §4 preliminary results: previously unknown bugs in the latest
+//! versions. LISA enforces the rules mined from historical tickets
+//! against the current head of each flagship system and reports the
+//! unchecked paths no ticket ever described.
+
+use lisa::report::{render_rule_report, Table};
+use lisa_corpus::case;
+use lisa_experiments::{exhaustive_pipeline, mined_rule, section};
+
+fn main() {
+    let pipeline = exhaustive_pipeline();
+    let mut summary = Table::new(&["paper bug", "case", "new violation path", "witness"]);
+
+    for (paper_bug, case_id) in [
+        ("Bug #1 (HBASE-29296)", "hbase-snapshot-ttl"),
+        ("Bug #2 (HDFS-17768)", "hdfs-observer-read"),
+        ("(bonus) ZK multi-op", "zk-ephemeral"),
+    ] {
+        let case = case(case_id).expect("case");
+        let rule = mined_rule(&case);
+        let report = pipeline.check_rule(&case.versions.latest, &rule);
+        section(&format!("E6: {paper_bug} — rule `{}` on {}@latest", rule.id, case_id));
+        print!("{}", render_rule_report(&report));
+        for chain in report.chains.iter().filter(|c| c.verdict.is_violated()) {
+            if let lisa::ChainVerdict::Violated(v) = &chain.verdict {
+                summary.row(&[
+                    paper_bug.to_string(),
+                    case_id.to_string(),
+                    chain.rendered.clone(),
+                    v.witness.to_string(),
+                ]);
+            }
+        }
+    }
+
+    section("E6: summary — previously unknown bugs found in latest versions");
+    println!("{}", summary.render());
+    println!(
+        "paper: 'Even in its current form, LISA uncovered two previously unknown, \
+         community-confirmed bugs in the latest releases of HBase and HDFS.'"
+    );
+}

@@ -1,0 +1,29 @@
+//! Run every experiment binary in sequence (the EXPERIMENTS.md driver).
+//!
+//! Equivalent to:
+//! `for e in e1..e9; do cargo run --release -p lisa-experiments --bin $e; done`
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "e1_study",
+        "e2_casestudy",
+        "e3_comparison",
+        "e4_workflow",
+        "e5_generalize",
+        "e6_newbugs",
+        "e7_reliability",
+        "e8_pruning",
+        "e9_selection",
+    ];
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("spawn {bin}: {e} (build with the same profile first)"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,51 @@
+//! # lisa-experiments
+//!
+//! Experiment harnesses regenerating every table and figure of the paper
+//! (index in DESIGN.md §4; outputs recorded in EXPERIMENTS.md). Each
+//! binary prints the rows the paper reports:
+//!
+//! - `e1_study` — the §2.1 study table (16 cases / 34 bugs, …),
+//! - `e2_casestudy` — Figures 2-3 end to end,
+//! - `e3_comparison` — Figure 4 (testing vs LISA vs verification),
+//! - `e4_workflow` — Figure 5 stage breakdown,
+//! - `e5_generalize` — Figure 6 generalization scopes,
+//! - `e6_newbugs` — §4 Bug #1 / Bug #2,
+//! - `e7_reliability` — §5 Q1 noise sweep,
+//! - `e8_pruning` — §3.2 relevance pruning ablation,
+//! - `e9_selection` — §3.2 test-selection ablation,
+//! - `repro_all` — everything above in sequence.
+
+#![forbid(unsafe_code)]
+
+use lisa::{Pipeline, PipelineConfig, TestSelection};
+use lisa_analysis::TargetSpec;
+use lisa_corpus::Case;
+use lisa_oracle::{infer_rules, rescope, Scope, SemanticRule};
+
+/// Mine the case's rule from its original ticket, generalizing the
+/// builtin family (the same convention the integration tests use).
+pub fn mined_rule(case: &Case) -> SemanticRule {
+    let out = infer_rules(case.original_ticket())
+        .unwrap_or_else(|e| panic!("{}: inference failed: {e}", case.meta.id));
+    let rule = out.rules.into_iter().next().expect("at least one rule");
+    match &rule.target {
+        TargetSpec::Call { .. } => rule,
+        _ => rescope(&rule, Scope::Generalized).expect("builtin rules rescope"),
+    }
+}
+
+/// The standard exhaustive-input pipeline used when an experiment is not
+/// about selection.
+pub fn exhaustive_pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() })
+}
+
+/// Paper-style section header.
+pub fn section(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+/// Format a duration in milliseconds with two decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}

@@ -1,0 +1,324 @@
+//! Pretty-printer for SIR.
+//!
+//! Renders AST back to canonical source. The invariant (checked by the
+//! property tests in `tests/prop.rs`) is a fixed point through the
+//! parser: `parse(print(ast))` equals `ast` up to spans and statement
+//! ids. Corpus tooling uses it to render patched modules and the oracle
+//! uses it in diagnostics.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for s in &m.structs {
+        out.push_str(&print_struct(s));
+        out.push('\n');
+    }
+    for g in &m.globals {
+        let _ = writeln!(out, "global {}: {};", g.name, g.ty);
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in m.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_fn(f));
+    }
+    out
+}
+
+/// Render a struct declaration.
+pub fn print_struct(s: &StructDecl) -> String {
+    let fields: Vec<String> = s.fields.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+    format!("struct {} {{ {} }}\n", s.name, fields.join(", "))
+}
+
+/// Render a function declaration.
+pub fn print_fn(f: &FnDecl) -> String {
+    let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+    let ret = if f.ret == Type::Unit { String::new() } else { format!(" -> {}", f.ret) };
+    let mut out = format!("fn {}({}){} {{\n", f.name, params.join(", "), ret);
+    for s in &f.body {
+        print_stmt(s, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(body: &[Stmt], depth: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in body {
+        print_stmt(s, depth + 1, out);
+    }
+    indent(depth, out);
+    out.push('}');
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match &s.kind {
+        StmtKind::Let { name, ty, init } => {
+            match ty {
+                Some(t) => {
+                    let _ = write!(out, "let {name}: {t} = {};", print_expr(init));
+                }
+                None => {
+                    let _ = write!(out, "let {name} = {};", print_expr(init));
+                }
+            }
+            out.push('\n');
+        }
+        StmtKind::Assign { target, value } => {
+            let lhs = match target {
+                LValue::Var(v) => v.clone(),
+                LValue::Field(obj, field) => format!("{}.{field}", print_expr(obj)),
+            };
+            let _ = writeln!(out, "{lhs} = {};", print_expr(value));
+        }
+        StmtKind::If { cond, then_body, else_body } => {
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_block(then_body, depth, out);
+            if !else_body.is_empty() {
+                out.push_str(" else ");
+                // `else if` chains render flat.
+                if else_body.len() == 1 {
+                    if let StmtKind::If { .. } = &else_body[0].kind {
+                        let mut nested = String::new();
+                        print_stmt(&else_body[0], 0, &mut nested);
+                        out.push_str(nested.trim_start());
+                        return;
+                    }
+                }
+                print_block(else_body, depth, out);
+            }
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_block(body, depth, out);
+            out.push('\n');
+        }
+        StmtKind::For { var, iter, body } => {
+            let _ = write!(out, "for {var} in {} ", print_expr(iter));
+            print_block(body, depth, out);
+            out.push('\n');
+        }
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", print_expr(e));
+        }
+        StmtKind::Assert { cond, message } => {
+            match message {
+                Some(m) => {
+                    let _ = writeln!(out, "assert({}, {m:?});", print_expr(cond));
+                }
+                None => {
+                    let _ = writeln!(out, "assert({});", print_expr(cond));
+                }
+            };
+        }
+        StmtKind::Sync { lock, body } => {
+            let _ = write!(out, "sync ({lock}) ");
+            print_block(body, depth, out);
+            out.push('\n');
+        }
+        StmtKind::Throw(m) => {
+            let _ = writeln!(out, "throw {m:?};");
+        }
+        StmtKind::Expr(e) => {
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+    }
+}
+
+fn prec(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::Binary(BinOp::Or, _, _) => 1,
+        ExprKind::Binary(BinOp::And, _, _) => 2,
+        ExprKind::Binary(
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
+            _,
+            _,
+        ) => 3,
+        ExprKind::Binary(BinOp::Add | BinOp::Sub, _, _) => 4,
+        ExprKind::Binary(BinOp::Mul | BinOp::Div | BinOp::Rem, _, _) => 5,
+        ExprKind::Unary(_, _) => 6,
+        _ => 7,
+    }
+}
+
+/// Render an expression with minimal parentheses.
+pub fn print_expr(e: &Expr) -> String {
+    fn child(e: &Expr, parent: u8, right_assoc_guard: bool) -> String {
+        let p = prec(e);
+        let s = print_expr(e);
+        if p < parent || (right_assoc_guard && p == parent) {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Str(s) => format!("{s:?}"),
+        ExprKind::Null => "null".to_string(),
+        ExprKind::Var(v) => v.clone(),
+        ExprKind::Field(obj, field) => format!("{}.{field}", child(obj, 7, false)),
+        ExprKind::MethodCall(recv, name, args) => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}.{name}({})", child(recv, 7, false), args.join(", "))
+        }
+        ExprKind::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        ExprKind::New(name, fields) => {
+            if fields.is_empty() {
+                format!("new {name} {{ }}")
+            } else {
+                let fields: Vec<String> =
+                    fields.iter().map(|(n, v)| format!("{n}: {}", print_expr(v))).collect();
+                format!("new {name} {{ {} }}", fields.join(", "))
+            }
+        }
+        ExprKind::Unary(op, inner) => {
+            let sigil = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sigil}{}", child(inner, 6, false))
+        }
+        ExprKind::Binary(op, l, r) => {
+            let p = prec(e);
+            // Comparisons are non-associative in the grammar; arithmetic
+            // and logical chains parse left-associative, so the right
+            // child needs parens at equal precedence.
+            format!("{} {op} {}", child(l, p, false), child(r, p, true))
+        }
+        ExprKind::Index(list, idx) => {
+            format!("{}[{}]", child(list, 7, false), print_expr(idx))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    /// Strip spans/ids so printed-and-reparsed modules compare equal.
+    fn normalize(m: &Module) -> String {
+        format!("{:?}", (&m.structs.iter().map(|s| (&s.name, &s.fields)).collect::<Vec<_>>(),
+                          &m.globals.iter().map(|g| (&g.name, &g.ty)).collect::<Vec<_>>(),
+                          &m.functions.iter().map(print_fn).collect::<Vec<_>>()))
+    }
+
+    fn roundtrip(src: &str) {
+        let m1 = parse_module("t", src).expect("parse original");
+        let printed = print_module(&m1);
+        let m2 = parse_module("t", &printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(normalize(&m1), normalize(&m2), "--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_the_session_module() {
+        roundtrip(
+            "struct Session { id: int, closing: bool, ttl: int }\n\
+             global sessions: map<int, Session>;\n\
+             fn touch(sid: int) -> bool {\n\
+                 let s: Session = sessions.get(sid);\n\
+                 if (s == null || s.closing) { return false; }\n\
+                 s.ttl = 30;\n\
+                 return true;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "fn f(n: int) -> int {\n\
+                 let t = 0;\n\
+                 while (n > 0) { if (n % 2 == 0) { t = t + n; } else if (n > 10) { t = t - 1; } else { t = 0; } n = n - 1; }\n\
+                 for x in mk() { t = t + x; }\n\
+                 sync (l) { blocking_io(\"x\"); }\n\
+                 assert(t >= 0, \"non-negative\");\n\
+                 if (t == 0) { throw \"zero\"; }\n\
+                 return t;\n\
+             }\n\
+             global tmp: list<int>;\n\
+             fn mk() -> list<int> { return tmp; }",
+        );
+    }
+
+    #[test]
+    fn precedence_needs_no_spurious_parens() {
+        let m = parse_module("t", "fn f(a: int, b: int, c: int) -> int { return a + b * c; }")
+            .expect("parse");
+        let printed = print_fn(&m.functions[0]);
+        assert!(printed.contains("return a + b * c;"), "{printed}");
+    }
+
+    #[test]
+    fn parens_preserved_where_needed() {
+        roundtrip("fn f(a: int, b: int, c: int) -> int { return (a + b) * c; }");
+        roundtrip("fn g(a: bool, b: bool, c: bool) -> bool { return (a || b) && c; }");
+        roundtrip("fn h(a: int, b: int, c: int) -> int { return a - (b - c); }");
+        roundtrip("fn i(a: bool) -> bool { return !(a && true); }");
+    }
+
+    #[test]
+    fn roundtrips_new_and_collections() {
+        roundtrip(
+            "struct P { x: int, tags: list<str> }\n\
+             global ps: map<int, P>;\n\
+             fn f() -> int {\n\
+                 let p = new P { x: 1 };\n\
+                 ps.put(1, p);\n\
+                 p.tags.push(\"a\");\n\
+                 return p.tags.len() + ps.size();\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn string_escapes_survive() {
+        roundtrip("fn f() { log(\"a\\nb\\\"c\\\"\"); }");
+    }
+
+    #[test]
+    fn whole_corpus_roundtrips() {
+        for case in lisa_corpus_smoke() {
+            roundtrip(&case);
+        }
+    }
+
+    /// A few corpus-shaped sources (the full corpus roundtrip lives in
+    /// the corpus crate's tests to avoid a dependency cycle).
+    fn lisa_corpus_smoke() -> Vec<String> {
+        vec![
+            "struct Snapshot { id: int, expires_at: int }\n\
+             global snapshots: map<int, Snapshot>;\n\
+             fn serve(snap: Snapshot, req_time: int) {}\n\
+             fn restore(id: int, req_time: int) {\n\
+                 let snap: Snapshot = snapshots.get(id);\n\
+                 if (snap == null || snap.expires_at < req_time) { log(\"rejected\"); return; }\n\
+                 serve(snap, req_time);\n\
+             }"
+            .to_string(),
+        ]
+    }
+}

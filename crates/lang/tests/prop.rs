@@ -1,0 +1,201 @@
+//! Property tests for the SIR front-end and interpreter:
+//! - print∘parse is the identity on generated expression ASTs,
+//! - lexing printed modules never fails,
+//! - the interpreter is deterministic and obeys its step budget,
+//! - guard-term derivation is total over generated guards.
+
+use proptest::prelude::*;
+
+use lisa_lang::ast::{BinOp, Expr, ExprKind, UnOp};
+use lisa_lang::pretty::print_expr;
+use lisa_lang::symbolic::guard_term;
+use lisa_lang::{parse_module, Interp, NullTracer, Program, Span, Value};
+
+fn expr(kind: ExprKind) -> Expr {
+    Expr { kind, span: Span::default() }
+}
+
+/// Random well-formed *integer* expressions over variables a, b.
+fn arb_int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(|v| expr(ExprKind::Int(v))),
+        Just(expr(ExprKind::Var("a".into()))),
+        Just(expr(ExprKind::Var("b".into()))),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_arith_op()).prop_map(|(l, r, op)| expr(
+                ExprKind::Binary(op, Box::new(l), Box::new(r))
+            )),
+            inner.prop_map(|e| expr(ExprKind::Unary(UnOp::Neg, Box::new(e)))),
+        ]
+    })
+}
+
+fn arb_arith_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// Random boolean expressions (guards) over int vars a, b.
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(expr(ExprKind::Bool(true))),
+        Just(expr(ExprKind::Bool(false))),
+        (arb_int_expr(), arb_cmp_op(), arb_int_expr()).prop_map(|(l, op, r)| expr(
+            ExprKind::Binary(op, Box::new(l), Box::new(r))
+        )),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| expr(ExprKind::Binary(
+                BinOp::And,
+                Box::new(l),
+                Box::new(r)
+            ))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| expr(ExprKind::Binary(
+                BinOp::Or,
+                Box::new(l),
+                Box::new(r)
+            ))),
+            inner.prop_map(|e| expr(ExprKind::Unary(UnOp::Not, Box::new(e)))),
+        ]
+    })
+}
+
+/// Fold constant negation chains: `-1` parses as `Neg(1)` while the
+/// generator may produce `Int(-1)`; both shapes are the same literal.
+fn const_int(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::Int(v) => Some(*v),
+        ExprKind::Unary(UnOp::Neg, inner) => const_int(inner).map(|v| v.wrapping_neg()),
+        _ => None,
+    }
+}
+
+/// Strip spans for structural comparison.
+fn shape(e: &Expr) -> String {
+    if let Some(v) = const_int(e) {
+        return format!("i{v}");
+    }
+    match &e.kind {
+        ExprKind::Int(v) => format!("i{v}"),
+        ExprKind::Bool(b) => format!("b{b}"),
+        ExprKind::Str(s) => format!("s{s:?}"),
+        ExprKind::Null => "null".into(),
+        ExprKind::Var(v) => format!("v{v}"),
+        ExprKind::Field(o, f) => format!("({}).{f}", shape(o)),
+        ExprKind::MethodCall(r, m, args) => format!(
+            "({}).{m}({})",
+            shape(r),
+            args.iter().map(shape).collect::<Vec<_>>().join(",")
+        ),
+        ExprKind::Call(f, args) => {
+            format!("{f}({})", args.iter().map(shape).collect::<Vec<_>>().join(","))
+        }
+        ExprKind::New(n, fs) => format!(
+            "new {n}{{{}}}",
+            fs.iter().map(|(k, v)| format!("{k}:{}", shape(v))).collect::<Vec<_>>().join(",")
+        ),
+        ExprKind::Unary(op, i) => format!("{op:?}({})", shape(i)),
+        ExprKind::Binary(op, l, r) => format!("({} {op:?} {})", shape(l), shape(r)),
+        ExprKind::Index(l, i) => format!("({})[{}]", shape(l), shape(i)),
+    }
+}
+
+/// Parse a bool expression by wrapping it in a function.
+fn reparse_expr(src: &str, int_ret: bool) -> Expr {
+    let ret = if int_ret { "int" } else { "bool" };
+    let module = format!("fn f(a: int, b: int) -> {ret} {{ return {src}; }}");
+    let m = parse_module("t", &module)
+        .unwrap_or_else(|e| panic!("reparse of {src:?}: {e}"));
+    let lisa_lang::StmtKind::Return(Some(e)) = &m.functions[0].body[0].kind else {
+        panic!("return shape")
+    };
+    e.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn int_expr_print_parse_roundtrip(e in arb_int_expr()) {
+        // `- -5` style double negation prints ambiguously only if the
+        // printer is wrong; the property catches it.
+        let printed = print_expr(&e);
+        let reparsed = reparse_expr(&printed, true);
+        prop_assert_eq!(shape(&e), shape(&reparsed), "printed: {}", printed);
+    }
+
+    #[test]
+    fn bool_expr_print_parse_roundtrip(e in arb_bool_expr()) {
+        let printed = print_expr(&e);
+        let reparsed = reparse_expr(&printed, false);
+        prop_assert_eq!(shape(&e), shape(&reparsed), "printed: {}", printed);
+    }
+
+    #[test]
+    fn guard_term_total_and_deterministic(e in arb_bool_expr()) {
+        let t1 = guard_term(&e);
+        let t2 = guard_term(&e);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn interpreter_deterministic_on_generated_guards(e in arb_bool_expr(),
+                                                     a in -50i64..50, b in -50i64..50) {
+        let src = format!(
+            "fn f(a: int, b: int) -> bool {{ return {}; }}",
+            print_expr(&e)
+        );
+        let p = Program::parse_single("t", &src).expect("parse");
+        let run = || {
+            let mut interp = Interp::new(&p);
+            interp.call("f", vec![Value::Int(a), Value::Int(b)], &mut NullTracer)
+        };
+        let r1 = run();
+        let r2 = run();
+        prop_assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn step_budget_is_respected(n in 1u64..2_000) {
+        let p = Program::parse_single(
+            "t",
+            "fn spin() -> int { let i = 0; while (true) { i = i + 1; } return i; }",
+        )
+        .expect("parse");
+        let mut interp = Interp::with_config(
+            &p,
+            lisa_lang::RunConfig { max_steps: n, ..Default::default() },
+        );
+        let err = interp.call("spin", vec![], &mut NullTracer).expect_err("must hit budget");
+        prop_assert!(matches!(err.kind, lisa_lang::interp::ErrorKind::StepLimit));
+        prop_assert!(interp.stats.steps <= n + 1);
+    }
+
+    #[test]
+    fn arithmetic_matches_reference_semantics(x in -1000i64..1000, y in -1000i64..1000) {
+        let p = Program::parse_single(
+            "t",
+            "fn f(x: int, y: int) -> int { return x * 3 + y - x % 7; }",
+        )
+        .expect("parse");
+        let mut interp = Interp::new(&p);
+        let got = interp
+            .call("f", vec![Value::Int(x), Value::Int(y)], &mut NullTracer)
+            .expect("run");
+        let want = x.wrapping_mul(3).wrapping_add(y).wrapping_sub(x.wrapping_rem(7));
+        prop_assert_eq!(got, Value::Int(want));
+    }
+}

@@ -1,0 +1,128 @@
+//! Rule generalization (paper §3.1, Figure 6).
+//!
+//! "The direct outputs often focus on specific functions or code paths,
+//! limiting generality. … A more robust way is to abstract these rules to
+//! reflect system-level behaviors — e.g., 'no blocking I/O within
+//! synchronized blocks'." Three scopes are modelled, matching the
+//! figure's discussion:
+//!
+//! - **Specific** — exactly what the fix touched (`blocking_io` inside
+//!   one named function). Misses recurrences elsewhere (ZK-3531 after
+//!   ZK-2201).
+//! - **Generalized** — the behavioural abstraction (`blocking_io` while
+//!   any lock is held). Catches cross-function recurrences without
+//!   flagging legitimate unlocked I/O.
+//! - **NaiveBroad** — the over-broadening the paper warns against (flag
+//!   *every* `blocking_io`), which buys recall with false positives.
+
+use lisa_analysis::TargetSpec;
+
+use crate::rule::SemanticRule;
+
+/// Generalization scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    Specific,
+    Generalized,
+    NaiveBroad,
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scope::Specific => write!(f, "specific"),
+            Scope::Generalized => write!(f, "generalized"),
+            Scope::NaiveBroad => write!(f, "naive-broad"),
+        }
+    }
+}
+
+/// Re-scope a rule. Returns `None` when the scope change does not apply
+/// to this rule's shape (only the builtin family re-scopes; call-target
+/// rules are already behavioural).
+pub fn rescope(rule: &SemanticRule, scope: Scope) -> Option<SemanticRule> {
+    let name = match &rule.target {
+        TargetSpec::Builtin { name }
+        | TargetSpec::BuiltinInSync { name }
+        | TargetSpec::BuiltinInCaller { name, .. } => name.clone(),
+        TargetSpec::Call { .. } => return None,
+    };
+    let caller = match &rule.target {
+        TargetSpec::BuiltinInCaller { caller, .. } => Some(caller.clone()),
+        _ => None,
+    };
+    let mut out = rule.clone();
+    out.target = match scope {
+        Scope::Specific => TargetSpec::BuiltinInCaller {
+            name,
+            caller: caller.unwrap_or_else(|| "<unknown>".to_string()),
+        },
+        Scope::Generalized => TargetSpec::BuiltinInSync { name },
+        Scope::NaiveBroad => TargetSpec::Builtin { name },
+    };
+    out.id = format!("{}-{}", rule.id, scope);
+    out.description = match scope {
+        Scope::Specific => rule.description.clone(),
+        Scope::Generalized => format!("no {} while holding a lock (generalized)", out.target.callee()),
+        Scope::NaiveBroad => format!("no {} anywhere (naively broadened)", out.target.callee()),
+    };
+    if scope == Scope::NaiveBroad {
+        // The over-broadened rule bans the builtin outright: its checker
+        // is unsatisfiable, so *every* arrival is a violation — recall at
+        // the price of false positives on legitimate unlocked calls.
+        out.condition = lisa_smt::Term::False;
+        out.condition_src = "false".to_string();
+        out.placeholder_roots.clear();
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io_rule() -> SemanticRule {
+        SemanticRule::new(
+            "ZK-2201-r0",
+            "no blocking write inside the tree lock",
+            TargetSpec::BuiltinInCaller { name: "blocking_io".into(), caller: "serialize_node".into() },
+            "$locks.held == 0",
+        )
+        .expect("rule")
+    }
+
+    #[test]
+    fn generalizes_to_any_sync_block() {
+        let g = rescope(&io_rule(), Scope::Generalized).expect("rescope");
+        assert_eq!(g.target, TargetSpec::BuiltinInSync { name: "blocking_io".into() });
+        assert_eq!(g.condition_src, "$locks.held == 0");
+    }
+
+    #[test]
+    fn naive_broadening_targets_every_call_and_always_fires() {
+        let g = rescope(&io_rule(), Scope::NaiveBroad).expect("rescope");
+        assert_eq!(g.target, TargetSpec::Builtin { name: "blocking_io".into() });
+        assert_eq!(g.condition, lisa_smt::Term::False);
+    }
+
+    #[test]
+    fn specific_keeps_caller() {
+        let g = rescope(&io_rule(), Scope::Specific).expect("rescope");
+        assert_eq!(
+            g.target,
+            TargetSpec::BuiltinInCaller { name: "blocking_io".into(), caller: "serialize_node".into() }
+        );
+    }
+
+    #[test]
+    fn call_rules_do_not_rescope() {
+        let r = SemanticRule::new(
+            "X",
+            "d",
+            TargetSpec::Call { callee: "f".into() },
+            "s != null",
+        )
+        .expect("rule");
+        assert!(rescope(&r, Scope::Generalized).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! # lisa-oracle
+//!
+//! The deterministic "LLM simulator": everything the paper's prototype
+//! delegates to OpenAI models, rebuilt as seedable, reproducible
+//! components (see DESIGN.md for the substitution argument):
+//!
+//! - [`ticket`] — failure-ticket bundles (description, discussion, diff,
+//!   patched source, regression tests),
+//! - [`inference`] — staged rule mining replaying the paper's prompt,
+//! - [`rule`] — low-level semantic rules (`<P> s <Q>` contracts),
+//! - [`noise`] — controlled non-determinism and hallucination injection
+//!   for the §5 reliability experiments,
+//! - [`generalize`] — specific → generalized → naively-broad rule scopes
+//!   (Figure 6),
+//! - [`validate`] — static well-formedness screening of mined rules,
+//! - [`embedding`] / [`rag`] — hashed TF-IDF embeddings and top-k test
+//!   selection over test summaries,
+//! - [`author`] — the §5 Q2 developer interface: template sentences to
+//!   rules, with guard-mined condition suggestions.
+//!
+//! ```
+//! use lisa_oracle::{author_rule, infer_rules, TicketBuilder};
+//!
+//! // Developer authoring (§5 Q2):
+//! let rule = author_rule(
+//!     "DEV-1",
+//!     "when calling serve, require snap.expires_at >= req_time",
+//! ).unwrap();
+//! assert_eq!(rule.target.callee(), "serve");
+//!
+//! // Rule mining from a ticket (§3.1):
+//! let ticket = TicketBuilder::new("T-1", "demo")
+//!     .title("expired snapshot served")
+//!     .discuss("missing expiry check on the read path")
+//!     .buggy("m", "struct Snap { expires_at: int }\n\
+//!         fn serve(snap: Snap, req_time: int) {}\n\
+//!         fn read(s: Snap, t: int) { serve(s, t); }")
+//!     .fixed("m", "struct Snap { expires_at: int }\n\
+//!         fn serve(snap: Snap, req_time: int) {}\n\
+//!         fn read(s: Snap, t: int) {\n\
+//!             if (s.expires_at < t) { throw \"expired\"; }\n\
+//!             serve(s, t);\n\
+//!         }")
+//!     .build();
+//! let mined = infer_rules(&ticket).unwrap().rules;
+//! assert!(lisa_smt::equivalent(&mined[0].condition, &rule.condition));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod author;
+pub mod embedding;
+pub mod generalize;
+pub mod inference;
+pub mod noise;
+pub mod rag;
+pub mod rule;
+pub mod ticket;
+pub mod validate;
+
+pub use author::{author_rule, suggest_conditions, AuthorError, Suggestion};
+pub use embedding::{Embedder, Embedding};
+pub use generalize::{rescope, Scope};
+pub use inference::{infer_rules, InferError, InferenceResult};
+pub use noise::{NoiseModel, NoisyRule, Perturbation};
+pub use rag::{describe_path, Selected, TestIndex};
+pub use rule::{condition_roots, InferenceReport, LowLevelOut, SemanticRule};
+pub use ticket::{FailureTicket, SourceVersion, TicketBuilder};
+pub use validate::{validate_rule, ValidationError};

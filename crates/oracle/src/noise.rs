@@ -1,0 +1,244 @@
+//! LLM failure-mode simulation.
+//!
+//! Paper §5: *"LLMs introduce two risks: (i) non-determinism — results
+//! may vary across runs, undermining reproducibility, and (ii)
+//! hallucination — generated semantics may be plausible-sounding but
+//! incorrect."* The deterministic inference engine by itself exhibits
+//! neither, so reliability experiments (E7) would be vacuous. This module
+//! re-introduces both risks in controlled, seedable form: a
+//! [`NoiseModel`] perturbs inferred rules with configurable probability,
+//! producing exactly the error classes the paper worries about.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lisa_smt::term::{CmpOp, Term};
+
+use crate::rule::{condition_roots, SemanticRule};
+
+/// What a perturbation did to a rule (ground truth for scoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Untouched.
+    Faithful,
+    /// A conjunct of the condition was dropped (incomplete rule — the
+    /// checker becomes too weak and misses violations).
+    DroppedConjunct,
+    /// A comparison operator was flipped (wrong rule — plausible-sounding
+    /// but incorrect, the canonical hallucination).
+    FlippedOperator,
+    /// A variable was renamed to a plausible but wrong name (the rule
+    /// references state that does not exist on the path).
+    RenamedVariable,
+    /// The rule was dropped entirely (the model failed to surface it).
+    Lost,
+}
+
+/// A perturbed rule with its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct NoisyRule {
+    pub rule: SemanticRule,
+    pub perturbation: Perturbation,
+}
+
+/// Seeded noise model.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Probability a rule is hallucinated (operator flip / variable
+    /// rename / conjunct drop, uniformly).
+    pub hallucination_rate: f64,
+    /// Probability a rule is silently lost.
+    pub loss_rate: f64,
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    pub fn new(hallucination_rate: f64, loss_rate: f64, seed: u64) -> NoiseModel {
+        NoiseModel { hallucination_rate, loss_rate, seed }
+    }
+
+    /// A faithful model (rate 0) — what the deterministic engine gives.
+    pub fn faithful() -> NoiseModel {
+        NoiseModel::new(0.0, 0.0, 0)
+    }
+
+    /// Apply the model to a batch of rules. Deterministic for a given
+    /// (rules, seed) pair — two calls with different seeds model the
+    /// paper's non-determinism risk.
+    pub fn apply(&self, rules: &[SemanticRule]) -> Vec<NoisyRule> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for rule in rules {
+            if rng.gen_bool(self.loss_rate.clamp(0.0, 1.0)) {
+                out.push(NoisyRule {
+                    rule: rule.clone(),
+                    perturbation: Perturbation::Lost,
+                });
+                continue;
+            }
+            if rng.gen_bool(self.hallucination_rate.clamp(0.0, 1.0)) {
+                out.push(perturb(rule, &mut rng));
+                continue;
+            }
+            out.push(NoisyRule { rule: rule.clone(), perturbation: Perturbation::Faithful });
+        }
+        out
+    }
+}
+
+fn perturb(rule: &SemanticRule, rng: &mut StdRng) -> NoisyRule {
+    // Try the three hallucination classes in a random order; fall back to
+    // Faithful if none applies to this condition's shape.
+    let mut order = [0u8, 1, 2];
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for kind in order {
+        let attempted = match kind {
+            0 => drop_conjunct(&rule.condition, rng).map(|c| (c, Perturbation::DroppedConjunct)),
+            1 => flip_operator(&rule.condition).map(|c| (c, Perturbation::FlippedOperator)),
+            _ => rename_variable(&rule.condition).map(|c| (c, Perturbation::RenamedVariable)),
+        };
+        if let Some((condition, perturbation)) = attempted {
+            let mut rule = rule.clone();
+            rule.condition_src = condition.to_string();
+            rule.placeholder_roots = condition_roots(&condition);
+            rule.condition = condition;
+            return NoisyRule { rule, perturbation };
+        }
+    }
+    NoisyRule { rule: rule.clone(), perturbation: Perturbation::Faithful }
+}
+
+/// Drop one conjunct of a top-level conjunction.
+fn drop_conjunct(t: &Term, rng: &mut StdRng) -> Option<Term> {
+    match t {
+        Term::And(parts) if parts.len() >= 2 => {
+            let drop = rng.gen_range(0..parts.len());
+            let kept: Vec<Term> =
+                parts.iter().enumerate().filter(|&(i, _)| i != drop).map(|(_, p)| p.clone()).collect();
+            Some(Term::and(kept))
+        }
+        _ => None,
+    }
+}
+
+/// Flip the first integer comparison operator found.
+fn flip_operator(t: &Term) -> Option<Term> {
+    fn go(t: &Term, flipped: &mut bool) -> Term {
+        if *flipped {
+            return t.clone();
+        }
+        match t {
+            Term::Atom(lisa_smt::Atom::IntCmp(a, op, b)) => {
+                *flipped = true;
+                let wrong = match op {
+                    CmpOp::Eq => CmpOp::Ne,
+                    CmpOp::Ne => CmpOp::Eq,
+                    CmpOp::Lt => CmpOp::Ge,
+                    CmpOp::Le => CmpOp::Gt,
+                    CmpOp::Gt => CmpOp::Le,
+                    CmpOp::Ge => CmpOp::Lt,
+                };
+                Term::Atom(lisa_smt::Atom::IntCmp(a.clone(), wrong, b.clone()))
+            }
+            Term::Not(inner) => go(inner, flipped).not(),
+            Term::And(parts) => Term::and(parts.iter().map(|p| go(p, flipped)).collect::<Vec<_>>()),
+            Term::Or(parts) => Term::or(parts.iter().map(|p| go(p, flipped)).collect::<Vec<_>>()),
+            other => other.clone(),
+        }
+    }
+    let mut flipped = false;
+    let out = go(t, &mut flipped);
+    flipped.then_some(out)
+}
+
+/// Rename the first root variable to a plausible-but-wrong name.
+fn rename_variable(t: &Term) -> Option<Term> {
+    let roots = condition_roots(t);
+    let victim = roots.first()?.clone();
+    let wrong = format!("{victim}_old");
+    Some(t.rename_vars(&|v| {
+        let root = lisa_lang::symbolic::path_root(v);
+        if root == victim {
+            format!("{wrong}{}", &v[root.len()..])
+        } else {
+            v.to_string()
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_analysis::TargetSpec;
+
+    fn rule() -> SemanticRule {
+        SemanticRule::new(
+            "T-1-r0",
+            "test rule",
+            TargetSpec::Call { callee: "create".into() },
+            "s != null && s.closing == false && s.ttl > 0",
+        )
+        .expect("rule")
+    }
+
+    #[test]
+    fn faithful_model_is_identity() {
+        let rules = vec![rule()];
+        let out = NoiseModel::faithful().apply(&rules);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].perturbation, Perturbation::Faithful);
+        assert_eq!(out[0].rule.condition, rules[0].condition);
+    }
+
+    #[test]
+    fn full_noise_always_perturbs() {
+        let rules = vec![rule()];
+        let out = NoiseModel::new(1.0, 0.0, 42).apply(&rules);
+        assert_ne!(out[0].perturbation, Perturbation::Faithful);
+        assert_ne!(out[0].rule.condition, rules[0].condition);
+    }
+
+    #[test]
+    fn loss_precedes_hallucination() {
+        let rules = vec![rule()];
+        let out = NoiseModel::new(1.0, 1.0, 7).apply(&rules);
+        assert_eq!(out[0].perturbation, Perturbation::Lost);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic_different_seed_varies() {
+        let rules: Vec<SemanticRule> = (0..20).map(|_| rule()).collect();
+        let a = NoiseModel::new(0.5, 0.1, 11).apply(&rules);
+        let b = NoiseModel::new(0.5, 0.1, 11).apply(&rules);
+        let c = NoiseModel::new(0.5, 0.1, 12).apply(&rules);
+        let label = |v: &[NoisyRule]| -> Vec<Perturbation> {
+            v.iter().map(|n| n.perturbation.clone()).collect()
+        };
+        assert_eq!(label(&a), label(&b), "same seed must reproduce");
+        assert_ne!(label(&a), label(&c), "different seed should differ");
+    }
+
+    #[test]
+    fn dropped_conjunct_weakens_condition() {
+        let r = rule();
+        let dropped = drop_conjunct(&r.condition, &mut StdRng::seed_from_u64(3)).expect("drop");
+        assert!(lisa_smt::implies(&r.condition, &dropped));
+        assert!(!lisa_smt::equivalent(&r.condition, &dropped));
+    }
+
+    #[test]
+    fn flipped_operator_changes_semantics() {
+        let r = rule();
+        let flipped = flip_operator(&r.condition).expect("flip");
+        assert!(!lisa_smt::equivalent(&r.condition, &flipped));
+    }
+
+    #[test]
+    fn renamed_variable_changes_roots() {
+        let r = rule();
+        let renamed = rename_variable(&r.condition).expect("rename");
+        assert!(condition_roots(&renamed).contains(&"s_old".to_string()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Low-level semantic rules.
+//!
+//! Paper §3.1: a low-level semantic has a natural-language description
+//! and a safety contract `<P> s <Q>` where `s` is the target statement
+//! and the predicates are conjunctions of implementation-local relations.
+//! For the ZooKeeper bug the recovered rule is
+//! `<session.isClosing == false> createEphemeralNode <>`.
+
+use serde::{Deserialize, Serialize};
+
+use lisa_analysis::TargetSpec;
+use lisa_smt::{parse_cond, Term};
+
+/// A machine-checkable low-level semantic rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticRule {
+    /// Stable rule id, normally `<ticket>-r<k>`.
+    pub id: String,
+    /// One-line natural-language description.
+    pub description: String,
+    /// The target statement the precondition guards.
+    pub target: TargetSpec,
+    /// Precondition over the target's parameter placeholders (and
+    /// globals / `$locks.held`), in surface syntax.
+    pub condition_src: String,
+    /// Parsed precondition.
+    pub condition: Term,
+    /// Root placeholder variables of the condition.
+    pub placeholder_roots: Vec<String>,
+}
+
+impl SemanticRule {
+    /// Build a rule, parsing `condition_src`.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        target: TargetSpec,
+        condition_src: impl Into<String>,
+    ) -> Result<SemanticRule, lisa_smt::ParseError> {
+        let condition_src = condition_src.into();
+        let condition = parse_cond(&condition_src)?;
+        let placeholder_roots = condition_roots(&condition);
+        Ok(SemanticRule {
+            id: id.into(),
+            description: description.into(),
+            target,
+            condition_src,
+            condition,
+            placeholder_roots,
+        })
+    }
+
+    /// Render as the paper's contract notation: `<P> s <>`.
+    pub fn contract(&self) -> String {
+        format!("<{}> {} <>", self.condition_src, self.target)
+    }
+}
+
+/// Distinct root variables of a condition (`s.ttl > 0 && s != null` → `s`),
+/// skipping synthetic variables like `$locks.held`.
+pub fn condition_roots(t: &Term) -> Vec<String> {
+    let mut roots: Vec<String> = t
+        .vars()
+        .into_iter()
+        .map(|(v, _)| lisa_lang::symbolic::path_root(&v).to_string())
+        .filter(|r| !r.starts_with('$'))
+        .collect();
+    roots.sort();
+    roots.dedup();
+    roots
+}
+
+/// The full structured inference output, mirroring the JSON schema of the
+/// paper's prompt (Listing 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceReport {
+    pub ticket: String,
+    pub high_level_semantics: String,
+    pub low_level_semantics: Vec<LowLevelOut>,
+    pub reasoning: String,
+}
+
+/// One low-level semantic in serialized form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LowLevelOut {
+    pub description: String,
+    pub target_statement: String,
+    pub condition_statement: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_paper_rule() {
+        let r = SemanticRule::new(
+            "ZK-1208-r0",
+            "No ephemeral node may be created on a closing session",
+            TargetSpec::Call { callee: "create_ephemeral".into() },
+            "s != null && s.closing == false",
+        )
+        .expect("rule");
+        assert_eq!(r.placeholder_roots, vec!["s"]);
+        assert_eq!(
+            r.contract(),
+            "<s != null && s.closing == false> call create_ephemeral() <>"
+        );
+    }
+
+    #[test]
+    fn roots_skip_synthetic_vars() {
+        let t = parse_cond("$locks.held == 0 && s.ttl > 0").expect("cond");
+        assert_eq!(condition_roots(&t), vec!["s"]);
+    }
+
+    #[test]
+    fn bad_condition_is_error() {
+        assert!(SemanticRule::new(
+            "X",
+            "desc",
+            TargetSpec::Builtin { name: "blocking_io".into() },
+            "s >"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multiple_roots() {
+        let t = parse_cond("snap.expires_at >= req_time").expect("cond");
+        assert_eq!(condition_roots(&t), vec!["req_time", "snap"]);
+    }
+}

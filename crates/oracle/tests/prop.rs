@@ -1,0 +1,143 @@
+//! Property tests for the oracle: inference determinism, noise-model
+//! statistics, embedding-space laws, and authoring totality.
+
+use proptest::prelude::*;
+
+use lisa_analysis::TargetSpec;
+use lisa_oracle::{
+    author_rule, infer_rules, Embedder, NoiseModel, Perturbation, SemanticRule, TicketBuilder,
+};
+
+/// Build a ticket for a generated guarded-action system with a random
+/// subset of checks added by the fix.
+fn ticket_for(checks: &[bool]) -> lisa_oracle::FailureTicket {
+    let fields = ["closing", "stale", "frozen"];
+    let buggy_guard = "s == null".to_string();
+    let mut fixed_guard = vec!["s == null".to_string()];
+    for (i, f) in fields.iter().enumerate() {
+        if checks[i] {
+            fixed_guard.push(format!("s.{f} == true"));
+        }
+    }
+    let src = |guard: &str| {
+        format!(
+            "struct S {{ id: int, closing: bool, stale: bool, frozen: bool }}\n\
+             global store: map<int, S>;\n\
+             fn act(e: S, tag: str) {{ log(tag); }}\n\
+             fn drive(sid: int, tag: str) {{\n\
+                 let s: S = store.get(sid);\n\
+                 if ({guard}) {{ return; }}\n\
+                 act(s, tag);\n\
+             }}"
+        )
+    };
+    TicketBuilder::new("GEN-1", "gen-sys")
+        .title("generated regression")
+        .description("the act ran in a bad state")
+        .discuss("missing state checks allow the action")
+        .buggy("m", src(&buggy_guard))
+        .fixed("m", src(&fixed_guard.join(" || ")))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn inference_is_deterministic(checks in proptest::collection::vec(any::<bool>(), 3)) {
+        let t = ticket_for(&checks);
+        let a = infer_rules(&t);
+        let b = infer_rules(&t);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.rules.len(), y.rules.len());
+                for (rx, ry) in x.rules.iter().zip(y.rules.iter()) {
+                    prop_assert_eq!(&rx.condition, &ry.condition);
+                    prop_assert_eq!(&rx.target, &ry.target);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "divergent outcomes {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn inferred_condition_matches_added_checks(checks in proptest::collection::vec(any::<bool>(), 3)) {
+        prop_assume!(checks.iter().any(|&c| c)); // some guard must be added
+        let t = ticket_for(&checks);
+        let out = infer_rules(&t).expect("inference");
+        prop_assert_eq!(out.rules.len(), 1);
+        let rule = &out.rules[0];
+        prop_assert_eq!(&rule.target, &TargetSpec::Call { callee: "act".into() });
+        // Expected: negation of the fixed guard, renamed s -> e.
+        let fields = ["closing", "stale", "frozen"];
+        let mut want = vec!["e != null".to_string()];
+        for (i, f) in fields.iter().enumerate() {
+            if checks[i] {
+                want.push(format!("e.{f} == false"));
+            }
+        }
+        let want = lisa_smt::parse_cond(&want.join(" && ")).expect("want");
+        prop_assert!(
+            lisa_smt::equivalent(&rule.condition, &want),
+            "inferred {} want {}",
+            rule.condition,
+            want
+        );
+    }
+
+    #[test]
+    fn noise_rates_are_approximated(h in 0.0f64..1.0, seed in 0u64..1000) {
+        let rule = SemanticRule::new(
+            "R",
+            "r",
+            TargetSpec::Call { callee: "act".into() },
+            "s != null && s.closing == false && s.ttl > 0",
+        )
+        .expect("rule");
+        let rules: Vec<SemanticRule> = (0..400).map(|_| rule.clone()).collect();
+        let noisy = NoiseModel::new(h, 0.0, seed).apply(&rules);
+        let perturbed = noisy
+            .iter()
+            .filter(|n| n.perturbation != Perturbation::Faithful)
+            .count() as f64
+            / 400.0;
+        prop_assert!(
+            (perturbed - h).abs() < 0.12,
+            "requested rate {h:.2}, observed {perturbed:.2}"
+        );
+    }
+
+    #[test]
+    fn cosine_laws(a in "[a-z ]{1,40}", b in "[a-z ]{1,40}") {
+        let e = Embedder::fit([a.as_str(), b.as_str()]);
+        let va = e.embed(&a);
+        let vb = e.embed(&b);
+        let ab = va.cosine(&vb);
+        let ba = vb.cosine(&va);
+        prop_assert!((ab - ba).abs() < 1e-6, "symmetry");
+        prop_assert!((-1.0..=1.0001).contains(&ab), "bounded: {ab}");
+        if !lisa_oracle::embedding::tokenize(&a).is_empty() {
+            prop_assert!((va.cosine(&va) - 1.0).abs() < 1e-5, "self-similarity");
+        }
+    }
+
+    #[test]
+    fn authoring_never_panics(s in ".{0,80}") {
+        let _ = author_rule("X", &s);
+    }
+
+    #[test]
+    fn authored_call_rules_roundtrip(cond_choice in 0usize..4) {
+        let conds = [
+            "s != null",
+            "s != null && s.closing == false",
+            "snap.expires_at >= req_time",
+            "q.quota > 0 && q.state == \"OPEN\"",
+        ];
+        let sentence = format!("when calling act, require {}", conds[cond_choice]);
+        let rule = author_rule("X", &sentence).expect("author");
+        let want = lisa_smt::parse_cond(conds[cond_choice]).expect("cond");
+        prop_assert!(lisa_smt::equivalent(&rule.condition, &want));
+    }
+}

@@ -1,0 +1,363 @@
+//! Negation normal form and structural simplification.
+//!
+//! The solver pipeline first lowers arbitrary terms (with `->`, `<->`,
+//! nested negation) into NNF — negation applied only to atoms — then
+//! performs cheap structural simplifications (constant folding, flattening,
+//! duplicate removal, complementary-literal detection) that keep the later
+//! CNF conversion small.
+
+use crate::term::{Atom, CmpOp, IntOperand, Term};
+
+/// A literal: an atom with a polarity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    pub atom: Atom,
+    pub positive: bool,
+}
+
+impl Literal {
+    pub fn new(atom: Atom, positive: bool) -> Self {
+        Literal { atom, positive }
+    }
+
+    pub fn negate(&self) -> Literal {
+        Literal { atom: self.atom.clone(), positive: !self.positive }
+    }
+
+    /// Render as a term.
+    pub fn to_term(&self) -> Term {
+        let t = Term::Atom(self.atom.clone());
+        if self.positive {
+            t
+        } else {
+            t.not()
+        }
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_term())
+    }
+}
+
+/// Convert to negation normal form.
+///
+/// The result contains only `True`, `False`, `Atom`, `Not(Atom)`, `And`,
+/// and `Or` nodes. Integer atoms are canonicalized (see
+/// [`canonicalize_atom`]) so that syntactically different spellings of the
+/// same constraint share a SAT variable.
+pub fn to_nnf(term: &Term) -> Term {
+    nnf(term, true)
+}
+
+fn nnf(term: &Term, positive: bool) -> Term {
+    match term {
+        Term::True => {
+            if positive {
+                Term::True
+            } else {
+                Term::False
+            }
+        }
+        Term::False => {
+            if positive {
+                Term::False
+            } else {
+                Term::True
+            }
+        }
+        Term::Atom(a) => {
+            // Integer equality is split into a bound pair so the theory
+            // solver only ever sees pure difference constraints (for which
+            // it is complete): `a == b` becomes `a <= b && a >= b`, and its
+            // negation the disjunction `a < b || a > b`.
+            if let Atom::IntCmp(x, op @ (CmpOp::Eq | CmpOp::Ne), y) = a {
+                let le = Term::Atom(Atom::IntCmp(x.clone(), CmpOp::Le, y.clone()));
+                let ge = Term::Atom(Atom::IntCmp(x.clone(), CmpOp::Ge, y.clone()));
+                let want_eq = (*op == CmpOp::Eq) == positive;
+                return if want_eq {
+                    Term::and([nnf(&le, true), nnf(&ge, true)])
+                } else {
+                    Term::or([nnf(&le, false), nnf(&ge, false)])
+                };
+            }
+            let (atom, flipped) = canonicalize_atom(a);
+            let pos = positive ^ flipped;
+            let t = Term::Atom(atom);
+            if pos {
+                t
+            } else {
+                Term::Not(Box::new(t))
+            }
+        }
+        Term::Not(t) => nnf(t, !positive),
+        Term::And(ts) => {
+            let parts: Vec<Term> = ts.iter().map(|t| nnf(t, positive)).collect();
+            if positive {
+                Term::and(parts)
+            } else {
+                Term::or(parts)
+            }
+        }
+        Term::Or(ts) => {
+            let parts: Vec<Term> = ts.iter().map(|t| nnf(t, positive)).collect();
+            if positive {
+                Term::or(parts)
+            } else {
+                Term::and(parts)
+            }
+        }
+        Term::Implies(a, b) => {
+            // a -> b  ==  !a || b
+            if positive {
+                Term::or([nnf(a, false), nnf(b, true)])
+            } else {
+                Term::and([nnf(a, true), nnf(b, false)])
+            }
+        }
+        Term::Iff(a, b) => {
+            // a <-> b  ==  (a && b) || (!a && !b)
+            let both = Term::and([nnf(a, positive), nnf(b, true)]);
+            let neither = Term::and([nnf(a, !positive), nnf(b, false)]);
+            Term::or([both, neither])
+        }
+    }
+}
+
+/// Canonicalize an integer atom so that equal constraints are
+/// syntactically equal; returns the canonical atom and whether the
+/// polarity was flipped.
+///
+/// Canonical form rules:
+/// - constants move to the right-hand side (`3 < x` becomes `x > 3`),
+/// - `Ne` becomes negated `Eq`, `Gt`/`Ge` between two vars become flipped
+///   `Lt`/`Le` when the variable names are out of order,
+/// - constant-vs-constant comparisons fold to `True`/`False` upstream (the
+///   atom is kept; [`fold_const_atom`] handles it).
+pub fn canonicalize_atom(atom: &Atom) -> (Atom, bool) {
+    match atom {
+        Atom::IntCmp(a, op, b) => {
+            let (mut a, mut op, mut b) = (a.clone(), *op, b.clone());
+            // Move constant to the right.
+            if matches!(a, IntOperand::Const(_)) && matches!(b, IntOperand::Var(_)) {
+                std::mem::swap(&mut a, &mut b);
+                op = op.flip();
+            }
+            // Order var-var atoms by name.
+            if let (IntOperand::Var(x), IntOperand::Var(y)) = (&a, &b) {
+                if x > y {
+                    std::mem::swap(&mut a, &mut b);
+                    op = op.flip();
+                }
+            }
+            // Express Ne as !Eq, Gt as !Le, Ge as !Lt so each semantic
+            // constraint has exactly one positive spelling.
+            match op {
+                CmpOp::Ne => (Atom::IntCmp(a, CmpOp::Eq, b), true),
+                CmpOp::Gt => (Atom::IntCmp(a, CmpOp::Le, b), true),
+                CmpOp::Ge => (Atom::IntCmp(a, CmpOp::Lt, b), true),
+                op => (Atom::IntCmp(a, op, b), false),
+            }
+        }
+        Atom::RefEq(a, b) => {
+            let (mut a, mut b) = (a.clone(), b.clone());
+            // Variables sort before `null` so null checks render in the
+            // idiomatic `x == null` order; var-var pairs sort by name.
+            let swap = match (&a, &b) {
+                (crate::term::RefOperand::Null, crate::term::RefOperand::Var(_)) => true,
+                (crate::term::RefOperand::Var(x), crate::term::RefOperand::Var(y)) => x > y,
+                _ => false,
+            };
+            if swap {
+                std::mem::swap(&mut a, &mut b);
+            }
+            (Atom::RefEq(a, b), false)
+        }
+        Atom::StrEq(a, b) => {
+            let (mut a, mut b) = (a.clone(), b.clone());
+            if format!("{a:?}") > format!("{b:?}") {
+                std::mem::swap(&mut a, &mut b);
+            }
+            (Atom::StrEq(a, b), false)
+        }
+        a => (a.clone(), false),
+    }
+}
+
+/// Fold atoms whose truth is decided syntactically (const-vs-const
+/// comparisons, `x == x`, `null == null`). Returns `None` when the atom is
+/// genuinely symbolic.
+pub fn fold_const_atom(atom: &Atom) -> Option<bool> {
+    match atom {
+        Atom::IntCmp(IntOperand::Const(a), op, IntOperand::Const(b)) => Some(op.eval(*a, *b)),
+        Atom::IntCmp(IntOperand::Var(x), op, IntOperand::Var(y)) if x == y => match op {
+            CmpOp::Eq | CmpOp::Le | CmpOp::Ge => Some(true),
+            CmpOp::Ne | CmpOp::Lt | CmpOp::Gt => Some(false),
+        },
+        Atom::RefEq(crate::term::RefOperand::Null, crate::term::RefOperand::Null) => Some(true),
+        Atom::RefEq(crate::term::RefOperand::Var(x), crate::term::RefOperand::Var(y)) if x == y => {
+            Some(true)
+        }
+        Atom::StrEq(crate::term::StrOperand::Lit(a), crate::term::StrOperand::Lit(b)) => {
+            Some(a == b)
+        }
+        Atom::StrEq(crate::term::StrOperand::Var(x), crate::term::StrOperand::Var(y)) if x == y => {
+            Some(true)
+        }
+        _ => None,
+    }
+}
+
+/// Simplify an NNF term: fold constant atoms, drop duplicate conjuncts /
+/// disjuncts, and detect complementary literal pairs.
+pub fn simplify(term: &Term) -> Term {
+    match term {
+        Term::Atom(a) => match fold_const_atom(a) {
+            Some(true) => Term::True,
+            Some(false) => Term::False,
+            None => term.clone(),
+        },
+        Term::Not(inner) => match inner.as_ref() {
+            Term::Atom(a) => match fold_const_atom(a) {
+                Some(true) => Term::False,
+                Some(false) => Term::True,
+                None => term.clone(),
+            },
+            _ => simplify(inner).not(),
+        },
+        Term::And(ts) => {
+            let mut parts = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for t in ts {
+                let s = simplify(t);
+                match s {
+                    Term::True => {}
+                    Term::False => return Term::False,
+                    s => {
+                        if seen.insert(s.clone()) {
+                            // Complementary pair check.
+                            if seen.contains(&s.clone().not()) {
+                                return Term::False;
+                            }
+                            parts.push(s);
+                        }
+                    }
+                }
+            }
+            Term::and(parts)
+        }
+        Term::Or(ts) => {
+            let mut parts = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for t in ts {
+                let s = simplify(t);
+                match s {
+                    Term::False => {}
+                    Term::True => return Term::True,
+                    s => {
+                        if seen.insert(s.clone()) {
+                            if seen.contains(&s.clone().not()) {
+                                return Term::True;
+                            }
+                            parts.push(s);
+                        }
+                    }
+                }
+            }
+            Term::or(parts)
+        }
+        t => t.clone(),
+    }
+}
+
+/// Full preprocessing: NNF + simplification.
+pub fn preprocess(term: &Term) -> Term {
+    simplify(&to_nnf(term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{CmpOp, Term};
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let t = Term::and([Term::bool_var("a"), Term::bool_var("b")]).not();
+        let n = to_nnf(&t);
+        assert_eq!(n.to_string(), "!a || !b");
+    }
+
+    #[test]
+    fn nnf_implies() {
+        let t = Term::bool_var("a").implies(Term::bool_var("b"));
+        assert_eq!(to_nnf(&t).to_string(), "!a || b");
+    }
+
+    #[test]
+    fn nnf_iff_expands() {
+        let t = Term::bool_var("a").iff(Term::bool_var("b"));
+        let n = to_nnf(&t);
+        assert_eq!(n.to_string(), "a && b || !a && !b");
+    }
+
+    #[test]
+    fn canonical_moves_constant_right() {
+        // 3 < x  ==>  x > 3  ==> !(x <= 3)
+        let t = Term::Atom(Atom::IntCmp(IntOperand::Const(3), CmpOp::Lt, IntOperand::Var("x".into())));
+        let n = to_nnf(&t);
+        assert_eq!(n.to_string(), "x > 3");
+        // Same canonical atom as x > 3 written directly.
+        let direct = to_nnf(&Term::int_cmp_c("x", CmpOp::Gt, 3));
+        assert_eq!(n, direct);
+    }
+
+    #[test]
+    fn canonical_merges_ne_and_not_eq() {
+        let a = to_nnf(&Term::int_cmp_c("x", CmpOp::Ne, 5));
+        let b = to_nnf(&Term::int_cmp_c("x", CmpOp::Eq, 5).not());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simplify_folds_const_comparison() {
+        let t = Term::and([Term::int_cmp_c("x", CmpOp::Gt, 0), {
+            Term::Atom(Atom::IntCmp(IntOperand::Const(1), CmpOp::Lt, IntOperand::Const(2)))
+        }]);
+        assert_eq!(preprocess(&t).to_string(), "x > 3".replace('3', "0"));
+    }
+
+    #[test]
+    fn simplify_detects_complementary_conjuncts() {
+        let t = Term::and([Term::bool_var("a"), Term::bool_var("a").not()]);
+        assert_eq!(preprocess(&t), Term::False);
+    }
+
+    #[test]
+    fn simplify_detects_complementary_disjuncts() {
+        let t = Term::or([
+            Term::int_cmp_c("x", CmpOp::Le, 3),
+            Term::int_cmp_c("x", CmpOp::Gt, 3),
+        ]);
+        assert_eq!(preprocess(&t), Term::True);
+    }
+
+    #[test]
+    fn simplify_dedups() {
+        let a = Term::bool_var("a");
+        let t = Term::and([a.clone(), a.clone(), a.clone()]);
+        assert_eq!(preprocess(&t), a);
+    }
+
+    #[test]
+    fn fold_x_eq_x() {
+        assert_eq!(
+            fold_const_atom(&Atom::IntCmp(
+                IntOperand::Var("x".into()),
+                CmpOp::Eq,
+                IntOperand::Var("x".into())
+            )),
+            Some(true)
+        );
+    }
+}

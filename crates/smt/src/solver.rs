@@ -1,0 +1,387 @@
+//! The DPLL(T) driver: SAT core + theory solver in a lazy loop, plus the
+//! high-level entailment queries LISA uses (implication, equivalence, and
+//! the paper's complement-of-the-checker violation test).
+
+use crate::cnf::{Cnf, PLit};
+use crate::model::{Model, Value};
+use crate::nnf::preprocess;
+use crate::sat::{SatOutcome, SatSolver};
+use crate::term::{Sort, Term};
+use crate::theory::{self, TheoryLit, TheoryResult};
+
+/// Result of a satisfiability check.
+#[derive(Debug)]
+pub enum SatResult {
+    Sat(Model),
+    Unsat,
+}
+
+impl SatResult {
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// Counters from one `check` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    pub theory_rounds: u64,
+    pub sat_decisions: u64,
+    pub sat_conflicts: u64,
+    pub sat_propagations: u64,
+}
+
+/// The solver. Stateless between `check` calls; construct once and reuse,
+/// or use the free functions below.
+#[derive(Debug, Default)]
+pub struct Solver {
+    pub stats: SolverStats,
+    /// Upper bound on lazy theory-refinement rounds; a safety valve, far
+    /// above anything the LISA workload reaches.
+    pub max_rounds: u64,
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver { stats: SolverStats::default(), max_rounds: 100_000 }
+    }
+
+    /// Decide satisfiability of `term` modulo the equality + difference
+    /// theory.
+    pub fn check(&mut self, term: &Term) -> SatResult {
+        self.stats = SolverStats::default();
+        let pre = preprocess(term);
+        match &pre {
+            Term::True => {
+                let mut m = Model::new();
+                m.validated = true;
+                return SatResult::Sat(m);
+            }
+            Term::False => return SatResult::Unsat,
+            _ => {}
+        }
+
+        let mut cnf = Cnf::new();
+        if cnf.assert_term(&pre).is_err() {
+            return SatResult::Unsat;
+        }
+        let mut sat = SatSolver::new(cnf.num_vars());
+        for clause in &cnf.clauses {
+            if !sat.add_clause(clause.clone()) {
+                return SatResult::Unsat;
+            }
+        }
+
+        loop {
+            self.stats.theory_rounds += 1;
+            if self.stats.theory_rounds > self.max_rounds {
+                // Unreachable in practice; fail closed (treat as UNSAT
+                // would be unsound for the violation check, so panic in
+                // debug and return the safe side in release).
+                debug_assert!(false, "theory refinement did not converge");
+                return SatResult::Unsat;
+            }
+            match sat.solve() {
+                SatOutcome::Unsat => {
+                    self.capture_stats(&sat);
+                    return SatResult::Unsat;
+                }
+                SatOutcome::Sat(assignment) => {
+                    // Extract theory literals from the boolean assignment.
+                    let mut lits: Vec<TheoryLit> = Vec::new();
+                    let mut lit_vars: Vec<usize> = Vec::new();
+                    for (v, atom) in cnf.atom_of.iter().enumerate() {
+                        if let Some(atom) = atom {
+                            lits.push((atom.clone(), assignment[v]));
+                            lit_vars.push(v);
+                        }
+                    }
+                    match theory::check(&lits) {
+                        TheoryResult::Consistent(tm) => {
+                            self.capture_stats(&sat);
+                            let mut model = Model::new();
+                            for (i, (atom, positive)) in lits.iter().enumerate() {
+                                let _ = (i, positive);
+                                if let crate::term::Atom::BoolVar(v) = atom {
+                                    model.set(v.clone(), Value::Bool(lits[i].1));
+                                }
+                            }
+                            for (k, v) in tm.ints {
+                                model.set(k, Value::Int(v));
+                            }
+                            for (k, v) in tm.refs {
+                                model.set(k, Value::Ref(v));
+                            }
+                            for (k, v) in tm.strs {
+                                model.set(k, Value::Str(v));
+                            }
+                            // Fill sorts for vars never mentioned in any
+                            // asserted literal polarity that the theory saw.
+                            for (var, sort) in pre.vars() {
+                                if model.get(&var).is_none() {
+                                    model.set(
+                                        var,
+                                        match sort {
+                                            Sort::Bool => Value::Bool(false),
+                                            Sort::Int => Value::Int(0),
+                                            Sort::Ref => Value::Ref(None),
+                                            Sort::Str => Value::Str(String::new()),
+                                        },
+                                    );
+                                }
+                            }
+                            model.validated = model.eval(&pre);
+                            return SatResult::Sat(model);
+                        }
+                        TheoryResult::Conflict(indices) => {
+                            // Block this theory-inconsistent assignment:
+                            // at least one cited literal must flip.
+                            let clause: Vec<PLit> = indices
+                                .iter()
+                                .map(|&i| {
+                                    let v = lit_vars[i] as PLit;
+                                    if lits[i].1 {
+                                        -v
+                                    } else {
+                                        v
+                                    }
+                                })
+                                .collect();
+                            debug_assert!(!clause.is_empty(), "theory conflict cites literals");
+                            if clause.is_empty() || !sat.add_clause(clause) {
+                                self.capture_stats(&sat);
+                                return SatResult::Unsat;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn capture_stats(&mut self, sat: &SatSolver) {
+        self.stats.sat_decisions = sat.stats.decisions;
+        self.stats.sat_conflicts = sat.stats.conflicts;
+        self.stats.sat_propagations = sat.stats.propagations;
+    }
+}
+
+/// Is `term` satisfiable?
+pub fn is_sat(term: &Term) -> bool {
+    Solver::new().check(term).is_sat()
+}
+
+/// Is `term` valid (true under every assignment)?
+pub fn is_valid(term: &Term) -> bool {
+    !is_sat(&term.clone().not())
+}
+
+/// Does `premise` entail `conclusion`?
+pub fn implies(premise: &Term, conclusion: &Term) -> bool {
+    !is_sat(&Term::and([premise.clone(), conclusion.clone().not()]))
+}
+
+/// Are the two terms logically equivalent?
+pub fn equivalent(a: &Term, b: &Term) -> bool {
+    implies(a, b) && implies(b, a)
+}
+
+/// The paper's violation test (§3.2): a trace with path condition `pi`
+/// violates the checker formula `checker` iff the trace "fulfills the
+/// complement of the checker formula" — i.e. `pi ∧ ¬checker` is
+/// satisfiable. A condition the trace never constrains is thereby treated
+/// as possibly-false (a *missing check*), exactly as the paper requires.
+///
+/// Returns the witness model when violated (the concrete shape of the
+/// missing-check counterexample), `None` when the trace is verified.
+pub fn violates(pi: &Term, checker: &Term) -> Option<Model> {
+    match Solver::new().check(&Term::and([pi.clone(), checker.clone().not()])) {
+        SatResult::Sat(m) => Some(m),
+        SatResult::Unsat => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+
+    fn zk_checker() -> Term {
+        Term::and([
+            Term::not_null("s"),
+            Term::bool_var("s.isClosing").not(),
+            Term::int_cmp_c("s.ttl", CmpOp::Gt, 0),
+        ])
+    }
+
+    #[test]
+    fn sat_simple_conjunction() {
+        let t = zk_checker();
+        let r = Solver::new().check(&t);
+        let m = r.model().expect("sat");
+        assert!(m.validated, "model must evaluate the term to true: {m}");
+    }
+
+    #[test]
+    fn unsat_contradiction() {
+        let t = Term::and([
+            Term::int_cmp_c("x", CmpOp::Gt, 5),
+            Term::int_cmp_c("x", CmpOp::Lt, 3),
+        ]);
+        assert!(!is_sat(&t));
+    }
+
+    #[test]
+    fn unsat_needs_theory_across_disjunction() {
+        // (x < 0 || x > 10) && x == 5
+        let t = Term::and([
+            Term::or([Term::int_cmp_c("x", CmpOp::Lt, 0), Term::int_cmp_c("x", CmpOp::Gt, 10)]),
+            Term::int_cmp_c("x", CmpOp::Eq, 5),
+        ]);
+        assert!(!is_sat(&t));
+    }
+
+    #[test]
+    fn valid_excluded_middle_over_theory() {
+        let t = Term::or([
+            Term::int_cmp_c("x", CmpOp::Le, 3),
+            Term::int_cmp_c("x", CmpOp::Gt, 3),
+        ]);
+        assert!(is_valid(&t));
+    }
+
+    #[test]
+    fn implication_over_bounds() {
+        // x > 5 implies x > 3.
+        assert!(implies(
+            &Term::int_cmp_c("x", CmpOp::Gt, 5),
+            &Term::int_cmp_c("x", CmpOp::Gt, 3)
+        ));
+        assert!(!implies(
+            &Term::int_cmp_c("x", CmpOp::Gt, 3),
+            &Term::int_cmp_c("x", CmpOp::Gt, 5)
+        ));
+    }
+
+    #[test]
+    fn equivalence_of_eq_and_bound_pair() {
+        let eq = Term::int_cmp_c("x", CmpOp::Eq, 7);
+        let pair = Term::and([
+            Term::int_cmp_c("x", CmpOp::Le, 7),
+            Term::int_cmp_c("x", CmpOp::Ge, 7),
+        ]);
+        assert!(equivalent(&eq, &pair));
+    }
+
+    #[test]
+    fn paper_violation_example_null_session() {
+        // Trace creates the node with only (s == null): violates.
+        let pi = Term::is_null("s");
+        assert!(violates(&pi, &zk_checker()).is_some());
+    }
+
+    #[test]
+    fn paper_violation_example_missing_ttl_check() {
+        // (s != null && !s.isClosing) — the ttl check is missing, so the
+        // complement is satisfiable with s.ttl <= 0.
+        let pi = Term::and([Term::not_null("s"), Term::bool_var("s.isClosing").not()]);
+        let m = violates(&pi, &zk_checker()).expect("must violate");
+        if let Some(Value::Int(ttl)) = m.get("s.ttl") {
+            assert!(*ttl <= 0, "witness must show the unchecked ttl: {m}");
+        } else {
+            panic!("model should assign s.ttl: {m}");
+        }
+    }
+
+    #[test]
+    fn paper_verified_example_full_condition() {
+        let pi = zk_checker();
+        assert!(violates(&pi, &zk_checker()).is_none());
+    }
+
+    #[test]
+    fn violation_with_extra_unrelated_constraints_still_verified() {
+        let pi = Term::and([zk_checker(), Term::int_cmp_c("reqId", CmpOp::Gt, 100)]);
+        assert!(violates(&pi, &zk_checker()).is_none());
+    }
+
+    #[test]
+    fn ref_equality_propagates_through_sat() {
+        // a == b && b == null && a != null  is UNSAT.
+        let t = Term::and([
+            Term::ref_eq("a", "b"),
+            Term::is_null("b"),
+            Term::not_null("a"),
+        ]);
+        assert!(!is_sat(&t));
+    }
+
+    #[test]
+    fn string_states_conflict() {
+        let t = Term::and([
+            Term::str_eq_lit("state", "OPEN"),
+            Term::str_eq_lit("state", "CLOSING"),
+        ]);
+        assert!(!is_sat(&t));
+    }
+
+    #[test]
+    fn disjunctive_checker_verified_by_either_branch() {
+        let checker = Term::or([
+            Term::bool_var("isReadOnly"),
+            Term::int_cmp_c("epoch", CmpOp::Ge, 1),
+        ]);
+        let pi = Term::bool_var("isReadOnly");
+        assert!(violates(&pi, &checker).is_none());
+        let pi2 = Term::int_cmp_c("epoch", CmpOp::Ge, 3);
+        assert!(violates(&pi2, &checker).is_none());
+        let pi3 = Term::int_cmp_c("epoch", CmpOp::Le, 0);
+        assert!(violates(&pi3, &checker).is_some());
+    }
+
+    #[test]
+    fn model_counterexample_validates() {
+        let pi = Term::not_null("s");
+        let m = violates(&pi, &zk_checker()).expect("violation");
+        assert!(m.validated, "counterexample should validate: {m}");
+    }
+
+    #[test]
+    fn int_disequality_clique_unsat() {
+        // x,y,z pairwise distinct, all in [0,1]: UNSAT (needs the Eq/Ne
+        // splitting to be complete).
+        let in01 = |v: &str| {
+            Term::and([Term::int_cmp_c(v, CmpOp::Ge, 0), Term::int_cmp_c(v, CmpOp::Le, 1)])
+        };
+        let t = Term::and([
+            in01("x"),
+            in01("y"),
+            in01("z"),
+            Term::int_cmp_v("x", CmpOp::Ne, "y"),
+            Term::int_cmp_v("y", CmpOp::Ne, "z"),
+            Term::int_cmp_v("x", CmpOp::Ne, "z"),
+        ]);
+        assert!(!is_sat(&t));
+    }
+
+    #[test]
+    fn int_disequality_pair_sat() {
+        let t = Term::and([
+            Term::int_cmp_c("x", CmpOp::Ge, 0),
+            Term::int_cmp_c("x", CmpOp::Le, 1),
+            Term::int_cmp_c("y", CmpOp::Ge, 0),
+            Term::int_cmp_c("y", CmpOp::Le, 1),
+            Term::int_cmp_v("x", CmpOp::Ne, "y"),
+        ]);
+        let r = Solver::new().check(&t);
+        let m = r.model().expect("sat");
+        assert!(m.validated, "{m}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests: the DPLL(T) solver against a brute-force oracle.
+//!
+//! The fragment has a small-model property: integer atoms use constants in
+//! a narrow range and only difference/bound constraints, so if a formula
+//! is satisfiable at all it is satisfiable with every integer in a window
+//! slightly wider than the constant range, refs drawn from {null, #1, #2,
+//! #3}, and strings from the mentioned literals plus one fresh value.
+//! Brute-force enumeration over that domain is therefore a complete
+//! reference solver.
+
+use proptest::prelude::*;
+
+use lisa_smt::model::{Model, Value};
+use lisa_smt::solver::{implies, is_sat, violates, Solver};
+use lisa_smt::term::{CmpOp, Term};
+
+const INT_VARS: [&str; 2] = ["x", "y"];
+const BOOL_VARS: [&str; 2] = ["p", "q"];
+const REF_VARS: [&str; 2] = ["r", "t"];
+const STR_VARS: [&str; 1] = ["s"];
+const STR_LITS: [&str; 2] = ["open", "closed"];
+
+fn arb_atom() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        proptest::sample::select(&BOOL_VARS[..]).prop_map(Term::bool_var),
+        (
+            proptest::sample::select(&INT_VARS[..]),
+            arb_cmpop(),
+            -3i64..=3,
+        )
+            .prop_map(|(v, op, c)| Term::int_cmp_c(v, op, c)),
+        (
+            proptest::sample::select(&INT_VARS[..]),
+            arb_cmpop(),
+            proptest::sample::select(&INT_VARS[..]),
+        )
+            .prop_map(|(a, op, b)| Term::int_cmp_v(a, op, b)),
+        proptest::sample::select(&REF_VARS[..]).prop_map(Term::is_null),
+        (
+            proptest::sample::select(&REF_VARS[..]),
+            proptest::sample::select(&REF_VARS[..]),
+        )
+            .prop_map(|(a, b)| Term::ref_eq(a, b)),
+        (
+            proptest::sample::select(&STR_VARS[..]),
+            proptest::sample::select(&STR_LITS[..]),
+        )
+            .prop_map(|(v, l)| Term::str_eq_lit(v, l)),
+    ]
+}
+
+fn arb_cmpop() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    arb_atom().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Term::not),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
+        ]
+    })
+}
+
+/// Enumerate the small-model domain and report whether any assignment
+/// satisfies `t`.
+fn brute_force_sat(t: &Term) -> bool {
+    let ints: Vec<i64> = (-6..=6).collect();
+    let refs: Vec<Option<u64>> = vec![None, Some(1), Some(2)];
+    let strs = ["open", "closed", "$other"];
+    for &x in &ints {
+        for &y in &ints {
+            for pb in [false, true] {
+                for qb in [false, true] {
+                    for &rv in &refs {
+                        for &tv in &refs {
+                            for sv in strs {
+                                let mut m = Model::new();
+                                m.set("x", Value::Int(x));
+                                m.set("y", Value::Int(y));
+                                m.set("p", Value::Bool(pb));
+                                m.set("q", Value::Bool(qb));
+                                m.set("r", Value::Ref(rv));
+                                m.set("t", Value::Ref(tv));
+                                m.set("s", Value::Str(sv.to_string()));
+                                if m.eval(t) {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(t in arb_term()) {
+        let expected = brute_force_sat(&t);
+        let got = is_sat(&t);
+        prop_assert_eq!(got, expected, "term: {}", t);
+    }
+
+    #[test]
+    fn sat_models_validate(t in arb_term()) {
+        let mut solver = Solver::new();
+        if let lisa_smt::SatResult::Sat(m) = solver.check(&t) {
+            prop_assert!(m.validated, "model {} does not satisfy {}", m, t);
+        }
+    }
+
+    #[test]
+    fn preprocess_preserves_truth_pointwise(t in arb_term(), x in -6i64..=6, y in -6i64..=6,
+                                            pb in any::<bool>(), qb in any::<bool>(),
+                                            r in 0usize..3, tv in 0usize..3, s in 0usize..3) {
+        let refs = [None, Some(1), Some(2)];
+        let strs = ["open", "closed", "$other"];
+        let mut m = Model::new();
+        m.set("x", Value::Int(x));
+        m.set("y", Value::Int(y));
+        m.set("p", Value::Bool(pb));
+        m.set("q", Value::Bool(qb));
+        m.set("r", Value::Ref(refs[r]));
+        m.set("t", Value::Ref(refs[tv]));
+        m.set("s", Value::Str(strs[s].to_string()));
+        let pre = lisa_smt::preprocess(&t);
+        prop_assert_eq!(m.eval(&t), m.eval(&pre), "term: {} pre: {}", t, pre);
+    }
+
+    #[test]
+    fn violates_is_negated_implication(pi in arb_term(), checker in arb_term()) {
+        let v = violates(&pi, &checker).is_some();
+        prop_assert_eq!(v, !implies(&pi, &checker));
+    }
+
+    #[test]
+    fn double_negation_roundtrip(t in arb_term()) {
+        prop_assert_eq!(is_sat(&t), is_sat(&t.clone().not().not()));
+    }
+
+    #[test]
+    fn conjunction_with_negation_unsat(t in arb_term()) {
+        prop_assert!(!is_sat(&Term::and([t.clone(), t.not()])));
+    }
+
+    #[test]
+    fn parser_roundtrips_display(t in arb_term()) {
+        // Display output must re-parse to an equivalent term (sort hints
+        // supplied for ref/str var-var comparisons).
+        let mut hints = std::collections::HashMap::new();
+        for (v, sort) in t.vars() {
+            hints.insert(v, sort);
+        }
+        let printed = t.to_string();
+        let reparsed = lisa_smt::parse_cond_with(&printed, &hints)
+            .map_err(|e| TestCaseError::fail(format!("reparse of {printed:?}: {e}")))?;
+        prop_assert!(lisa_smt::equivalent(&t, &reparsed),
+                     "printed {} reparsed {}", printed, reparsed);
+    }
+}

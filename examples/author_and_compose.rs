@@ -1,0 +1,70 @@
+//! The §5 open questions, live: a developer authors rules through the
+//! structured template (Q2) with guard-mined suggestions, then composes
+//! the validated rules into a high-level guarantee (Q3).
+//!
+//! ```sh
+//! cargo run --example author_and_compose
+//! ```
+
+use lisa::{compose, HighLevelProperty, Obligation, Pipeline, PipelineConfig, TestSelection};
+use lisa_corpus::case;
+use lisa_oracle::{author_rule, suggest_conditions};
+
+fn main() {
+    let case = case("zk-ephemeral").expect("corpus case");
+    let fixed = &case.versions.fixed;
+
+    // Q2, step 1: the assistant suggests conditions mined from existing
+    // guards around the target.
+    println!("== suggestions for `create_ephemeral_node` ==");
+    let suggestions = suggest_conditions(&fixed.program, "create_ephemeral_node");
+    for s in &suggestions {
+        println!("  {} paths already enforce: {}", s.support, s.condition_src);
+    }
+
+    // Q2, step 2: the developer writes template sentences.
+    let sentences = [
+        "when calling create_ephemeral_node, require s != null && s.closing == false",
+        "never call blocking_io while holding a lock",
+    ];
+    println!("\n== authored rules ==");
+    let mut rules = Vec::new();
+    for (i, sentence) in sentences.iter().enumerate() {
+        let rule = author_rule(&format!("DEV-{i}"), sentence).expect("template");
+        println!("  {sentence}\n    => {}", rule.contract());
+        rules.push(rule);
+    }
+
+    // Enforce the call rule on the fixed version.
+    let pipeline = Pipeline::new(PipelineConfig {
+        selection: TestSelection::All,
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.check_rule(fixed, &rules[0]);
+    println!(
+        "\nenforced on {}: {} verified / {} violated / {} uncovered",
+        fixed.label,
+        report.verified_count(),
+        report.violated_count(),
+        report.not_covered_count()
+    );
+
+    // Q3: compose into the high-level property of §3.1.
+    let property = HighLevelProperty::new(
+        "H-EPHEMERAL",
+        "No client may create an ephemeral node when the session is in the CLOSING state",
+        "session != null && session.closing == false",
+    )
+    .expect("property");
+    let result = compose(
+        &property,
+        &[Obligation::new(rules[0].clone()).bind("s", "session")],
+        &[report],
+    );
+    println!("\n== composition ==");
+    println!("property:   {}", property.description);
+    println!("combined:   {}", result.combined);
+    println!("sufficient: {}", result.sufficient);
+    println!("guaranteed: {}", result.guaranteed());
+    assert!(result.guaranteed());
+}

@@ -1,0 +1,75 @@
+//! The CI/CD vision of §1: "every failure, once fixed, automatically
+//! becomes an executable contract." This example plays a release
+//! engineer: it processes every historical ticket in the corpus, builds
+//! the full rule registry (with noisy rules filtered by cross-checking),
+//! then gates candidate builds.
+//!
+//! ```sh
+//! cargo run --example ci_gate
+//! ```
+
+use lisa::{cross_check, enforce, GateDecision, PipelineConfig, RuleRegistry, TestSelection};
+use lisa_corpus::all_cases;
+use lisa_oracle::{infer_rules, rescope, Scope};
+
+fn main() {
+    let cases = all_cases();
+    let config =
+        PipelineConfig { selection: TestSelection::Rag { k: 3 }, ..PipelineConfig::default() };
+
+    // Phase 1: every fixed ticket becomes an executable contract.
+    println!("== building the rule registry from {} historical tickets ==", {
+        cases.iter().map(|c| c.tickets.len()).sum::<usize>()
+    });
+    let mut registries: Vec<(String, RuleRegistry)> = Vec::new();
+    for case in &cases {
+        let mut registry = RuleRegistry::new();
+        for ticket in &case.tickets {
+            let Ok(out) = infer_rules(ticket) else { continue };
+            for rule in out.rules {
+                // Generalize the builtin family (Figure 6)...
+                let rule = match &rule.target {
+                    lisa_analysis::TargetSpec::Call { .. } => rule,
+                    _ => rescope(&rule, Scope::Generalized).expect("rescope"),
+                };
+                // ...and only register rules grounded on the fixed code.
+                let cc = cross_check(&case.versions.fixed, &rule);
+                if cc.grounded {
+                    println!("  + {}  [{}]", rule.contract(), ticket.id);
+                    registry.register(rule);
+                } else {
+                    println!("  - rejected {} ({})", rule.id, cc.reason);
+                }
+            }
+        }
+        registries.push((case.meta.id.clone(), registry));
+    }
+
+    // Phase 2: gate candidate builds.
+    println!("\n== gating candidate builds ==");
+    let mut blocked = 0;
+    let mut passed = 0;
+    for (case, (id, registry)) in cases.iter().zip(registries.iter()) {
+        for version in [&case.versions.regressed, &case.versions.latest] {
+            let report = enforce(registry, version, &config, 4);
+            let tag = format!("{id}@{}", version.label);
+            match report.decision {
+                GateDecision::Block => {
+                    blocked += 1;
+                    let culprits: Vec<String> = report
+                        .violated_rules()
+                        .iter()
+                        .map(|r| r.rule_id.clone())
+                        .collect();
+                    println!("  BLOCK {tag}  (violates {})", culprits.join(", "));
+                }
+                GateDecision::Pass => {
+                    passed += 1;
+                    println!("  pass  {tag}");
+                }
+            }
+        }
+    }
+    println!("\n{blocked} build(s) blocked, {passed} passed.");
+    println!("every blocked build is a production regression that never shipped.");
+}

@@ -1,0 +1,49 @@
+//! §4 Bug #2 as a runnable walkthrough: the observer-namenode location
+//! checks (HDFS-13924/16732) do not cover the batched-listing path in
+//! the latest version — the HDFS-17768 analogue.
+//!
+//! ```sh
+//! cargo run --example hdfs_observer
+//! ```
+
+use lisa::report::render_rule_report;
+use lisa::{Pipeline, PipelineConfig, TestSelection};
+use lisa_corpus::case;
+use lisa_oracle::infer_rules;
+
+fn main() {
+    let case = case("hdfs-observer-read").expect("corpus case");
+
+    println!("== the historical tickets ==");
+    for t in &case.tickets {
+        println!("  {} — {}", t.id, t.title);
+        println!("      {}", t.description);
+    }
+
+    let rule = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    println!("\nmined contract: {}", rule.contract());
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        selection: TestSelection::All,
+        ..PipelineConfig::default()
+    });
+
+    println!("\n== the regressed version the second ticket describes ==");
+    let report = pipeline.check_rule(&case.versions.regressed, &rule);
+    print!("{}", render_rule_report(&report));
+
+    println!("\n== the latest version: known fixes in place, one path still open ==");
+    let report = pipeline.check_rule(&case.versions.latest, &rule);
+    print!("{}", render_rule_report(&report));
+    let v = report.violations()[0];
+    println!(
+        "previously unknown bug: `get_batched_listing` can return a block with {}",
+        v.witness
+    );
+    println!("(paper: 'HDFS developers have approved the fix')");
+}

@@ -1,0 +1,91 @@
+//! Quickstart: protect your own system with a LISA rule in ~60 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! We write a tiny SIR system with two request paths to a guarded
+//! action, author a low-level semantic for it, and let the pipeline find
+//! the path that forgot a check.
+
+use lisa::{Pipeline, PipelineConfig, TestSelection};
+use lisa_analysis::TargetSpec;
+use lisa_concolic::{discover_tests, SystemVersion};
+use lisa_lang::Program;
+use lisa_oracle::SemanticRule;
+
+const SYSTEM: &str = r#"
+struct Order { id: int, paid: bool, cancelled: bool }
+global orders: map<int, Order>;
+global shipped: map<int, int>;
+
+fn ship_order(o: Order, courier: int) {
+    shipped.put(o.id, courier);
+    log("order shipped");
+}
+
+// The checkout path validates everything.
+fn checkout_ship(oid: int, courier: int) {
+    let o: Order = orders.get(oid);
+    if (o == null || o.paid == false || o.cancelled) { return; }
+    ship_order(o, courier);
+}
+
+// The admin retry path forgot the cancellation check.
+fn admin_reship(oid: int, courier: int) {
+    let ord: Order = orders.get(oid);
+    if (ord == null || ord.paid == false) { return; }
+    ship_order(ord, courier);
+}
+
+fn seed(id: int, paid: bool, cancelled: bool) {
+    orders.put(id, new Order { id: id, paid: paid, cancelled: cancelled });
+}
+
+fn test_checkout_ships_paid_order() {
+    seed(1, true, false);
+    checkout_ship(1, 7);
+    assert(shipped.contains(1), "paid order ships");
+}
+
+fn test_admin_reship_works() {
+    seed(2, true, false);
+    admin_reship(2, 9);
+    assert(shipped.contains(2), "reship works");
+}
+"#;
+
+fn main() {
+    // 1. Parse + type-check the system (tests included).
+    let program = Program::parse_single("shop/orders", SYSTEM).expect("parse");
+    let errors = lisa_lang::check_program(&program);
+    assert!(errors.is_empty(), "{errors:?}");
+    let tests = discover_tests(&program, "test_");
+    let version = SystemVersion::new("v1", program, tests);
+
+    // 2. Author the low-level semantic: the safety contract <P> s <>.
+    let rule = SemanticRule::new(
+        "SHOP-1",
+        "never ship an unpaid or cancelled order",
+        TargetSpec::Call { callee: "ship_order".into() },
+        "o != null && o.paid == true && o.cancelled == false",
+    )
+    .expect("rule");
+    println!("rule:     {}", rule.contract());
+
+    // 3. Assert it across every path that reaches ship_order.
+    let pipeline = Pipeline::new(PipelineConfig {
+        selection: TestSelection::All,
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.check_rule(&version, &rule);
+
+    // 4. Read the verdicts.
+    println!("{}", lisa::report::render_rule_report(&report));
+    assert!(report.has_violation(), "the admin path must be flagged");
+    let v = report.violations()[0];
+    println!(
+        "counterexample: a state with {} slips through `{}`",
+        v.witness, v.chain.last().expect("chain")
+    );
+}

@@ -1,0 +1,123 @@
+//! §5 Q3 end-to-end: composing validated low-level semantics into a
+//! high-level guarantee on a real corpus version.
+
+use lisa::{compose, HighLevelProperty, Obligation, Pipeline, PipelineConfig, TestSelection};
+use lisa_corpus::case;
+use lisa_oracle::{author_rule, infer_rules};
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        selection: TestSelection::All,
+        ..PipelineConfig::default()
+    })
+}
+
+#[test]
+fn ephemeral_lifecycle_property_guaranteed_on_fixed_version() {
+    let case = case("zk-ephemeral").expect("case");
+    // The mined rule plus a developer-authored strengthening compose into
+    // the high-level lifecycle property of §3.1.
+    let mined = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    let authored = author_rule(
+        "DEV-ZK-1",
+        "when calling create_ephemeral_node, require s != null",
+    )
+    .expect("authored");
+
+    let property = HighLevelProperty::new(
+        "H-EPHEMERAL",
+        "no client may create an ephemeral node when the session is missing or CLOSING",
+        "session != null && session.closing == false",
+    )
+    .expect("property");
+
+    let p = pipeline();
+    let reports = vec![
+        p.check_rule(&case.versions.fixed, &mined),
+        p.check_rule(&case.versions.fixed, &authored),
+    ];
+    let result = compose(
+        &property,
+        &[
+            Obligation::new(mined.clone()).bind("s", "session"),
+            Obligation::new(authored.clone()).bind("s", "session"),
+        ],
+        &reports,
+    );
+    assert!(result.sufficient, "combined: {}", result.combined);
+    assert!(result.guaranteed(), "unenforced: {:?}", result.unenforced_rules);
+    assert!(lisa_smt::is_sat(&result.combined), "composition is not vacuous");
+}
+
+#[test]
+fn property_not_guaranteed_on_regressed_version() {
+    let case = case("zk-ephemeral").expect("case");
+    let mined = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    let property = HighLevelProperty::new(
+        "H-EPHEMERAL",
+        "no create on closing session",
+        "session != null && session.closing == false",
+    )
+    .expect("property");
+    let reports = vec![pipeline().check_rule(&case.versions.regressed, &mined)];
+    let result = compose(
+        &property,
+        &[Obligation::new(mined).bind("s", "session")],
+        &reports,
+    );
+    // Logically sufficient, but the rule is violated on this version, so
+    // the high-level guarantee does not hold.
+    assert!(result.sufficient);
+    assert!(!result.guaranteed());
+    assert_eq!(result.unenforced_rules.len(), 1);
+}
+
+#[test]
+fn missing_obligation_is_detected() {
+    let case = case("hbase-snapshot-ttl").expect("case");
+    let mined = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    // A stronger property than the rules provide: freshness margin.
+    let property = HighLevelProperty::new(
+        "H-SNAPSHOT-MARGIN",
+        "snapshots served with at least 100 ticks of ttl margin",
+        "snap != null && margin >= 100",
+    )
+    .expect("property");
+    let result = compose(&property, &[Obligation::new(mined)], &[]);
+    assert!(!result.sufficient, "the margin obligation is not covered by the mined rule");
+}
+
+#[test]
+fn authored_suggestions_match_mined_rules() {
+    // The §5 Q2 assistant: suggestions mined from the fixed codebase
+    // agree with what inference extracted from the ticket.
+    let case = case("zk-ephemeral").expect("case");
+    let suggestions = lisa_oracle::suggest_conditions(
+        &case.versions.fixed.program,
+        "create_ephemeral_node",
+    );
+    assert!(!suggestions.is_empty());
+    let top = lisa_smt::parse_cond(&suggestions[0].condition_src).expect("cond");
+    let truth = lisa_smt::parse_cond(&case.ground_truth.condition_src).expect("truth");
+    assert!(
+        lisa_smt::equivalent(&top, &truth),
+        "suggested `{}` vs truth `{}`",
+        suggestions[0].condition_src,
+        case.ground_truth.condition_src
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-cutting consistency properties over the full corpus:
+//! configuration choices that must not change *verdicts* (only cost),
+//! and the persistence layer round-tripping real pipeline evidence.
+
+use lisa::{Pipeline, PipelineConfig, TestSelection};
+use lisa_concolic::Policy;
+use lisa_corpus::all_cases;
+use lisa_oracle::{infer_rules, rescope, Scope, SemanticRule};
+
+fn mined_rule(case: &lisa_corpus::Case) -> SemanticRule {
+    let rule = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    match &rule.target {
+        lisa_analysis::TargetSpec::Call { .. } => rule,
+        _ => rescope(&rule, Scope::Generalized).expect("rescope"),
+    }
+}
+
+fn pipeline(selection: TestSelection, policy: Policy) -> Pipeline {
+    Pipeline::new(PipelineConfig { selection, policy, ..PipelineConfig::default() })
+}
+
+#[test]
+fn pruning_policy_never_changes_verdicts() {
+    // E8's headline invariant, asserted corpus-wide on every version.
+    for case in all_cases() {
+        let rule = mined_rule(&case);
+        for version in case.versions.all() {
+            let pruned =
+                pipeline(TestSelection::All, Policy::RelevantOnly).check_rule(version, &rule);
+            let full =
+                pipeline(TestSelection::All, Policy::RecordAll).check_rule(version, &rule);
+            assert_eq!(
+                pruned.has_violation(),
+                full.has_violation(),
+                "{}/{}: pruning changed the verdict",
+                case.meta.id,
+                version.label
+            );
+            assert_eq!(pruned.verified_count(), full.verified_count());
+            assert!(pruned.stats.branches_recorded <= full.stats.branches_recorded);
+        }
+    }
+}
+
+#[test]
+fn rag_selection_matches_exhaustive_on_regressed_versions() {
+    // E9's operating point: RAG top-3 must not lose any recurrence the
+    // exhaustive run catches.
+    for case in all_cases() {
+        let rule = mined_rule(&case);
+        let version = &case.versions.regressed;
+        let rag = pipeline(TestSelection::Rag { k: 3 }, Policy::RelevantOnly)
+            .check_rule(version, &rule);
+        let all =
+            pipeline(TestSelection::All, Policy::RelevantOnly).check_rule(version, &rule);
+        assert_eq!(
+            rag.has_violation(),
+            all.has_violation(),
+            "{}: RAG top-3 lost the recurrence",
+            case.meta.id
+        );
+        assert!(rag.stats.tests_executed <= all.stats.tests_executed);
+    }
+}
+
+#[test]
+fn trace_logs_roundtrip_real_pipeline_evidence() {
+    // Persist every violation's π from the corpus sweep and re-judge
+    // offline: the same violations must reappear.
+    use lisa_concolic::tracelog::{decode, encode, rejudge, TraceRecord};
+    let mut records = Vec::new();
+    let mut rules: Vec<(usize, SemanticRule)> = Vec::new();
+    for case in all_cases() {
+        let rule = mined_rule(&case);
+        let report = pipeline(TestSelection::All, Policy::RelevantOnly)
+            .check_rule(&case.versions.regressed, &rule);
+        for v in report.violations() {
+            records.push(TraceRecord {
+                test: v.test.clone(),
+                caller: v.chain.last().cloned().unwrap_or_default(),
+                callee: rule.target.callee().to_string(),
+                pi: v.pi.clone(),
+                chain: v.chain.clone(),
+                locks_held: 0,
+            });
+            rules.push((records.len() - 1, rule.clone()));
+        }
+    }
+    assert!(records.len() >= 16, "one violation per case expected, got {}", records.len());
+    let blob = encode(&records);
+    let decoded = decode(blob).expect("decode");
+    assert_eq!(decoded.len(), records.len());
+    // Offline re-judging flags every persisted violation again.
+    for (idx, rule) in &rules {
+        let flagged = rejudge(&decoded[*idx..*idx + 1], &rule.condition);
+        assert_eq!(flagged.len(), 1, "persisted violation must re-judge as violating");
+    }
+}
+
+#[test]
+fn gate_workers_do_not_change_decisions() {
+    use lisa::{enforce, RuleRegistry};
+    let mut registry = RuleRegistry::new();
+    for case in all_cases().into_iter().take(6) {
+        registry.register(mined_rule(&case));
+    }
+    let case = lisa_corpus::case("zk-ephemeral").expect("case");
+    let config =
+        PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
+    let decisions: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| enforce(&registry, &case.versions.regressed, &config, w).decision)
+        .collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
+}

@@ -1,0 +1,102 @@
+//! Figure 6 / experiment E5: rule generalization on the serialization
+//! case (ZK-2201 → ZK-3531 analogue).
+//!
+//! - the *specific* rule (blocking I/O inside `serialize_tree` only)
+//!   misses the recurrence in the ACL serializer,
+//! - the *generalized* rule ("no blocking I/O within synchronized
+//!   blocks") catches it with no false positives,
+//! - the *naively broadened* rule (no blocking I/O anywhere) catches it
+//!   too but also flags the legitimate unlocked snapshot write.
+
+use lisa::{Pipeline, PipelineConfig, TestSelection};
+use lisa_corpus::case;
+use lisa_oracle::{infer_rules, rescope, Scope};
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        selection: TestSelection::All,
+        ..PipelineConfig::default()
+    })
+}
+
+fn scoped_rule(scope: Scope) -> lisa_oracle::SemanticRule {
+    let case = case("zk-sync-serialize").expect("case");
+    let mined = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    // The mined rule is the specific BuiltinInCaller form.
+    assert!(matches!(
+        mined.target,
+        lisa_analysis::TargetSpec::BuiltinInCaller { .. }
+    ));
+    rescope(&mined, scope).expect("rescope")
+}
+
+#[test]
+fn specific_rule_misses_the_recurrence() {
+    let case = case("zk-sync-serialize").expect("case");
+    let rule = scoped_rule(Scope::Specific);
+    let report = pipeline().check_rule(&case.versions.regressed, &rule);
+    assert_eq!(
+        report.violated_count(),
+        0,
+        "the specific rule only watches serialize_tree: {:#?}",
+        report.chains
+    );
+}
+
+#[test]
+fn generalized_rule_catches_it_without_false_positives() {
+    let case = case("zk-sync-serialize").expect("case");
+    let rule = scoped_rule(Scope::Generalized);
+    let report = pipeline().check_rule(&case.versions.regressed, &rule);
+    assert_eq!(report.violated_count(), 1, "{:#?}", report.chains);
+    let violated: Vec<&str> =
+        report.chains.iter().filter(|c| c.verdict.is_violated()).map(|c| c.entry.as_str()).collect();
+    assert_eq!(violated, vec!["serialize_acl_cache"]);
+    // And on the clean latest version: nothing flagged.
+    let clean = pipeline().check_rule(&case.versions.latest, &rule);
+    assert_eq!(clean.violated_count(), 0, "{:#?}", clean.chains);
+}
+
+#[test]
+fn naive_broadening_adds_false_positives() {
+    let case = case("zk-sync-serialize").expect("case");
+    let rule = scoped_rule(Scope::NaiveBroad);
+    // On the *clean* latest version the naive rule still fires — on the
+    // legitimate unlocked snapshot write and the moved serializer writes.
+    let clean = pipeline().check_rule(&case.versions.latest, &rule);
+    assert!(
+        clean.violated_count() >= 1,
+        "naive broadening must produce false positives: {:#?}",
+        clean.chains
+    );
+    let flagged: Vec<&str> =
+        clean.chains.iter().filter(|c| c.verdict.is_violated()).map(|c| c.entry.as_str()).collect();
+    assert!(
+        flagged.contains(&"write_snapshot"),
+        "the legitimate snapshot write gets flagged: {flagged:?}"
+    );
+}
+
+#[test]
+fn generalization_summary_matches_figure_6() {
+    // The three-scope contrast in one table: (catches recurrence, false
+    // positives on clean code).
+    let case = case("zk-sync-serialize").expect("case");
+    let mut rows = Vec::new();
+    for scope in [Scope::Specific, Scope::Generalized, Scope::NaiveBroad] {
+        let rule = scoped_rule(scope);
+        let on_regressed = pipeline().check_rule(&case.versions.regressed, &rule);
+        let on_clean = pipeline().check_rule(&case.versions.latest, &rule);
+        rows.push((scope, on_regressed.violated_count() > 0, on_clean.violated_count()));
+    }
+    assert_eq!(rows[0], (Scope::Specific, false, 0));
+    assert_eq!(rows[1].0, Scope::Generalized);
+    assert!(rows[1].1 && rows[1].2 == 0);
+    assert_eq!(rows[2].0, Scope::NaiveBroad);
+    assert!(rows[2].1 && rows[2].2 > 0);
+}

@@ -1,0 +1,102 @@
+//! §4 / experiment E6: "Applying LISA to a small set of historical
+//! failures, we identified two previously unknown bugs in HBase and
+//! HDFS" — plus the latent multi-op path in the ZooKeeper flagship.
+//!
+//! The *latest* version of each flagship system has every historically
+//! reported bug fixed; LISA, enforcing the rules mined from the old
+//! tickets, still finds an unchecked path that no ticket ever described.
+
+use lisa::{Pipeline, PipelineConfig, TestSelection};
+use lisa_corpus::case;
+use lisa_oracle::infer_rules;
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        selection: TestSelection::All,
+        ..PipelineConfig::default()
+    })
+}
+
+fn check_latest(case_id: &str) -> lisa::RuleReport {
+    let case = case(case_id).expect("case");
+    let rule = infer_rules(case.original_ticket())
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("rule");
+    pipeline().check_rule(&case.versions.latest, &rule)
+}
+
+#[test]
+fn hbase_bug1_expired_snapshot_scan_path() {
+    // HBASE-29296 analogue: the scanner path misses the expiration check.
+    let report = check_latest("hbase-snapshot-ttl");
+    let violated: Vec<&str> = report
+        .chains
+        .iter()
+        .filter(|c| c.verdict.is_violated())
+        .map(|c| c.entry.as_str())
+        .collect();
+    assert_eq!(violated, vec!["scan_snapshot"], "{:#?}", report.chains);
+    // The historically fixed paths verify.
+    assert!(report.sanity_ok);
+    let verified: Vec<&str> = report
+        .chains
+        .iter()
+        .filter(|c| matches!(c.verdict, lisa::ChainVerdict::Verified))
+        .map(|c| c.entry.as_str())
+        .collect();
+    assert!(verified.contains(&"restore_snapshot"));
+    assert!(verified.contains(&"export_snapshot"));
+}
+
+#[test]
+fn hdfs_bug2_batched_listing_without_locations() {
+    // HDFS-17768 analogue: getBatchedListing returns locationless blocks.
+    let report = check_latest("hdfs-observer-read");
+    let violated: Vec<&str> = report
+        .chains
+        .iter()
+        .filter(|c| c.verdict.is_violated())
+        .map(|c| c.entry.as_str())
+        .collect();
+    assert_eq!(violated, vec!["get_batched_listing"], "{:#?}", report.chains);
+    // Witness shows the unchecked location flag.
+    let v = report.violations()[0];
+    assert_eq!(
+        v.witness.get("b.has_location"),
+        Some(&lisa_smt::Value::Bool(false)),
+        "{}",
+        v.witness
+    );
+}
+
+#[test]
+fn zookeeper_latent_multi_op_path() {
+    let report = check_latest("zk-ephemeral");
+    let violated: Vec<&str> = report
+        .chains
+        .iter()
+        .filter(|c| c.verdict.is_violated())
+        .map(|c| c.entry.as_str())
+        .collect();
+    assert_eq!(violated, vec!["multi_op_create"], "{:#?}", report.chains);
+}
+
+#[test]
+fn proposed_fixes_close_the_gap() {
+    // "We propose to add timestamp checks to other paths, and the
+    // solution has been accepted" — model the accepted fix by checking
+    // that the fully-guarded variant of each path shape verifies: the
+    // fixed paths of the same version all carry the full condition and
+    // all verify, so adding the same guard to the flagged path closes it.
+    for id in ["hbase-snapshot-ttl", "hdfs-observer-read", "zk-ephemeral"] {
+        let report = check_latest(id);
+        assert_eq!(report.violated_count(), 1, "{id}: exactly one unknown bug");
+        assert!(
+            report.verified_count() >= 2,
+            "{id}: the guarded siblings demonstrate the accepted fix shape"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! §5 Q1 / experiment E7: LLM reliability. The noise model reintroduces
+//! the failure modes the paper worries about (non-determinism and
+//! hallucination); the cross-checking mechanism filters them.
+
+use lisa::cross_check;
+use lisa_corpus::all_cases;
+use lisa_oracle::{infer_rules, NoiseModel, Perturbation, SemanticRule};
+
+/// Mine the faithful call-target rules across the corpus (the builtin
+/// case is exercised elsewhere).
+fn faithful_rules() -> Vec<(lisa_corpus::Case, SemanticRule)> {
+    all_cases()
+        .into_iter()
+        .filter_map(|case| {
+            let rule = infer_rules(case.original_ticket()).ok()?.rules.into_iter().next()?;
+            matches!(rule.target, lisa_analysis::TargetSpec::Call { .. })
+                .then_some((case, rule))
+        })
+        .collect()
+}
+
+#[test]
+fn faithful_rules_all_survive_cross_checking() {
+    for (case, rule) in faithful_rules() {
+        let cc = cross_check(&case.versions.fixed, &rule);
+        assert!(cc.grounded, "{}: {}", case.meta.id, cc.reason);
+    }
+}
+
+#[test]
+fn hallucinated_rules_are_filtered_by_cross_checking() {
+    let pairs = faithful_rules();
+    let rules: Vec<SemanticRule> = pairs.iter().map(|(_, r)| r.clone()).collect();
+    let noisy = NoiseModel::new(1.0, 0.0, 1234).apply(&rules);
+    let mut wrong_total = 0usize;
+    let mut wrong_caught = 0usize;
+    let mut weak_total = 0usize;
+    let mut weak_survive = 0usize;
+    for ((case, _), n) in pairs.iter().zip(noisy.iter()) {
+        let cc = cross_check(&case.versions.fixed, &n.rule);
+        match n.perturbation {
+            Perturbation::FlippedOperator | Perturbation::RenamedVariable => {
+                wrong_total += 1;
+                if !cc.grounded {
+                    wrong_caught += 1;
+                }
+            }
+            Perturbation::DroppedConjunct => {
+                // Weakened rules are imprecise, not wrong: they ground.
+                weak_total += 1;
+                if cc.grounded {
+                    weak_survive += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(wrong_total >= 3, "seeded noise should produce wrong rules: {wrong_total}");
+    assert_eq!(
+        wrong_caught, wrong_total,
+        "every flipped/renamed rule must fail grounding"
+    );
+    assert_eq!(
+        weak_survive, weak_total,
+        "dropped-conjunct rules ground (imprecise, not wrong)"
+    );
+}
+
+#[test]
+fn nondeterminism_is_seed_controlled() {
+    let rules: Vec<SemanticRule> =
+        faithful_rules().into_iter().map(|(_, r)| r).collect();
+    let model = NoiseModel::new(0.4, 0.1, 7);
+    let a = model.apply(&rules);
+    let b = model.apply(&rules);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.perturbation, y.perturbation);
+        assert_eq!(x.rule.condition, y.rule.condition);
+    }
+    // A different seed (a different "run of the LLM") produces different
+    // outputs — the reproducibility risk the paper names.
+    let c = NoiseModel::new(0.4, 0.1, 8).apply(&rules);
+    let differs = a
+        .iter()
+        .zip(c.iter())
+        .any(|(x, y)| x.perturbation != y.perturbation);
+    assert!(differs);
+}
+
+#[test]
+fn precision_improves_with_cross_checking() {
+    // Precision of the rule set that reaches enforcement, with and
+    // without the cross-checking filter, under heavy noise.
+    let pairs = faithful_rules();
+    let rules: Vec<SemanticRule> = pairs.iter().map(|(_, r)| r.clone()).collect();
+    let noisy = NoiseModel::new(0.6, 0.0, 99).apply(&rules);
+    let is_correct = |p: &Perturbation| {
+        matches!(p, Perturbation::Faithful | Perturbation::DroppedConjunct)
+    };
+    let unfiltered_correct = noisy.iter().filter(|n| is_correct(&n.perturbation)).count();
+    let unfiltered_total = noisy.len();
+    let mut filtered_correct = 0usize;
+    let mut filtered_total = 0usize;
+    for ((case, _), n) in pairs.iter().zip(noisy.iter()) {
+        if cross_check(&case.versions.fixed, &n.rule).grounded {
+            filtered_total += 1;
+            if is_correct(&n.perturbation) {
+                filtered_correct += 1;
+            }
+        }
+    }
+    let p_unfiltered = unfiltered_correct as f64 / unfiltered_total as f64;
+    let p_filtered = filtered_correct as f64 / filtered_total.max(1) as f64;
+    assert!(
+        p_filtered > p_unfiltered,
+        "cross-checking must raise precision: {p_filtered:.2} vs {p_unfiltered:.2}"
+    );
+    assert!(
+        (p_filtered - 1.0).abs() < f64::EPSILON,
+        "everything grounded is faithful or merely weakened: {p_filtered:.2}"
+    );
+}

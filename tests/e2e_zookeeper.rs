@@ -1,0 +1,103 @@
+//! End-to-end reproduction of the paper's running example (Figures 2-3):
+//! ZK-1208 is fixed, LISA mines the low-level semantic from the ticket,
+//! and the ZK-1496-class regression is caught at the gate before it can
+//! ship — while the original fixed path verifies (the sanity check).
+
+use lisa::{enforce, GateDecision, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
+use lisa_corpus::case;
+use lisa_oracle::infer_rules;
+
+fn config() -> PipelineConfig {
+    PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() }
+}
+
+#[test]
+fn the_full_story_of_zk_1208() {
+    let case = case("zk-ephemeral").expect("corpus case");
+
+    // 1. The first incident is fixed; the ticket bundle exists.
+    let ticket = case.original_ticket();
+    assert_eq!(ticket.id, "ZK-9208");
+
+    // 2. LISA infers the low-level semantic from the ticket.
+    let inference = infer_rules(ticket).expect("inference succeeds");
+    assert_eq!(inference.rules.len(), 1);
+    let rule = &inference.rules[0];
+    assert_eq!(rule.target.callee(), "create_ephemeral_node");
+    let truth = lisa_smt::parse_cond(&case.ground_truth.condition_src).expect("truth");
+    assert!(
+        lisa_smt::equivalent(&rule.condition, &truth),
+        "inferred `{}` must match ground truth `{}`",
+        rule.condition,
+        case.ground_truth.condition_src
+    );
+
+    // 3. The rule is grounded against the fixed version (cross-check).
+    let cc = lisa::cross_check(&case.versions.fixed, rule);
+    assert!(cc.grounded, "{}", cc.reason);
+
+    // 4. The fixed version passes the gate.
+    let mut registry = RuleRegistry::new();
+    registry.register(rule.clone());
+    let fixed_report = enforce(&registry, &case.versions.fixed, &config(), 2);
+    assert_eq!(fixed_report.decision, GateDecision::Pass);
+
+    // 5. A year later the touch-session path lands: the gate blocks it —
+    //    the ZK-1496 regression never ships.
+    let regressed_report = enforce(&registry, &case.versions.regressed, &config(), 2);
+    assert_eq!(regressed_report.decision, GateDecision::Block);
+    let rr = &regressed_report.reports[0];
+    assert!(rr.sanity_ok, "the original fixed path must still verify");
+    let violated: Vec<&str> = rr
+        .chains
+        .iter()
+        .filter(|c| c.verdict.is_violated())
+        .map(|c| c.entry.as_str())
+        .collect();
+    assert_eq!(violated, vec!["touch_session_create"], "{:#?}", rr.chains);
+
+    // 6. The violation evidence names the unchecked state.
+    let v = rr.violations()[0];
+    assert_eq!(
+        v.witness.get("s.closing"),
+        Some(&lisa_smt::Value::Bool(true)),
+        "witness must show a closing session slipping through: {}",
+        v.witness
+    );
+}
+
+#[test]
+fn regression_tests_alone_miss_the_recurrence() {
+    // The contrast the paper draws in §2.1: the regression test added for
+    // ZK-1208 exercises only the original path and stays green on the
+    // regressed version.
+    let case = case("zk-ephemeral").expect("corpus case");
+    let replay = lisa::baselines::regression_test_baseline(
+        &case.versions.regressed,
+        &case.original_ticket().regression_tests,
+    );
+    assert_eq!(replay.tests_run, 1);
+    assert!(!replay.detected(), "the old test is blind to the new path");
+}
+
+#[test]
+fn pipeline_works_with_rag_selection() {
+    let case = case("zk-ephemeral").expect("corpus case");
+    let ticket = case.original_ticket();
+    let rule = infer_rules(ticket)
+        .expect("inference")
+        .rules
+        .into_iter()
+        .next()
+        .expect("one rule");
+    let pipeline = Pipeline::new(PipelineConfig {
+        selection: TestSelection::Rag { k: 3 },
+        ..PipelineConfig::default()
+    });
+    let report = pipeline.check_rule(&case.versions.regressed, &rule);
+    assert!(report.has_violation(), "RAG-selected tests still expose the violation");
+    assert!(
+        (report.stats.tests_selected as usize) <= case.versions.regressed.tests.len(),
+        "selection must not exceed the suite"
+    );
+}
