@@ -1,11 +1,11 @@
 //! Property tests for the static analyses: execution-tree enumeration
 //! against a brute-force DAG path counter, entry detection, and path
-//! estimators.
-
-use proptest::prelude::*;
+//! estimators. Random DAGs are drawn from `lisa_util::Prng` with fixed
+//! seeds so each case reproduces exactly.
 
 use lisa_analysis::{execution_tree, paths_through_fn, CallGraph, TargetSpec, TreeLimits};
 use lisa_lang::Program;
+use lisa_util::Prng;
 
 /// Build a program whose call graph is the DAG given by `edges` over
 /// `n` functions (edges only from lower to higher index, so acyclic).
@@ -46,20 +46,22 @@ fn brute_force_chains(n: usize, edges: &[(usize, usize)]) -> usize {
         .sum()
 }
 
-fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..7).prop_flat_map(|n| {
-        let all_edges: Vec<(usize, usize)> =
-            (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect();
-        let len = all_edges.len();
-        (Just(n), proptest::sample::subsequence(all_edges, 0..=len))
-    })
+/// Random DAG: node count in [2, 6], each forward edge kept with
+/// probability 1/2 (a random subsequence of all forward edges).
+fn gen_dag(rng: &mut Prng) -> (usize, Vec<(usize, usize)>) {
+    let n = 2 + rng.gen_index(5);
+    let edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn chain_count_matches_brute_force((n, edges) in arb_dag()) {
+#[test]
+fn chain_count_matches_brute_force() {
+    let mut rng = Prng::seed_from_u64(0xda6_0001);
+    for _ in 0..128 {
+        let (n, edges) = gen_dag(&mut rng);
         let p = dag_program(n, &edges);
         let g = CallGraph::build(&p);
         let tree = execution_tree(
@@ -67,13 +69,17 @@ proptest! {
             &TargetSpec::Call { callee: "target".into() },
             TreeLimits { max_chains: 100_000, max_depth: 64 },
         );
-        prop_assert!(!tree.truncated);
+        assert!(!tree.truncated);
         let expected = brute_force_chains(n, &edges);
-        prop_assert_eq!(tree.chains.len(), expected, "n={} edges={:?}", n, edges);
+        assert_eq!(tree.chains.len(), expected, "n={n} edges={edges:?}");
     }
+}
 
-    #[test]
-    fn chains_start_at_true_entries((n, edges) in arb_dag()) {
+#[test]
+fn chains_start_at_true_entries() {
+    let mut rng = Prng::seed_from_u64(0xda6_0002);
+    for _ in 0..128 {
+        let (n, edges) = gen_dag(&mut rng);
         let p = dag_program(n, &edges);
         let g = CallGraph::build(&p);
         let entries = g.entry_functions();
@@ -83,7 +89,7 @@ proptest! {
             TreeLimits { max_chains: 100_000, max_depth: 64 },
         );
         for chain in &tree.chains {
-            prop_assert!(
+            assert!(
                 entries.contains(&chain.entry),
                 "chain entry {} is not an entry function {:?}",
                 chain.entry,
@@ -91,9 +97,13 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn chains_are_acyclic((n, edges) in arb_dag()) {
+#[test]
+fn chains_are_acyclic() {
+    let mut rng = Prng::seed_from_u64(0xda6_0003);
+    for _ in 0..128 {
+        let (n, edges) = gen_dag(&mut rng);
         let p = dag_program(n, &edges);
         let g = CallGraph::build(&p);
         let tree = execution_tree(
@@ -106,13 +116,15 @@ proptest! {
             let mut dedup = fns.clone();
             dedup.sort();
             dedup.dedup();
-            prop_assert_eq!(dedup.len(), fns.len(), "cycle in {:?}", fns);
+            assert_eq!(dedup.len(), fns.len(), "cycle in {fns:?}");
         }
     }
+}
 
-    #[test]
-    fn path_count_at_least_one_and_multiplicative(k in 0usize..8) {
-        // k sequential ifs yield exactly 2^k paths.
+#[test]
+fn path_count_at_least_one_and_multiplicative() {
+    // k sequential ifs yield exactly 2^k paths.
+    for k in 0usize..8 {
         let mut body = String::new();
         for i in 0..k {
             body.push_str(&format!("    if (x > {i}) {{ log(\"b\"); }}\n"));
@@ -120,6 +132,6 @@ proptest! {
         let src = format!("fn f(x: int) {{\n{body}}}\n");
         let p = Program::parse_single("t", &src).expect("parse");
         let f = p.function("f").expect("fn");
-        prop_assert_eq!(paths_through_fn(f), 1u64 << k);
+        assert_eq!(paths_through_fn(f), 1u64 << k);
     }
 }

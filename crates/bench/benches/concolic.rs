@@ -2,7 +2,7 @@
 //! and the pruning policy's effect (the quantitative side of experiment
 //! E8).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lisa_bench::harness::{bench, group};
 
 use lisa_analysis::{AliasMap, TargetSpec};
 use lisa_concolic::{ConcolicTracer, Policy};
@@ -47,67 +47,56 @@ fn guarded_program(guards: usize) -> Program {
     Program::parse_single("bench", &src).expect("program")
 }
 
-fn bench_interp(c: &mut Criterion) {
+fn bench_interp() {
     let p = hot_loop_program();
-    let mut g = c.benchmark_group("interp/spin_loop");
+    group("interp/spin_loop");
     for n in [100i64, 1_000, 10_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut interp = Interp::new(&p);
-                interp
-                    .call("spin", vec![Value::Int(n)], &mut NullTracer)
-                    .expect("run")
-            })
+        bench(&format!("interp/spin_loop/{n}"), || {
+            let mut interp = Interp::new(&p);
+            interp
+                .call("spin", vec![Value::Int(n)], &mut NullTracer)
+                .expect("run")
         });
     }
-    g.finish();
 }
 
-fn bench_tracer_overhead(c: &mut Criterion) {
+fn bench_tracer_overhead() {
     let p = guarded_program(64);
     let target = TargetSpec::Call { callee: "act".into() };
     let mut aliases = AliasMap::default();
     aliases.insert("drive", "e", "e");
     aliases.insert("act", "e", "e");
 
-    let mut g = c.benchmark_group("concolic/policy_overhead");
-    g.bench_function("null_tracer", |b| {
-        b.iter(|| {
-            let mut interp = Interp::new(&p);
-            interp.call("seed", vec![], &mut NullTracer).expect("seed");
-            interp
-                .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut NullTracer)
-                .expect("drive")
-        })
+    group("concolic/policy_overhead");
+    bench("concolic/policy_overhead/null_tracer", || {
+        let mut interp = Interp::new(&p);
+        interp.call("seed", vec![], &mut NullTracer).expect("seed");
+        interp
+            .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut NullTracer)
+            .expect("drive")
     });
-    g.bench_function("relevant_only", |b| {
-        b.iter(|| {
-            let mut interp = Interp::new(&p);
-            let mut tr =
-                ConcolicTracer::new(target.clone(), aliases.clone(), Policy::RelevantOnly);
-            interp.call("seed", vec![], &mut tr).expect("seed");
-            interp
-                .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut tr)
-                .expect("drive");
-            assert_eq!(tr.hits.len(), 1);
-        })
+    bench("concolic/policy_overhead/relevant_only", || {
+        let mut interp = Interp::new(&p);
+        let mut tr = ConcolicTracer::new(target.clone(), aliases.clone(), Policy::RelevantOnly);
+        interp.call("seed", vec![], &mut tr).expect("seed");
+        interp
+            .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut tr)
+            .expect("drive");
+        assert_eq!(tr.hits.len(), 1);
     });
-    g.bench_function("record_all", |b| {
-        b.iter(|| {
-            let mut interp = Interp::new(&p);
-            let mut tr = ConcolicTracer::new(target.clone(), aliases.clone(), Policy::RecordAll);
-            interp.call("seed", vec![], &mut tr).expect("seed");
-            interp
-                .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut tr)
-                .expect("drive");
-            assert_eq!(tr.hits.len(), 1);
-        })
+    bench("concolic/policy_overhead/record_all", || {
+        let mut interp = Interp::new(&p);
+        let mut tr = ConcolicTracer::new(target.clone(), aliases.clone(), Policy::RecordAll);
+        interp.call("seed", vec![], &mut tr).expect("seed");
+        interp
+            .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut tr)
+            .expect("drive");
+        assert_eq!(tr.hits.len(), 1);
     });
-    g.finish();
 }
 
-fn bench_pruning_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("concolic/pruning_scaling");
+fn bench_pruning_scaling() {
+    group("concolic/pruning_scaling");
     for guards in [16usize, 64, 256] {
         let p = guarded_program(guards);
         let target = TargetSpec::Call { callee: "act".into() };
@@ -116,40 +105,22 @@ fn bench_pruning_scaling(c: &mut Criterion) {
         for (name, policy) in
             [("pruned", Policy::RelevantOnly), ("unpruned", Policy::RecordAll)]
         {
-            g.bench_with_input(
-                BenchmarkId::new(name, guards),
-                &(p.clone(), policy),
-                |b, (p, policy)| {
-                    b.iter(|| {
-                        let mut interp = Interp::new(p);
-                        let mut tr = ConcolicTracer::new(
-                            target.clone(),
-                            aliases.clone(),
-                            policy.clone(),
-                        );
-                        interp.call("seed", vec![], &mut tr).expect("seed");
-                        interp
-                            .call(
-                                "drive",
-                                vec![Value::Int(1), Value::Str("t".into())],
-                                &mut tr,
-                            )
-                            .expect("drive");
-                        std::hint::black_box(tr.hits.len())
-                    })
-                },
-            );
+            bench(&format!("concolic/pruning_scaling/{name}/{guards}"), || {
+                let mut interp = Interp::new(&p);
+                let mut tr =
+                    ConcolicTracer::new(target.clone(), aliases.clone(), policy.clone());
+                interp.call("seed", vec![], &mut tr).expect("seed");
+                interp
+                    .call("drive", vec![Value::Int(1), Value::Str("t".into())], &mut tr)
+                    .expect("drive");
+                tr.hits.len()
+            });
         }
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_interp, bench_tracer_overhead, bench_pruning_scaling
+fn main() {
+    bench_interp();
+    bench_tracer_overhead();
+    bench_pruning_scaling();
 }
-criterion_main!(benches);

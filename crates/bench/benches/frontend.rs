@@ -1,7 +1,7 @@
 //! SIR front-end benchmarks: lexing/parsing/type-checking and static
 //! analysis (call graph, execution tree) — the Soot-substitute costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lisa_bench::harness::{bench, group};
 
 use lisa_analysis::{execution_tree, CallGraph, TargetSpec, TreeLimits};
 use lisa_lang::{check_program, parse_module, Program};
@@ -26,63 +26,49 @@ fn module_src(n: usize) -> String {
     s
 }
 
-fn bench_parse_and_check(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frontend/parse");
+fn bench_parse_and_check() {
+    group("frontend/parse");
     for n in [8usize, 64, 256] {
         let src = module_src(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
-            b.iter(|| std::hint::black_box(parse_module("m", src).expect("parse")))
-        });
+        bench(&format!("frontend/parse/{n}"), || parse_module("m", &src).expect("parse"));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("frontend/typecheck");
+    group("frontend/typecheck");
     for n in [8usize, 64, 256] {
         let src = module_src(n);
         let p = Program::parse_single("m", &src).expect("parse");
-        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| {
-                let errs = check_program(p);
-                assert!(errs.is_empty());
-            })
+        bench(&format!("frontend/typecheck/{n}"), || {
+            let errs = check_program(&p);
+            assert!(errs.is_empty());
         });
     }
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis/callgraph_and_tree");
+fn bench_analysis() {
+    group("analysis/callgraph_and_tree");
     for n in [8usize, 64, 256] {
         let src = module_src(n);
         let p = Program::parse_single("m", &src).expect("parse");
-        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| {
-                let graph = CallGraph::build(p);
-                let tree = execution_tree(
-                    &graph,
-                    &TargetSpec::Call { callee: "act".into() },
-                    TreeLimits::default(),
-                );
-                assert_eq!(tree.chains.len(), n);
-                std::hint::black_box(tree)
-            })
+        bench(&format!("analysis/callgraph_and_tree/{n}"), || {
+            let graph = CallGraph::build(&p);
+            let tree = execution_tree(
+                &graph,
+                &TargetSpec::Call { callee: "act".into() },
+                TreeLimits::default(),
+            );
+            assert_eq!(tree.chains.len(), n);
+            tree
         });
     }
-    g.finish();
 }
 
-fn bench_corpus_load(c: &mut Criterion) {
-    c.bench_function("corpus/build_all_16_cases", |b| {
-        b.iter(|| std::hint::black_box(lisa_corpus::all_cases().len()))
-    });
+fn bench_corpus_load() {
+    group("corpus");
+    bench("corpus/build_all_16_cases", || lisa_corpus::all_cases().len());
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_parse_and_check, bench_analysis, bench_corpus_load
+fn main() {
+    bench_parse_and_check();
+    bench_analysis();
+    bench_corpus_load();
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! checking per selection strategy, and the parallel enforcement gate —
 //! the wall-clock side of experiments E3/E4/E9.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lisa_bench::harness::{bench, group};
 
 use lisa::{enforce, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::{all_cases, case};
@@ -18,37 +18,36 @@ fn zk_rule() -> lisa_oracle::SemanticRule {
         .expect("rule")
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
+    group("pipeline/inference");
     let zk = case("zk-ephemeral").expect("case");
-    c.bench_function("pipeline/inference_zk_ticket", |b| {
-        b.iter(|| std::hint::black_box(infer_rules(zk.original_ticket()).expect("ok")))
+    bench("pipeline/inference_zk_ticket", || {
+        infer_rules(zk.original_ticket()).expect("ok")
     });
 }
 
-fn bench_check_rule(c: &mut Criterion) {
+fn bench_check_rule() {
+    group("pipeline/check_rule_regressed");
     let zk = case("zk-ephemeral").expect("case");
     let rule = zk_rule();
-    let mut g = c.benchmark_group("pipeline/check_rule_regressed");
     for (name, sel) in [
         ("rag3", TestSelection::Rag { k: 3 }),
         ("all", TestSelection::All),
     ] {
         let pipeline =
             Pipeline::new(PipelineConfig { selection: sel, ..PipelineConfig::default() });
-        g.bench_with_input(BenchmarkId::from_parameter(name), &pipeline, |b, p| {
-            b.iter(|| {
-                let r = p.check_rule(&zk.versions.regressed, &rule);
-                assert!(r.has_violation());
-                std::hint::black_box(r)
-            })
+        bench(&format!("pipeline/check_rule_regressed/{name}"), || {
+            let r = pipeline.check_rule(&zk.versions.regressed, &rule);
+            assert!(r.has_violation());
+            r
         });
     }
-    g.finish();
 }
 
-fn bench_gate(c: &mut Criterion) {
+fn bench_gate() {
     // Register one mined rule per corpus case; gate the ZooKeeper
     // regressed version against the full registry.
+    group("pipeline/gate_full_registry");
     let zk = case("zk-ephemeral").expect("case");
     let mut registry = RuleRegistry::new();
     for case in all_cases() {
@@ -60,28 +59,16 @@ fn bench_gate(c: &mut Criterion) {
     }
     let config =
         PipelineConfig { selection: TestSelection::Rag { k: 3 }, ..PipelineConfig::default() };
-    let mut g = c.benchmark_group("pipeline/gate_full_registry");
     for workers in [1usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &workers| {
-                b.iter(|| {
-                    let report = enforce(&registry, &zk.versions.regressed, &config, workers);
-                    std::hint::black_box(report.decision)
-                })
-            },
-        );
+        bench(&format!("pipeline/gate_full_registry/{workers}"), || {
+            let report = enforce(&registry, &zk.versions.regressed, &config, workers);
+            report.decision
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_inference, bench_check_rule, bench_gate
+fn main() {
+    bench_inference();
+    bench_check_rule();
+    bench_gate();
 }
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! formula shapes LISA produces (rule checkers, path conditions, the
 //! complement violation query), plus adversarial SAT structure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lisa_bench::harness::{bench, group};
 
 use lisa_smt::term::{CmpOp, Term};
 use lisa_smt::{is_sat, parse_cond, violates};
@@ -31,57 +31,41 @@ fn diff_chain(n: usize, sat: bool) -> Term {
     Term::and(parts)
 }
 
-fn bench_violation_query(c: &mut Criterion) {
+fn bench_violation_query() {
+    group("violation query");
     let checker =
         parse_cond("s != null && s.isClosing == false && s.ttl > 0").expect("checker");
     let pi_missing = parse_cond("s != null && s.isClosing == false").expect("pi");
     let pi_full = checker.clone();
-    c.bench_function("violates/missing_check", |b| {
-        b.iter(|| std::hint::black_box(violates(&pi_missing, &checker).is_some()))
-    });
-    c.bench_function("violates/verified_path", |b| {
-        b.iter(|| std::hint::black_box(violates(&pi_full, &checker).is_none()))
-    });
+    bench("violates/missing_check", || violates(&pi_missing, &checker).is_some());
+    bench("violates/verified_path", || violates(&pi_full, &checker).is_none());
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solver/rule_chain");
+fn bench_scaling() {
+    group("solver/rule_chain");
     for n in [1usize, 4, 16, 64] {
         let t = rule_chain(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
-            b.iter(|| std::hint::black_box(is_sat(t)))
-        });
+        bench(&format!("solver/rule_chain/{n}"), || is_sat(&t));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("solver/diff_logic");
+    group("solver/diff_logic");
     for n in [8usize, 32, 128] {
         let sat = diff_chain(n, true);
         let unsat = diff_chain(n, false);
-        g.bench_with_input(BenchmarkId::new("sat", n), &sat, |b, t| {
-            b.iter(|| std::hint::black_box(is_sat(t)))
-        });
-        g.bench_with_input(BenchmarkId::new("unsat", n), &unsat, |b, t| {
-            b.iter(|| std::hint::black_box(is_sat(t)))
-        });
+        bench(&format!("solver/diff_logic/sat/{n}"), || is_sat(&sat));
+        bench(&format!("solver/diff_logic/unsat/{n}"), || is_sat(&unsat));
     }
-    g.finish();
 }
 
-fn bench_condition_parsing(c: &mut Criterion) {
+fn bench_condition_parsing() {
+    group("condition parsing");
     let src = "s != null && s.isClosing == false && s.ttl > 0 && snap.expires_at >= req_time \
                && state == \"OPEN\" && ($locks.held == 0 || admin == true)";
-    c.bench_function("parse_cond/complex", |b| {
-        b.iter(|| std::hint::black_box(parse_cond(src).expect("parse")))
-    });
+    bench("parse_cond/complex", || parse_cond(src).expect("parse"));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(900));
-    targets = bench_violation_query, bench_scaling, bench_condition_parsing
+fn main() {
+    bench_violation_query();
+    bench_scaling();
+    bench_condition_parsing();
 }
-criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! Replaces criterion with the 5% of it these benches use: warm the
+//! closure up for a fixed window, then time batches until a measurement
+//! window elapses, and print mean / min per-iteration times. Run under
+//! `cargo bench` (harness = false) so there is no test scaffolding in
+//! the way.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Warm-up window before measurement starts.
+const WARM_UP: Duration = Duration::from_millis(300);
+/// Measurement window.
+const MEASURE: Duration = Duration::from_millis(900);
+
+/// Time `f` and print one result line, criterion-style:
+/// `name  mean 12.34 µs/iter  (min 11.90 µs, 73 samples)`.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up: run untimed, let caches/allocator settle.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < WARM_UP {
+        black_box(f());
+        warm_iters += 1;
+    }
+    // Pick a batch size so each sample costs roughly 1/50 of the window.
+    let per_iter = WARM_UP.as_nanos() as u64 / warm_iters.max(1);
+    let batch = (MEASURE.as_nanos() as u64 / 50 / per_iter.max(1)).clamp(1, 1_000_000);
+
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < MEASURE {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "{name:<48} mean {:>12}/iter  (min {}, {} samples x {batch} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        samples.len(),
+    );
+}
+
+/// Section header, to group related benches in the output.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}

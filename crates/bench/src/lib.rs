@@ -1,7 +1,8 @@
 //! # lisa-bench
 //!
-//! Criterion benchmarks for LISA's substrates and pipeline. All content
-//! lives under `benches/`:
+//! Benchmarks for LISA's substrates and pipeline, on a small in-tree
+//! timing harness (the build environment is offline, so no criterion).
+//! All content lives under `benches/`:
 //!
 //! - `solver` — SMT costs on rule/path-condition shapes (the Z3 stand-in),
 //! - `frontend` — SIR parsing/typechecking + call-graph/tree analysis,
@@ -10,3 +11,5 @@
 //!   parallel CI gate.
 //!
 //! Run with `cargo bench --workspace`.
+
+pub mod harness;

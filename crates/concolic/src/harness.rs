@@ -8,8 +8,10 @@
 //! like a JUnit fixture) and yields the target hits observed along its
 //! concrete path.
 
+use std::time::{Duration, Instant};
+
 use lisa_analysis::{AliasMap, TargetSpec};
-use lisa_lang::{Interp, Program, RuntimeError, Value};
+use lisa_lang::{Interp, Program, RunConfig, RuntimeError, Value};
 
 use crate::engine::{ConcolicTracer, EngineStats, Policy, TargetHit};
 
@@ -63,6 +65,30 @@ pub struct TestRun {
     pub steps: u64,
 }
 
+/// Resource limits for one harness invocation. The defaults are
+/// unbounded-in-practice (the interpreter's own [`RunConfig`] step ceiling
+/// still applies); gate callers tighten them to guarantee termination.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessBudget {
+    /// Interpreter step budget applied to each individual test run
+    /// (`None` = the interpreter default). A test exceeding it stops with
+    /// a step-limit runtime error but keeps the hits recorded so far.
+    pub max_steps_per_test: Option<u64>,
+    /// Wall-clock budget for the whole batch. When it expires, remaining
+    /// tests are skipped and [`HarnessOutcome::truncated`] is set.
+    pub wall: Option<Duration>,
+}
+
+/// Result of a budgeted batch: the runs that executed, plus whether the
+/// wall-clock budget cut the batch short.
+#[derive(Debug)]
+pub struct HarnessOutcome {
+    pub runs: Vec<TestRun>,
+    /// True when the wall budget expired before every test ran; the tests
+    /// after the cut-off simply have no `TestRun`.
+    pub truncated: bool,
+}
+
 /// Run `tests` against `program`, tracing `target` under `policy`.
 ///
 /// Each test gets a fresh interpreter. A test that fails at runtime still
@@ -75,22 +101,44 @@ pub fn run_tests(
     aliases: &AliasMap,
     policy: &Policy,
 ) -> Vec<TestRun> {
-    tests
-        .iter()
-        .map(|t| {
-            let mut interp = Interp::new(program);
-            let mut tracer =
-                ConcolicTracer::new(target.clone(), aliases.clone(), policy.clone());
-            let result = interp.call(&t.entry, Vec::<Value>::new(), &mut tracer);
-            TestRun {
-                test: t.name.clone(),
-                hits: tracer.hits,
-                error: result.err(),
-                stats: tracer.stats,
-                steps: interp.stats.steps,
+    run_tests_budgeted(program, tests, target, aliases, policy, &HarnessBudget::default()).runs
+}
+
+/// Budgeted variant of [`run_tests`]: per-test step ceilings plus a batch
+/// wall-clock cut-off, so a pathological test suite cannot stall the gate.
+pub fn run_tests_budgeted(
+    program: &Program,
+    tests: &[TestCase],
+    target: &TargetSpec,
+    aliases: &AliasMap,
+    policy: &Policy,
+    budget: &HarnessBudget,
+) -> HarnessOutcome {
+    let started = Instant::now();
+    let mut runs = Vec::with_capacity(tests.len());
+    let mut truncated = false;
+    for t in tests {
+        if budget.wall.is_some_and(|w| started.elapsed() >= w) {
+            truncated = true;
+            break;
+        }
+        let mut interp = match budget.max_steps_per_test {
+            Some(max_steps) => {
+                Interp::with_config(program, RunConfig { max_steps, ..RunConfig::default() })
             }
-        })
-        .collect()
+            None => Interp::new(program),
+        };
+        let mut tracer = ConcolicTracer::new(target.clone(), aliases.clone(), policy.clone());
+        let result = interp.call(&t.entry, Vec::<Value>::new(), &mut tracer);
+        runs.push(TestRun {
+            test: t.name.clone(),
+            hits: tracer.hits,
+            error: result.err(),
+            stats: tracer.stats,
+            steps: interp.stats.steps,
+        });
+    }
+    HarnessOutcome { runs, truncated }
 }
 
 /// Discover test functions by prefix (`test_` by convention) and derive
@@ -157,6 +205,74 @@ mod tests {
         assert_eq!(runs[0].hits.len(), 1);
         assert!(runs[0].error.is_none());
         assert_eq!(runs[1].hits.len(), 0);
+    }
+
+    #[test]
+    fn step_budget_stops_runaway_test_but_keeps_hits() {
+        let src = format!(
+            "{SRC}\nfn test_spin() {{\n\
+                 sessions.put(3, new Session {{ id: 3 }});\n\
+                 register(3);\n\
+                 let i = 0;\n\
+                 while (i >= 0) {{ i = i + 1; }}\n\
+             }}"
+        );
+        let p = Program::parse_single("t", &src).expect("p");
+        let tests = vec![TestCase::new("test_spin", "spins forever")];
+        let out = run_tests_budgeted(
+            &p,
+            &tests,
+            &TargetSpec::Call { callee: "create_node".into() },
+            &AliasMap::default(),
+            &Policy::RecordAll,
+            &HarnessBudget { max_steps_per_test: Some(5_000), wall: None },
+        );
+        assert!(!out.truncated);
+        let run = &out.runs[0];
+        assert!(run.error.is_some(), "step limit should surface as an error");
+        assert!(run.steps <= 5_000 + 1);
+        assert_eq!(run.hits.len(), 1, "hits before the limit are kept");
+    }
+
+    #[test]
+    fn zero_wall_budget_truncates_batch() {
+        let p = program();
+        let tests = discover_tests(&p, "test_");
+        let out = run_tests_budgeted(
+            &p,
+            &tests,
+            &TargetSpec::Call { callee: "create_node".into() },
+            &AliasMap::default(),
+            &Policy::RelevantOnly,
+            &HarnessBudget { max_steps_per_test: None, wall: Some(Duration::ZERO) },
+        );
+        assert!(out.truncated);
+        assert!(out.runs.is_empty());
+    }
+
+    #[test]
+    fn unbudgeted_wrapper_matches_budgeted_default() {
+        let p = program();
+        let tests = discover_tests(&p, "test_");
+        let target = TargetSpec::Call { callee: "create_node".into() };
+        let mut aliases = AliasMap::default();
+        aliases.insert("register", "s", "s");
+        let plain = run_tests(&p, &tests, &target, &aliases, &Policy::RelevantOnly);
+        let budgeted = run_tests_budgeted(
+            &p,
+            &tests,
+            &target,
+            &aliases,
+            &Policy::RelevantOnly,
+            &HarnessBudget::default(),
+        );
+        assert!(!budgeted.truncated);
+        assert_eq!(plain.len(), budgeted.runs.len());
+        for (a, b) in plain.iter().zip(budgeted.runs.iter()) {
+            assert_eq!(a.test, b.test);
+            assert_eq!(a.hits.len(), b.hits.len());
+            assert_eq!(a.steps, b.steps);
+        }
     }
 
     #[test]

@@ -18,5 +18,8 @@ pub mod harness;
 pub mod tracelog;
 
 pub use engine::{ConcolicTracer, Constraint, EngineStats, Policy, TargetHit};
-pub use harness::{discover_tests, run_tests, SystemVersion, TestCase, TestRun};
+pub use harness::{
+    discover_tests, run_tests, run_tests_budgeted, HarnessBudget, HarnessOutcome, SystemVersion,
+    TestCase, TestRun,
+};
 pub use tracelog::{decode as decode_trace, encode as encode_trace, rejudge, TraceError, TraceRecord};

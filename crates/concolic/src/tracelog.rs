@@ -2,7 +2,7 @@
 //!
 //! Target hits can be persisted (CI artifacts, offline triage, replaying
 //! verdicts against updated rules without re-running tests). The format
-//! is a simple length-prefixed binary encoding built on [`bytes`]:
+//! is a simple length-prefixed binary encoding over plain byte vectors:
 //!
 //! ```text
 //! magic "LTRC" | u16 version | u32 record count | records…
@@ -12,8 +12,6 @@
 //! Path conditions are stored in surface syntax and re-parsed on load —
 //! the text form is the interchange format the rest of the system
 //! already speaks.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use lisa_smt::{parse_cond, Term};
 
@@ -72,61 +70,90 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+/// Big-endian reader over a byte slice; every read is bounds-checked so
+/// a truncated or corrupt blob is an error, never a panic.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, TraceError> {
-    if buf.remaining() < 4 {
-        return Err(TraceError::Truncated);
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
     }
-    let len = buf.get_u32() as usize;
-    if buf.remaining() < len {
-        return Err(TraceError::Truncated);
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.data.len() {
+            return Err(TraceError::Truncated);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
     }
-    let raw = buf.copy_to_bytes(len);
+
+    fn get_u16(&mut self) -> Result<u16, TraceError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32(&mut self) -> Result<u32, TraceError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Reader<'_>) -> Result<String, TraceError> {
+    let len = buf.get_u32()? as usize;
+    let raw = buf.take(len)?;
     String::from_utf8(raw.to_vec()).map_err(|_| TraceError::BadUtf8)
 }
 
 /// Encode records into a trace blob.
-pub fn encode(records: &[TraceRecord]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 * records.len() + 16);
-    buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
-    buf.put_u32(records.len() as u32);
+pub fn encode(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 * records.len() + 16);
+    buf.extend_from_slice(MAGIC);
+    put_u16(&mut buf, VERSION);
+    put_u32(&mut buf, records.len() as u32);
     for r in records {
         put_str(&mut buf, &r.test);
         put_str(&mut buf, &r.caller);
         put_str(&mut buf, &r.callee);
         put_str(&mut buf, &r.pi.to_string());
-        buf.put_u32(r.locks_held);
-        buf.put_u32(r.chain.len() as u32);
+        put_u32(&mut buf, r.locks_held);
+        put_u32(&mut buf, r.chain.len() as u32);
         for c in &r.chain {
             put_str(&mut buf, c);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decode a trace blob.
-pub fn decode(mut data: Bytes) -> Result<Vec<TraceRecord>, TraceError> {
-    if data.remaining() < 6 {
-        return Err(TraceError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn decode(data: impl AsRef<[u8]>) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut data = Reader::new(data.as_ref());
+    let magic = data.take(4)?;
+    if magic != MAGIC {
         return Err(TraceError::BadMagic);
     }
-    let version = data.get_u16();
+    let version = data.get_u16()?;
     if version != VERSION {
         return Err(TraceError::UnsupportedVersion(version));
     }
-    if data.remaining() < 4 {
-        return Err(TraceError::Truncated);
-    }
-    let count = data.get_u32() as usize;
+    let count = data.get_u32()? as usize;
     let mut out = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
         let test = get_str(&mut data)?;
@@ -134,11 +161,8 @@ pub fn decode(mut data: Bytes) -> Result<Vec<TraceRecord>, TraceError> {
         let callee = get_str(&mut data)?;
         let pi_src = get_str(&mut data)?;
         let pi = parse_cond(&pi_src).map_err(|e| TraceError::BadCondition(e.to_string()))?;
-        if data.remaining() < 8 {
-            return Err(TraceError::Truncated);
-        }
-        let locks_held = data.get_u32();
-        let chain_len = data.get_u32() as usize;
+        let locks_held = data.get_u32()?;
+        let chain_len = data.get_u32()? as usize;
         let mut chain = Vec::with_capacity(chain_len.min(256));
         for _ in 0..chain_len {
             chain.push(get_str(&mut data)?);
@@ -201,29 +225,25 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut blob = encode(&sample()).to_vec();
+        let mut blob = encode(&sample());
         blob[0] = b'X';
-        assert_eq!(decode(Bytes::from(blob)), Err(TraceError::BadMagic));
+        assert_eq!(decode(blob), Err(TraceError::BadMagic));
     }
 
     #[test]
     fn truncation_rejected_not_panicking() {
         let blob = encode(&sample());
         for cut in [0usize, 3, 6, 10, blob.len() / 2, blob.len() - 1] {
-            let sliced = blob.slice(0..cut);
-            let r = decode(sliced);
+            let r = decode(&blob[..cut]);
             assert!(r.is_err(), "cut at {cut} must fail gracefully");
         }
     }
 
     #[test]
     fn unsupported_version_rejected() {
-        let mut blob = encode(&sample()).to_vec();
+        let mut blob = encode(&sample());
         blob[4] = 0xFF;
-        assert!(matches!(
-            decode(Bytes::from(blob)),
-            Err(TraceError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(decode(blob), Err(TraceError::UnsupportedVersion(_))));
     }
 
     #[test]

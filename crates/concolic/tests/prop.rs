@@ -8,14 +8,14 @@
 //! We generate entities with random boolean/integer fields, random
 //! guard subsets per path, and random concrete states; run the test
 //! concolically; and evaluate π against a model built directly from the
-//! concrete field values.
-
-use proptest::prelude::*;
+//! concrete field values. Scenarios are drawn from `lisa_util::Prng`
+//! with fixed seeds so every case reproduces exactly.
 
 use lisa_analysis::{AliasMap, TargetSpec};
 use lisa_concolic::{ConcolicTracer, Policy};
 use lisa_lang::{Interp, Program, Value};
 use lisa_smt::{Model, Value as SmtValue};
+use lisa_util::Prng;
 
 /// Guard atoms available to the generator: (field, sir unsafe form,
 /// smt-relevant field path).
@@ -36,18 +36,15 @@ struct Scenario {
     policy_all: bool,
 }
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (
-        proptest::collection::vec(any::<bool>(), 3),
-        proptest::collection::vec(any::<bool>(), 2),
-        proptest::collection::vec(any::<bool>(), 3),
-        proptest::collection::vec(-5i64..5, 2),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(checked_bools, checked_ints, bool_vals, int_vals, seeded, policy_all)| {
-            Scenario { checked_bools, checked_ints, bool_vals, int_vals, seeded, policy_all }
-        })
+fn gen_scenario(rng: &mut Prng) -> Scenario {
+    Scenario {
+        checked_bools: (0..3).map(|_| rng.gen_bool(0.5)).collect(),
+        checked_ints: (0..2).map(|_| rng.gen_bool(0.5)).collect(),
+        bool_vals: (0..3).map(|_| rng.gen_bool(0.5)).collect(),
+        int_vals: (0..2).map(|_| rng.gen_range_i64(-5, 4)).collect(),
+        seeded: rng.gen_bool(0.5),
+        policy_all: rng.gen_bool(0.5),
+    }
 }
 
 fn build_program(s: &Scenario) -> Program {
@@ -165,64 +162,77 @@ fn run(s: &Scenario) -> (Vec<lisa_concolic::TargetHit>, bool) {
     (tracer.hits, acted)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
-
-    #[test]
-    fn pi_is_sound_for_the_concrete_state(s in arb_scenario()) {
+#[test]
+fn pi_is_sound_for_the_concrete_state() {
+    let mut rng = Prng::seed_from_u64(0xc0c0_0001);
+    for case in 0..160 {
+        let s = gen_scenario(&mut rng);
         let (hits, acted) = run(&s);
         // The guard decides reachability...
-        prop_assert_eq!(acted, !guard_rejects(&s));
-        prop_assert_eq!(hits.len(), usize::from(!guard_rejects(&s)));
+        assert_eq!(acted, !guard_rejects(&s), "case {case}: {s:?}");
+        assert_eq!(hits.len(), usize::from(!guard_rejects(&s)), "case {case}: {s:?}");
         // ...and on arrival, π must hold of the actual state.
         if let Some(hit) = hits.first() {
             let m = concrete_model(&s);
-            prop_assert!(
+            assert!(
                 m.eval(&hit.pi),
-                "π {} is false of the concrete state {}",
+                "case {case}: π {} is false of the concrete state {}",
                 hit.pi,
                 m
             );
         }
     }
+}
 
-    #[test]
-    fn violation_check_agrees_with_ground_truth(s in arb_scenario()) {
-        // The full rule: all fields healthy.
-        let rule = lisa_smt::parse_cond(
-            "e != null && e.closing == false && e.stale == false && e.frozen == false \
-             && e.ttl > 0 && e.quota > 0",
-        )
-        .expect("rule");
+#[test]
+fn violation_check_agrees_with_ground_truth() {
+    // The full rule: all fields healthy.
+    let rule = lisa_smt::parse_cond(
+        "e != null && e.closing == false && e.stale == false && e.frozen == false \
+         && e.ttl > 0 && e.quota > 0",
+    )
+    .expect("rule");
+    let mut rng = Prng::seed_from_u64(0xc0c0_0002);
+    for case in 0..160 {
+        let s = gen_scenario(&mut rng);
         let (hits, _) = run(&s);
         if let Some(hit) = hits.first() {
             let violated = lisa_smt::violates(&hit.pi, &rule).is_some();
             // Ground truth: the path is safe only if *every* conjunct was
             // dynamically guaranteed, i.e. every field was checked.
-            let fully_checked = s.checked_bools.iter().all(|&c| c)
-                && s.checked_ints.iter().all(|&c| c);
-            prop_assert_eq!(violated, !fully_checked,
-                "pi: {} checked_bools {:?} checked_ints {:?}",
-                hit.pi, s.checked_bools, s.checked_ints);
+            let fully_checked =
+                s.checked_bools.iter().all(|&c| c) && s.checked_ints.iter().all(|&c| c);
+            assert_eq!(
+                violated,
+                !fully_checked,
+                "case {case}: pi: {} checked_bools {:?} checked_ints {:?}",
+                hit.pi,
+                s.checked_bools,
+                s.checked_ints
+            );
         }
     }
+}
 
-    #[test]
-    fn policies_agree_on_relevant_constraints(s in arb_scenario()) {
+#[test]
+fn policies_agree_on_relevant_constraints() {
+    let mut rng = Prng::seed_from_u64(0xc0c0_0003);
+    for case in 0..160 {
+        let s = gen_scenario(&mut rng);
         let mut s_all = s.clone();
         s_all.policy_all = true;
         let mut s_rel = s;
         s_rel.policy_all = false;
         let (h_all, _) = run(&s_all);
         let (h_rel, _) = run(&s_rel);
-        prop_assert_eq!(h_all.len(), h_rel.len());
+        assert_eq!(h_all.len(), h_rel.len(), "case {case}");
         if let (Some(a), Some(r)) = (h_all.first(), h_rel.first()) {
             // π from both policies must be SMT-equivalent: everything the
             // unpruned recorder adds is rule-irrelevant and dropped at
             // rename time.
-            prop_assert!(
+            assert!(
                 lisa_smt::equivalent(&a.pi, &r.pi),
-                "record-all π {} vs relevant-only π {}",
+                "case {case}: record-all π {} vs relevant-only π {}",
                 a.pi,
                 r.pi
             );

@@ -3,6 +3,8 @@
 //! ```text
 //! lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
 //! lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+//!              [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
+//!              [--fault-seed N] [--fault-rate F]
 //! lisa suggest --system <dir> --target <fn>
 //! lisa paths   --system <dir> --target <fn>
 //! ```
@@ -17,30 +19,42 @@
 //! never call blocking_io while holding a lock
 //! ```
 //!
-//! Exit status: 0 = pass, 1 = violations found (gate blocks), 2 = usage
-//! or load error — directly usable as a CI step.
+//! Exit status: 0 = pass, 1 = violations found (gate blocks), 2 = a true
+//! engine error — usage/load failure, or (under fail-closed) a rule check
+//! the gate itself could not complete. Directly usable as a CI step.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use lisa::report::{render_enforcement, render_rule_report};
-use lisa::{enforce, GateDecision, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{
+    enforce_with, FailMode, FaultInjector, FaultPlan, GateDecision, GateOptions, Pipeline,
+    PipelineConfig, ResourceBudgets, RuleRegistry, TestSelection,
+};
 use lisa_analysis::{execution_tree_filtered, CallGraph, TargetSpec, TreeLimits};
 use lisa_concolic::{discover_tests, SystemVersion};
 use lisa_lang::Program;
 use lisa_oracle::{author_rule, suggest_conditions, SemanticRule};
 
+/// How a successful run (no usage/load error) ended.
+enum Outcome {
+    /// Gate passed / no violations.
+    Clean,
+    /// Semantic-rule violations: the change is blocked.
+    Violations,
+    /// The gate machinery failed on at least one rule under fail-closed:
+    /// nobody knows whether the change is safe.
+    EngineFailure,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(clean) => {
-            if clean {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Violations) => ExitCode::from(1),
+        Ok(Outcome::EngineFailure) => ExitCode::from(2),
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -53,10 +67,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
   lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+               [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
+               [--fault-seed N] [--fault-rate F]
   lisa suggest --system <dir> --target <fn>
   lisa paths   --system <dir> --target <fn>";
 
-fn run(args: &[String]) -> Result<bool, String> {
+fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
@@ -144,7 +160,7 @@ fn load_rules(path: &str) -> Result<Vec<SemanticRule>, String> {
     Ok(rules)
 }
 
-fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<bool, String> {
+fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, String> {
     let version = load_system(
         required(flags, "system")?,
         flags.get("test-prefix").map(String::as_str).unwrap_or("test_"),
@@ -173,17 +189,71 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<bool, String
             .map(|w| w.parse().map_err(|_| format!("--workers {w}: not a number")))
             .transpose()?
             .unwrap_or(4);
+        let fail_mode = flags
+            .get("fail-mode")
+            .map(|m| m.parse::<FailMode>())
+            .transpose()?
+            .unwrap_or_default();
+        let deadline = flags
+            .get("deadline-ms")
+            .map(|d| {
+                d.parse::<u64>().map_err(|_| format!("--deadline-ms {d}: not a number"))
+            })
+            .transpose()?
+            .map(Duration::from_millis);
+        let max_solver_conflicts = flags
+            .get("max-solver-conflicts")
+            .map(|c| {
+                c.parse::<u64>()
+                    .map_err(|_| format!("--max-solver-conflicts {c}: not a number"))
+            })
+            .transpose()?;
+        // Resilience drill: seed a deterministic fault plan over the
+        // loaded rules (chaos-testing the gate itself in CI).
+        let fault_seed = flags
+            .get("fault-seed")
+            .map(|s| s.parse::<u64>().map_err(|_| format!("--fault-seed {s}: not a number")))
+            .transpose()?;
+        let fault_rate = flags
+            .get("fault-rate")
+            .map(|r| {
+                r.parse::<f64>().map_err(|_| format!("--fault-rate {r}: not a number"))
+            })
+            .transpose()?
+            .unwrap_or(1.0);
+        let faults = fault_seed.map(|seed| {
+            let ids: Vec<String> = rules.iter().map(|r| r.id.clone()).collect();
+            FaultInjector::new(FaultPlan::random(seed, fault_rate, &ids))
+        });
+        let options = GateOptions {
+            fail_mode,
+            deadline,
+            budgets: ResourceBudgets { max_solver_conflicts, ..ResourceBudgets::default() },
+            faults,
+            ..GateOptions::default()
+        };
         let mut registry = RuleRegistry::new();
         for r in rules {
             registry.register(r);
         }
-        let report = enforce(&registry, &version, &config, workers);
+        let report = enforce_with(&registry, &version, &config, workers, &options);
         if json {
             println!("{}", lisa::json::enforcement_json(&report));
         } else {
             print!("{}", render_enforcement(&report));
         }
-        Ok(report.decision == GateDecision::Pass)
+        // Exit 2 is reserved for true engine errors: the gate could not
+        // complete a check under fail-closed and no violation explains
+        // the block. Genuine violations stay exit 1.
+        if report.reports.iter().any(|r| r.has_violation()) {
+            Ok(Outcome::Violations)
+        } else if report.has_engine_errors() && fail_mode == FailMode::Closed {
+            Ok(Outcome::EngineFailure)
+        } else if report.decision == GateDecision::Pass {
+            Ok(Outcome::Clean)
+        } else {
+            Ok(Outcome::Violations)
+        }
     } else {
         let pipeline = Pipeline::new(config);
         let mut clean = true;
@@ -200,26 +270,26 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<bool, String
         if json {
             println!("[{}]", json_reports.join(","));
         }
-        Ok(clean)
+        Ok(if clean { Outcome::Clean } else { Outcome::Violations })
     }
 }
 
-fn cmd_suggest(flags: &HashMap<String, String>) -> Result<bool, String> {
+fn cmd_suggest(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let version = load_system(required(flags, "system")?, "test_")?;
     let target = required(flags, "target")?;
     let suggestions = suggest_conditions(&version.program, target);
     if suggestions.is_empty() {
         println!("no guarded paths to `{target}` found — nothing to suggest");
-        return Ok(true);
+        return Ok(Outcome::Clean);
     }
     println!("suggested conditions for `when calling {target}, require ...`:");
     for s in suggestions {
         println!("  [{} path(s) already enforce] {}", s.support, s.condition_src);
     }
-    Ok(true)
+    Ok(Outcome::Clean)
 }
 
-fn cmd_paths(flags: &HashMap<String, String>) -> Result<bool, String> {
+fn cmd_paths(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let version = load_system(required(flags, "system")?, "test_")?;
     let target = required(flags, "target")?;
     let graph = CallGraph::build(&version.program);
@@ -234,5 +304,5 @@ fn cmd_paths(flags: &HashMap<String, String>) -> Result<bool, String> {
     if tree.truncated {
         println!("  ... (truncated)");
     }
-    Ok(true)
+    Ok(Outcome::Clean)
 }

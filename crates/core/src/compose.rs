@@ -184,7 +184,7 @@ mod tests {
             HighLevelProperty::new("H3", "not null", "x != null").expect("property");
         let o = Obligation::new(rule("R1", "s != null")).bind("s", "x");
         // No report at all:
-        let r = compose(&property, &[o.clone()], &[]);
+        let r = compose(&property, std::slice::from_ref(&o), &[]);
         assert!(r.sufficient && !r.guaranteed());
         assert_eq!(r.unenforced_rules, vec!["R1 (no report)"]);
     }

@@ -6,17 +6,29 @@
 //! [`RuleRegistry`] is that contract store: rules accumulate as tickets
 //! are processed, and every new system version is gated on the full set.
 //! Rule checks are independent, so the gate fans them out across worker
-//! threads (crossbeam scoped threads).
+//! threads (std scoped threads).
+//!
+//! The gate is built to *always return a decision*: each rule check runs
+//! under `catch_unwind` with bounded retry, a panicking or malformed rule
+//! folds into an engine-error report instead of killing the scope, and a
+//! gate deadline downgrades remaining rules to a fast fixed-path sanity
+//! check rather than abandoning them. The [`FailMode`] decides whether
+//! engine errors block (fail-closed, the default) or pass with warnings
+//! (fail-open).
 
 use std::fmt;
-
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use lisa_concolic::SystemVersion;
 use lisa_oracle::SemanticRule;
+use lisa_util::{retry_with_backoff, RetryPolicy};
 
-use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::error::LisaError;
+use crate::faults::{FaultInjector, FaultKind, TRANSIENT_MARKER};
+use crate::pipeline::{Pipeline, PipelineConfig, ResourceBudgets};
 use crate::verdict::RuleReport;
 
 /// The persistent set of enforced rules.
@@ -30,10 +42,14 @@ impl RuleRegistry {
         RuleRegistry::default()
     }
 
-    /// Register a rule; replaces any rule with the same id.
+    /// Register a rule; replaces any rule with the same id *in place*, so
+    /// re-registering an updated rule keeps the registry order (and with
+    /// it the report order) stable.
     pub fn register(&mut self, rule: SemanticRule) {
-        self.rules.retain(|r| r.id != rule.id);
-        self.rules.push(rule);
+        match self.rules.iter_mut().find(|r| r.id == rule.id) {
+            Some(slot) => *slot = rule,
+            None => self.rules.push(rule),
+        }
     }
 
     pub fn rules(&self) -> &[SemanticRule] {
@@ -58,7 +74,8 @@ impl RuleRegistry {
 pub enum GateDecision {
     /// No rule violated: the change may ship.
     Pass,
-    /// At least one semantic rule violated: block the change.
+    /// At least one semantic rule violated (or, under fail-closed, an
+    /// engine error occurred): block the change.
     Block,
 }
 
@@ -71,6 +88,53 @@ impl fmt::Display for GateDecision {
     }
 }
 
+/// What the gate does when its own machinery fails on a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// An engine error blocks the change and requests review. The safe
+    /// default for a CI/CD gate: a broken check is not a passed check.
+    #[default]
+    Closed,
+    /// An engine error passes with a warning; availability over strictness.
+    Open,
+}
+
+impl fmt::Display for FailMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailMode::Closed => write!(f, "closed"),
+            FailMode::Open => write!(f, "open"),
+        }
+    }
+}
+
+impl std::str::FromStr for FailMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FailMode, String> {
+        match s {
+            "closed" => Ok(FailMode::Closed),
+            "open" => Ok(FailMode::Open),
+            other => Err(format!("unknown fail-mode {other:?} (expected closed|open)")),
+        }
+    }
+}
+
+/// Resilience knobs for one enforcement run.
+#[derive(Debug, Default)]
+pub struct GateOptions {
+    pub fail_mode: FailMode,
+    /// Overall wall-clock deadline. Rules starting after it has expired
+    /// run in degraded mode (fixed-path sanity check) instead of full
+    /// exploration. `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Per-rule resource budgets layered over the pipeline config's.
+    pub budgets: ResourceBudgets,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Fault injection, for resilience tests and the E10 experiment.
+    pub faults: Option<FaultInjector>,
+}
+
 /// Result of gating one version against the registry.
 #[derive(Debug)]
 pub struct EnforcementReport {
@@ -80,53 +144,257 @@ pub struct EnforcementReport {
     /// Coverage gaps requiring developer review (paper: "developers
     /// should provide the final verdict").
     pub review_needed: usize,
+    /// Fail-mode the gate ran under.
+    pub fail_mode: FailMode,
+    /// Rules whose check failed with an engine error.
+    pub engine_errors: usize,
+    /// Rules checked in degraded (fixed-path sanity) mode.
+    pub degraded_rules: usize,
+    /// Total retries spent across all rules.
+    pub retries: u64,
+    /// Human-readable warnings (fail-open engine errors, deadline hits).
+    pub warnings: Vec<String>,
 }
 
 impl EnforcementReport {
     pub fn violated_rules(&self) -> Vec<&RuleReport> {
         self.reports.iter().filter(|r| r.has_violation()).collect()
     }
+
+    /// True when an engine error occurred — the condition exit code 2 is
+    /// reserved for (under fail-closed).
+    pub fn has_engine_errors(&self) -> bool {
+        self.engine_errors > 0
+    }
 }
 
-/// Check every registered rule against `version`, in parallel.
+/// Check every registered rule against `version`, in parallel, with the
+/// default resilience options (fail-closed, no deadline, no budgets).
 pub fn enforce(
     registry: &RuleRegistry,
     version: &SystemVersion,
     config: &PipelineConfig,
     workers: usize,
 ) -> EnforcementReport {
+    enforce_with(registry, version, config, workers, &GateOptions::default())
+}
+
+/// Check every registered rule against `version` under explicit
+/// resilience options. The gate never propagates a panic: every rule
+/// yields a report, and the worst a faulty rule can do is mark itself as
+/// an engine error.
+pub fn enforce_with(
+    registry: &RuleRegistry,
+    version: &SystemVersion,
+    config: &PipelineConfig,
+    workers: usize,
+    options: &GateOptions,
+) -> EnforcementReport {
+    let started = Instant::now();
     let reports = Mutex::new(Vec::<(usize, RuleReport)>::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let total_retries = AtomicU64::new(0);
+    let deadline_hit = AtomicBool::new(false);
     let workers = workers.clamp(1, registry.len().max(1));
-    thread::scope(|scope| {
+
+    // Layer the gate budgets over the pipeline config (gate wins where set).
+    let mut gate_config = config.clone();
+    if options.budgets.max_solver_conflicts.is_some() {
+        gate_config.budgets.max_solver_conflicts = options.budgets.max_solver_conflicts;
+    }
+    if options.budgets.max_steps_per_test.is_some() {
+        gate_config.budgets.max_steps_per_test = options.budgets.max_steps_per_test;
+    }
+    if options.budgets.rule_wall.is_some() {
+        gate_config.budgets.rule_wall = options.budgets.rule_wall;
+    }
+
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
-                let pipeline = Pipeline::new(config.clone());
+            scope.spawn(|| {
+                let pipeline = Pipeline::new(gate_config.clone());
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(rule) = registry.rules().get(i) else { break };
-                    let report = pipeline.check_rule(version, rule);
-                    reports.lock().push((i, report));
+                    let past_deadline =
+                        options.deadline.is_some_and(|d| started.elapsed() >= d);
+                    if past_deadline {
+                        deadline_hit.store(true, Ordering::Relaxed);
+                    }
+                    let (report, retries) =
+                        check_one_rule(&pipeline, version, rule, options, past_deadline);
+                    total_retries.fetch_add(retries as u64, Ordering::Relaxed);
+                    // Recover from a poisoned lock: a panicking sibling
+                    // worker must not cost us the reports already folded.
+                    reports
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push((i, report));
                 }
             });
         }
-    })
-    .expect("enforcement workers must not panic");
-    let mut indexed = reports.into_inner();
+    });
+
+    let mut indexed = reports.into_inner().unwrap_or_else(|p| p.into_inner());
     indexed.sort_by_key(|(i, _)| *i);
     let reports: Vec<RuleReport> = indexed.into_iter().map(|(_, r)| r).collect();
-    let decision = if reports.iter().any(|r| r.has_violation()) {
+
+    let engine_errors = reports.iter().filter(|r| r.has_engine_error()).count();
+    let degraded_rules = reports.iter().filter(|r| r.degraded).count();
+    let mut warnings = Vec::new();
+    if deadline_hit.load(Ordering::Relaxed) {
+        warnings.push(format!(
+            "gate deadline expired; {degraded_rules} rule(s) checked in degraded mode"
+        ));
+    }
+    for r in reports.iter().filter(|r| r.has_engine_error()) {
+        let reason = r
+            .chains
+            .iter()
+            .find_map(|c| match &c.verdict {
+                crate::verdict::ChainVerdict::EngineError { reason } => Some(reason.as_str()),
+                _ => None,
+            })
+            .unwrap_or("unknown");
+        // The taxonomy's Display already leads with "rule <id>:" — don't
+        // repeat it in the warning prefix.
+        let reason =
+            reason.strip_prefix(&format!("rule {}: ", r.rule_id)).unwrap_or(reason);
+        warnings.push(format!("rule {}: engine error: {reason}", r.rule_id));
+    }
+
+    let has_violation = reports.iter().any(|r| r.has_violation());
+    let decision = if has_violation
+        || (engine_errors > 0 && options.fail_mode == FailMode::Closed)
+    {
         GateDecision::Block
     } else {
         GateDecision::Pass
     };
-    let review_needed = reports.iter().map(|r| r.not_covered_count()).sum();
-    EnforcementReport { version: version.label.clone(), reports, decision, review_needed }
+    let mut review_needed: usize = reports.iter().map(|r| r.not_covered_count()).sum();
+    if options.fail_mode == FailMode::Closed {
+        // Engine-errored rules need a human verdict too.
+        review_needed += engine_errors;
+    }
+    EnforcementReport {
+        version: version.label.clone(),
+        reports,
+        decision,
+        review_needed,
+        fail_mode: options.fail_mode,
+        engine_errors,
+        degraded_rules,
+        retries: total_retries.load(Ordering::Relaxed),
+        warnings,
+    }
+}
+
+/// Check one rule with panic isolation, fault arming, and bounded retry.
+/// Never panics; always returns a report.
+fn check_one_rule(
+    pipeline: &Pipeline,
+    version: &SystemVersion,
+    rule: &SemanticRule,
+    options: &GateOptions,
+    degraded: bool,
+) -> (RuleReport, u32) {
+    let (result, retries) = retry_with_backoff(
+        &options.retry,
+        |_attempt| run_attempt(pipeline, version, rule, options, degraded),
+        |e: &LisaError| e.is_transient(),
+    );
+    let mut report = match result {
+        Ok(report) => report,
+        Err(e) => RuleReport::engine_error(
+            rule.id.clone(),
+            rule.description.clone(),
+            rule.target.to_string(),
+            rule.condition_src.clone(),
+            e.to_string(),
+        ),
+    };
+    report.retries = retries;
+    (report, retries)
+}
+
+/// One attempt: arm any injected fault, then run the (possibly degraded)
+/// rule check under `catch_unwind`, classifying the unwind payload.
+fn run_attempt(
+    pipeline: &Pipeline,
+    version: &SystemVersion,
+    rule: &SemanticRule,
+    options: &GateOptions,
+    degraded: bool,
+) -> Result<RuleReport, LisaError> {
+    let fault = options.faults.as_ref().and_then(|inj| inj.arm(&rule.id));
+    // Faults that rewrite the input are applied to a clone; the caller's
+    // rule is never mutated.
+    let mut effective_rule = None;
+    let mut effective_pipeline = None;
+    match fault {
+        Some(FaultKind::Panic) => {
+            panic_isolated(|| panic!("lisa-fault: injected panic for rule {}", rule.id))?;
+        }
+        Some(FaultKind::TransientPanic) => {
+            panic_isolated(|| panic!("{TRANSIENT_MARKER} injected blip for rule {}", rule.id))?;
+        }
+        Some(FaultKind::MalformedCondition) => {
+            let mut bad = rule.clone();
+            bad.condition_src = format!("{} &&", bad.condition_src);
+            effective_rule = Some(bad);
+        }
+        Some(FaultKind::SolverExhaustion) => {
+            let mut config = pipeline.config.clone();
+            config.budgets.max_solver_conflicts = Some(0);
+            effective_pipeline = Some(Pipeline::new(config));
+        }
+        Some(FaultKind::Stall) => {
+            if let Some(inj) = options.faults.as_ref() {
+                std::thread::sleep(inj.stall);
+            }
+        }
+        None => {}
+    }
+    let rule = effective_rule.as_ref().unwrap_or(rule);
+    let pipeline = effective_pipeline.as_ref().unwrap_or(pipeline);
+    panic_isolated(|| {
+        if degraded {
+            // Past the gate deadline: cheap fixed-path sanity check. The
+            // malformed-rule boundary still applies.
+            lisa_smt::parse_cond(&rule.condition_src)
+                .map_err(|e| LisaError::MalformedRule {
+                    rule_id: rule.id.clone(),
+                    detail: format!("condition {:?}: {e}", rule.condition_src),
+                })
+                .map(|_| pipeline.check_rule_degraded(version, rule))
+        } else {
+            pipeline.try_check_rule(version, rule)
+        }
+    })?
+}
+
+/// Run `f` under `catch_unwind`, converting an unwind into a
+/// [`LisaError`]. Injected transient faults (recognized by their payload
+/// marker) map to `Transient` so the retry layer picks them up.
+fn panic_isolated<T>(f: impl FnOnce() -> T) -> Result<T, LisaError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let reason = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        if reason.starts_with(TRANSIENT_MARKER) {
+            LisaError::Transient { rule_id: String::new(), detail: reason }
+        } else {
+            LisaError::RulePanicked { rule_id: String::new(), reason }
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::pipeline::TestSelection;
     use lisa_analysis::TargetSpec;
     use lisa_lang::Program;
@@ -175,6 +443,8 @@ mod tests {
         let report = enforce(&registry(), &version(true), &config(), 2);
         assert_eq!(report.decision, GateDecision::Pass);
         assert!(report.violated_rules().is_empty());
+        assert_eq!(report.engine_errors, 0);
+        assert_eq!(report.retries, 0);
     }
 
     #[test]
@@ -202,6 +472,34 @@ mod tests {
     }
 
     #[test]
+    fn registry_replacement_preserves_order() {
+        let mut reg = RuleRegistry::new();
+        for id in ["A", "B", "C"] {
+            reg.register(
+                SemanticRule::new(
+                    id,
+                    id,
+                    TargetSpec::Call { callee: "create_ephemeral".into() },
+                    "s != null",
+                )
+                .expect("rule"),
+            );
+        }
+        reg.register(
+            SemanticRule::new(
+                "B",
+                "B updated",
+                TargetSpec::Call { callee: "create_ephemeral".into() },
+                "s != null && s.closing == false",
+            )
+            .expect("rule"),
+        );
+        let ids: Vec<&str> = reg.rules().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["A", "B", "C"], "replacement must not reorder");
+        assert_eq!(reg.get("B").expect("B").description, "B updated");
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let reg = {
             let mut r = registry();
@@ -225,5 +523,115 @@ mod tests {
             assert_eq!(a.rule_id, b.rule_id);
             assert_eq!(a.violated_count(), b.violated_count());
         }
+    }
+
+    #[test]
+    fn injected_panic_blocks_under_fail_closed() {
+        let options = GateOptions {
+            faults: Some(FaultInjector::new(
+                FaultPlan::new().inject("ZK-1208-r0", FaultKind::Panic),
+            )),
+            retry: RetryPolicy::none(),
+            ..GateOptions::default()
+        };
+        let report = enforce_with(&registry(), &version(true), &config(), 2, &options);
+        assert_eq!(report.decision, GateDecision::Block);
+        assert_eq!(report.engine_errors, 1);
+        assert!(report.review_needed >= 1);
+        assert!(report.reports[0].has_engine_error());
+    }
+
+    #[test]
+    fn injected_panic_passes_with_warning_under_fail_open() {
+        let options = GateOptions {
+            fail_mode: FailMode::Open,
+            faults: Some(FaultInjector::new(
+                FaultPlan::new().inject("ZK-1208-r0", FaultKind::Panic),
+            )),
+            retry: RetryPolicy::none(),
+            ..GateOptions::default()
+        };
+        let report = enforce_with(&registry(), &version(true), &config(), 2, &options);
+        assert_eq!(report.decision, GateDecision::Pass);
+        assert_eq!(report.engine_errors, 1);
+        assert!(report.warnings.iter().any(|w| w.contains("engine error")));
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_recovers() {
+        let options = GateOptions {
+            faults: Some(FaultInjector::new(
+                FaultPlan::new().inject("ZK-1208-r0", FaultKind::TransientPanic),
+            )),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            },
+            ..GateOptions::default()
+        };
+        let report = enforce_with(&registry(), &version(true), &config(), 1, &options);
+        assert_eq!(report.decision, GateDecision::Pass, "{:?}", report.warnings);
+        assert_eq!(report.engine_errors, 0);
+        assert_eq!(report.retries, 1, "one retry should clear the blip");
+    }
+
+    #[test]
+    fn malformed_condition_fault_is_a_per_rule_error() {
+        let options = GateOptions {
+            faults: Some(FaultInjector::new(
+                FaultPlan::new().inject("ZK-1208-r0", FaultKind::MalformedCondition),
+            )),
+            retry: RetryPolicy::none(),
+            ..GateOptions::default()
+        };
+        let report = enforce_with(&registry(), &version(true), &config(), 1, &options);
+        assert_eq!(report.engine_errors, 1);
+        assert!(report.warnings.iter().any(|w| w.contains("malformed")));
+    }
+
+    #[test]
+    fn zero_deadline_degrades_every_rule_but_still_decides() {
+        let options = GateOptions {
+            deadline: Some(Duration::ZERO),
+            ..GateOptions::default()
+        };
+        let report = enforce_with(&registry(), &version(false), &config(), 1, &options);
+        assert_eq!(report.degraded_rules, 1);
+        assert!(report.reports[0].degraded);
+        assert!(report.warnings.iter().any(|w| w.contains("deadline")));
+        // The degraded sanity check still executes the one selected test
+        // and can still catch the regression on this small system.
+        assert_eq!(report.decision, GateDecision::Block);
+    }
+
+    #[test]
+    fn fault_on_one_rule_leaves_other_rules_untouched() {
+        let mut reg = registry();
+        reg.register(
+            SemanticRule::new(
+                "EXTRA-r0",
+                "session must exist",
+                TargetSpec::Call { callee: "create_ephemeral".into() },
+                "s != null",
+            )
+            .expect("rule"),
+        );
+        let clean = enforce(&reg, &version(false), &config(), 2);
+        let options = GateOptions {
+            faults: Some(FaultInjector::new(
+                FaultPlan::new().inject("EXTRA-r0", FaultKind::Panic),
+            )),
+            retry: RetryPolicy::none(),
+            ..GateOptions::default()
+        };
+        let faulted = enforce_with(&reg, &version(false), &config(), 2, &options);
+        let clean_zk = &clean.reports[0];
+        let faulted_zk = &faulted.reports[0];
+        assert_eq!(clean_zk.rule_id, faulted_zk.rule_id);
+        assert_eq!(clean_zk.violated_count(), faulted_zk.violated_count());
+        assert_eq!(clean_zk.verified_count(), faulted_zk.verified_count());
+        assert_eq!(clean_zk.not_covered_count(), faulted_zk.not_covered_count());
+        assert!(faulted.reports[1].has_engine_error());
     }
 }

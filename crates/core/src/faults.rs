@@ -1,0 +1,171 @@
+//! Seeded fault injection for the enforcement gate.
+//!
+//! Resilience claims need evidence: this module lets tests and the E10
+//! experiment deliberately break the pipeline at chosen points — panic a
+//! rule check, exhaust the solver budget, hand the gate a malformed
+//! condition, or stall a stage — and then assert that `enforce` still
+//! returns a complete report with the damage confined to the faulted
+//! rule. Plans are seeded and deterministic so every failure reproduces.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lisa_util::Prng;
+
+/// Panic payloads carry this prefix so the gate can tell injected faults
+/// apart from genuine engine bugs when classifying the unwind payload.
+pub const FAULT_PANIC_PREFIX: &str = "lisa-fault:";
+/// Payload marker for faults that should be retried.
+pub const TRANSIENT_MARKER: &str = "lisa-fault: transient";
+
+/// What to break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the rule check on every attempt.
+    Panic,
+    /// Panic the first attempt only; retries succeed. Exercises the
+    /// retry-with-backoff path.
+    TransientPanic,
+    /// Force the solver conflict budget to zero for this rule, so every
+    /// violation query returns Unknown and chains degrade to not-covered.
+    SolverExhaustion,
+    /// Corrupt the rule's condition source so it no longer parses,
+    /// modelling malformed oracle output.
+    MalformedCondition,
+    /// Sleep inside the rule check, modelling a slow stage; with a gate
+    /// deadline set this pushes later rules into degraded mode.
+    Stall,
+}
+
+const ALL_KINDS: [FaultKind; 5] = [
+    FaultKind::Panic,
+    FaultKind::TransientPanic,
+    FaultKind::SolverExhaustion,
+    FaultKind::MalformedCondition,
+    FaultKind::Stall,
+];
+
+/// A deterministic assignment of faults to rule ids.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    injections: Vec<(String, FaultKind)>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder: inject `kind` when the gate checks `rule_id`.
+    pub fn inject(mut self, rule_id: impl Into<String>, kind: FaultKind) -> FaultPlan {
+        self.injections.push((rule_id.into(), kind));
+        self
+    }
+
+    /// Seeded random plan: each rule id independently draws a fault with
+    /// probability `rate`, and a uniformly random kind when it does.
+    pub fn random(seed: u64, rate: f64, rule_ids: &[String]) -> FaultPlan {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for id in rule_ids {
+            if rng.gen_bool(rate) {
+                let kind = *rng.pick(&ALL_KINDS);
+                plan = plan.inject(id.clone(), kind);
+            }
+        }
+        plan
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    fn fault_for(&self, rule_id: &str) -> Option<FaultKind> {
+        self.injections.iter().find(|(id, _)| id == rule_id).map(|&(_, k)| k)
+    }
+}
+
+/// Runtime side of a plan: tracks per-rule attempts so transient faults
+/// clear on retry. Shared across gate worker threads.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// How long a [`FaultKind::Stall`] sleeps.
+    pub stall: Duration,
+    attempts: Mutex<HashMap<String, u32>>,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan, stall: Duration::from_millis(25), attempts: Mutex::new(HashMap::new()) }
+    }
+
+    /// Record an attempt at `rule_id` and return the fault to apply, if
+    /// any. Transient faults fire on the first attempt only.
+    pub fn arm(&self, rule_id: &str) -> Option<FaultKind> {
+        let kind = self.plan.fault_for(rule_id)?;
+        let mut attempts = self.attempts.lock().unwrap_or_else(|p| p.into_inner());
+        let n = attempts.entry(rule_id.to_string()).or_insert(0);
+        let attempt = *n;
+        *n += 1;
+        match kind {
+            FaultKind::TransientPanic if attempt > 0 => None,
+            k => Some(k),
+        }
+    }
+
+    /// Attempts recorded for `rule_id` so far.
+    pub fn attempts(&self, rule_id: &str) -> u32 {
+        self.attempts
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(rule_id)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plan_targets_only_named_rules() {
+        let inj = FaultInjector::new(FaultPlan::new().inject("R1", FaultKind::Panic));
+        assert_eq!(inj.arm("R1"), Some(FaultKind::Panic));
+        assert_eq!(inj.arm("R2"), None);
+        // Non-transient faults fire every attempt.
+        assert_eq!(inj.arm("R1"), Some(FaultKind::Panic));
+        assert_eq!(inj.attempts("R1"), 2);
+    }
+
+    #[test]
+    fn transient_fault_clears_on_second_attempt() {
+        let inj = FaultInjector::new(FaultPlan::new().inject("R", FaultKind::TransientPanic));
+        assert_eq!(inj.arm("R"), Some(FaultKind::TransientPanic));
+        assert_eq!(inj.arm("R"), None);
+        assert_eq!(inj.arm("R"), None);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_in_the_seed() {
+        let ids: Vec<String> = (0..32).map(|i| format!("R{i}")).collect();
+        let a = FaultPlan::random(7, 0.5, &ids);
+        let b = FaultPlan::random(7, 0.5, &ids);
+        assert_eq!(a.injections, b.injections);
+        assert!(!a.is_empty(), "rate 0.5 over 32 rules should hit something");
+        let c = FaultPlan::random(8, 0.5, &ids);
+        assert_ne!(a.injections, c.injections, "different seed, different plan");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_empty() {
+        let ids: Vec<String> = (0..8).map(|i| format!("R{i}")).collect();
+        assert!(FaultPlan::random(1, 0.0, &ids).is_empty());
+    }
+}

@@ -47,6 +47,9 @@ pub fn rule_report_json(r: &RuleReport) -> String {
     num_field(&mut out, "verified", r.verified_count() as u64, true);
     num_field(&mut out, "violated", r.violated_count() as u64, true);
     num_field(&mut out, "not_covered", r.not_covered_count() as u64, true);
+    num_field(&mut out, "engine_errors", r.engine_error_count() as u64, true);
+    let _ = write!(out, "\"degraded\":{},", r.degraded);
+    num_field(&mut out, "retries", r.retries as u64, true);
     let _ = write!(out, "\"sanity_ok\":{},", r.sanity_ok);
     out.push_str("\"chains\":[");
     for (i, c) in r.chains.iter().enumerate() {
@@ -65,11 +68,18 @@ pub fn rule_report_json(r: &RuleReport) -> String {
             let _ = write!(out, "\"{}\"", escape(t));
         }
         out.push(']');
-        if let ChainVerdict::Violated(v) = &c.verdict {
-            out.push(',');
-            str_field(&mut out, "test", &v.test, true);
-            str_field(&mut out, "pi", &v.pi.to_string(), true);
-            str_field(&mut out, "witness", &v.witness.to_string(), false);
+        match &c.verdict {
+            ChainVerdict::Violated(v) => {
+                out.push(',');
+                str_field(&mut out, "test", &v.test, true);
+                str_field(&mut out, "pi", &v.pi.to_string(), true);
+                str_field(&mut out, "witness", &v.witness.to_string(), false);
+            }
+            ChainVerdict::EngineError { reason } => {
+                out.push(',');
+                str_field(&mut out, "reason", reason, false);
+            }
+            _ => {}
         }
         out.push('}');
     }
@@ -82,6 +92,7 @@ pub fn rule_report_json(r: &RuleReport) -> String {
     num_field(&mut out, "branches_recorded", r.stats.branches_recorded, true);
     num_field(&mut out, "target_hits", r.stats.target_hits, true);
     num_field(&mut out, "solver_calls", r.stats.solver_calls, true);
+    num_field(&mut out, "solver_unknowns", r.stats.solver_unknowns, true);
     num_field(&mut out, "wall_ms", r.stats.wall.as_millis() as u64, false);
     out.push_str("}}");
     out
@@ -92,7 +103,19 @@ pub fn enforcement_json(e: &EnforcementReport) -> String {
     let mut out = String::from("{");
     str_field(&mut out, "version", &e.version, true);
     str_field(&mut out, "decision", &e.decision.to_string(), true);
+    str_field(&mut out, "fail_mode", &e.fail_mode.to_string(), true);
     num_field(&mut out, "review_needed", e.review_needed as u64, true);
+    num_field(&mut out, "engine_errors", e.engine_errors as u64, true);
+    num_field(&mut out, "degraded_rules", e.degraded_rules as u64, true);
+    num_field(&mut out, "retries", e.retries, true);
+    out.push_str("\"warnings\":[");
+    for (i, w) in e.warnings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", escape(w));
+    }
+    out.push_str("],");
     out.push_str("\"rules\":[");
     for (i, r) in e.reports.iter().enumerate() {
         if i > 0 {

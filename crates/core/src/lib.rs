@@ -12,7 +12,10 @@
 //!   → concolic assertion → verdicts),
 //! - [`verdict`] — Verified / Violated / NotCovered chain reports,
 //! - [`crosscheck`] — §5's test-grounding validation of mined rules,
-//! - [`mod@enforce`] — the rule registry and CI/CD gate,
+//! - [`mod@enforce`] — the rule registry and CI/CD gate (panic-isolated,
+//!   budgeted, with fail-open/fail-closed semantics),
+//! - [`error`] — the engine-error taxonomy the gate folds failures into,
+//! - [`faults`] — seeded fault injection for resilience testing,
 //! - [`baselines`] — regression-test replay and exhaustive-verification
 //!   comparators (Figure 4),
 //! - [`mod@compose`] — §5 Q3: composing validated low-level semantics into
@@ -66,6 +69,8 @@ pub mod baselines;
 pub mod compose;
 pub mod crosscheck;
 pub mod enforce;
+pub mod error;
+pub mod faults;
 pub mod json;
 pub mod pipeline;
 pub mod report;
@@ -73,6 +78,10 @@ pub mod verdict;
 
 pub use compose::{compose, CompositionResult, HighLevelProperty, Obligation};
 pub use crosscheck::{cross_check, CrossCheck};
-pub use enforce::{enforce, EnforcementReport, GateDecision, RuleRegistry};
-pub use pipeline::{Pipeline, PipelineConfig, TestSelection};
+pub use enforce::{
+    enforce, enforce_with, EnforcementReport, FailMode, GateDecision, GateOptions, RuleRegistry,
+};
+pub use error::LisaError;
+pub use faults::{FaultInjector, FaultKind, FaultPlan};
+pub use pipeline::{Pipeline, PipelineConfig, ResourceBudgets, TestSelection};
 pub use verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};

@@ -14,13 +14,15 @@
 //! 6. fold arrivals onto static chains: Verified / Violated / NotCovered,
 //!    with the fixed path expected to verify (sanity check).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lisa_analysis::{chain_aliases, execution_tree_filtered, AliasMap, CallGraph, TreeLimits};
-use lisa_concolic::{run_tests, Policy, SystemVersion, TargetHit, TestCase};
+use lisa_concolic::{run_tests_budgeted, HarnessBudget, Policy, SystemVersion, TargetHit, TestCase};
 use lisa_oracle::rag::{describe_path, TestIndex};
 use lisa_oracle::SemanticRule;
+use lisa_smt::ViolationOutcome;
 
+use crate::error::LisaError;
 use crate::verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};
 
 /// How tests are chosen as concolic inputs.
@@ -34,6 +36,37 @@ pub enum TestSelection {
     Random { k: usize, seed: u64 },
 }
 
+/// Resource budgets for one rule check. All default to `None`
+/// (unbounded), which preserves the classic pipeline behavior; gate
+/// callers set them to guarantee the check terminates promptly even on
+/// adversarial rules or tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceBudgets {
+    /// SAT-core conflict budget per violation query; exhaustion makes the
+    /// query Unknown and the affected chain degrades to not-covered.
+    pub max_solver_conflicts: Option<u64>,
+    /// Interpreter step ceiling per executed test.
+    pub max_steps_per_test: Option<u64>,
+    /// Wall-clock allowance for the concolic batch of one rule; when it
+    /// expires, remaining tests are skipped and the report is marked
+    /// degraded.
+    pub rule_wall: Option<Duration>,
+}
+
+impl ResourceBudgets {
+    /// The budgets used for deadline-degraded rules: a fixed-path sanity
+    /// check must finish in milliseconds, not explore exhaustively.
+    fn degraded(self) -> ResourceBudgets {
+        ResourceBudgets {
+            max_solver_conflicts: Some(self.max_solver_conflicts.unwrap_or(512).min(512)),
+            max_steps_per_test: Some(self.max_steps_per_test.unwrap_or(100_000).min(100_000)),
+            rule_wall: Some(self.rule_wall.unwrap_or(Duration::from_millis(250)).min(
+                Duration::from_millis(250),
+            )),
+        }
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -43,6 +76,8 @@ pub struct PipelineConfig {
     /// Functions with this prefix are test entry points, not system
     /// request paths; the execution tree does not climb into them.
     pub test_prefix: String,
+    /// Resource budgets applied to every rule check.
+    pub budgets: ResourceBudgets,
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +87,7 @@ impl Default for PipelineConfig {
             selection: TestSelection::Rag { k: 4 },
             tree_limits: TreeLimits::default(),
             test_prefix: "test_".to_string(),
+            budgets: ResourceBudgets::default(),
         }
     }
 }
@@ -69,7 +105,55 @@ impl Pipeline {
 
     /// Assert `rule` over `version`.
     pub fn check_rule(&self, version: &SystemVersion, rule: &SemanticRule) -> RuleReport {
+        self.check_rule_mode(version, rule, false)
+    }
+
+    /// Result-based stage boundary for the gate: validate the rule before
+    /// spending any execution budget on it, so malformed oracle output is
+    /// a per-rule error rather than a downstream panic.
+    pub fn try_check_rule(
+        &self,
+        version: &SystemVersion,
+        rule: &SemanticRule,
+    ) -> Result<RuleReport, LisaError> {
+        if let Err(e) = lisa_smt::parse_cond(&rule.condition_src) {
+            return Err(LisaError::MalformedRule {
+                rule_id: rule.id.clone(),
+                detail: format!("condition {:?}: {e}", rule.condition_src),
+            });
+        }
+        if rule.target.callee().is_empty() {
+            return Err(LisaError::MalformedRule {
+                rule_id: rule.id.clone(),
+                detail: "empty target callee".to_string(),
+            });
+        }
+        Ok(self.check_rule_mode(version, rule, false))
+    }
+
+    /// Degraded check: the fixed-path sanity pass the gate falls back to
+    /// once its deadline has expired — one test, tight budgets, report
+    /// marked [`RuleReport::degraded`].
+    pub fn check_rule_degraded(
+        &self,
+        version: &SystemVersion,
+        rule: &SemanticRule,
+    ) -> RuleReport {
+        self.check_rule_mode(version, rule, true)
+    }
+
+    fn check_rule_mode(
+        &self,
+        version: &SystemVersion,
+        rule: &SemanticRule,
+        degraded_mode: bool,
+    ) -> RuleReport {
         let started = Instant::now();
+        let budgets = if degraded_mode {
+            self.config.budgets.degraded()
+        } else {
+            self.config.budgets
+        };
         let mut stats = PipelineStats::default();
         let program = &version.program;
         let graph = CallGraph::build(program);
@@ -98,12 +182,27 @@ impl Pipeline {
             }
         }
 
-        // Test selection.
-        let selected = self.select_tests(version, &tree, &graph, rule);
+        // Test selection; degraded mode keeps only the best-ranked test
+        // (the fixed-path sanity check).
+        let mut selected = self.select_tests(version, &tree, &graph, rule);
+        if degraded_mode {
+            selected.truncate(1);
+        }
         stats.tests_selected = selected.len() as u64;
 
-        // Concolic execution.
-        let runs = run_tests(program, &selected, &rule.target, &aliases, &self.config.policy);
+        // Concolic execution under the harness budget.
+        let outcome = run_tests_budgeted(
+            program,
+            &selected,
+            &rule.target,
+            &aliases,
+            &self.config.policy,
+            &HarnessBudget {
+                max_steps_per_test: budgets.max_steps_per_test,
+                wall: budgets.rule_wall,
+            },
+        );
+        let runs = outcome.runs;
         stats.tests_executed = runs.len() as u64;
 
         // Judge every arrival; fold onto static chains.
@@ -121,6 +220,9 @@ impl Pipeline {
 
         let mut off_tree_violations = Vec::new();
         let mut unmatched_hits = 0u64;
+        // Chains that saw an arrival the solver could not decide; they
+        // must not end up Verified no matter the arrival order.
+        let mut uncertain = vec![false; chain_reports.len()];
         for run in &runs {
             stats.branches_seen += run.stats.branches_seen;
             stats.branches_recorded += run.stats.branches_recorded;
@@ -128,7 +230,27 @@ impl Pipeline {
             stats.interp_steps += run.steps;
             for hit in &run.hits {
                 stats.solver_calls += 1;
-                let violation = lisa_smt::violates(&hit.pi, &rule.condition);
+                let violation = match lisa_smt::violates_budgeted(
+                    &hit.pi,
+                    &rule.condition,
+                    budgets.max_solver_conflicts,
+                ) {
+                    ViolationOutcome::Violated(witness) => Some(witness),
+                    ViolationOutcome::Verified => None,
+                    ViolationOutcome::Unknown { .. } => {
+                        stats.solver_unknowns += 1;
+                        if let Some(idx) = match_chain(&chain_reports, hit) {
+                            uncertain[idx] = true;
+                            let report = &mut chain_reports[idx];
+                            if !report.covering_tests.contains(&run.test) {
+                                report.covering_tests.push(run.test.clone());
+                            }
+                        } else {
+                            unmatched_hits += 1;
+                        }
+                        continue;
+                    }
+                };
                 let idx = match_chain(&chain_reports, hit);
                 let Some(idx) = idx else {
                     unmatched_hits += 1;
@@ -163,6 +285,14 @@ impl Pipeline {
             }
         }
 
+        // An undecided arrival leaves its chain not-covered rather than
+        // verified (a Violated verdict from another arrival still wins).
+        for (i, c) in chain_reports.iter_mut().enumerate() {
+            if uncertain[i] && matches!(c.verdict, ChainVerdict::Verified) {
+                c.verdict = ChainVerdict::NotCovered;
+            }
+        }
+
         let sanity_ok = chain_reports
             .iter()
             .any(|c| matches!(c.verdict, ChainVerdict::Verified));
@@ -177,6 +307,8 @@ impl Pipeline {
             sanity_ok,
             off_tree_violations,
             unmatched_hits,
+            degraded: degraded_mode || outcome.truncated,
+            retries: 0,
             stats,
         }
     }
@@ -355,6 +487,94 @@ mod tests {
         let prep = report.chains.iter().find(|c| c.entry == "prep_create").expect("chain");
         assert!(matches!(prep.verdict, ChainVerdict::NotCovered));
         assert_eq!(report.not_covered_count(), 1);
+    }
+
+    #[test]
+    fn zero_conflict_budget_degrades_to_not_covered() {
+        // With no solver budget the violation queries return Unknown and
+        // nothing can be Verified or Violated — but the check still
+        // completes and reports honestly.
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            budgets: ResourceBudgets {
+                max_solver_conflicts: Some(0),
+                ..ResourceBudgets::default()
+            },
+            ..PipelineConfig::default()
+        });
+        // The violation query is `pi ∧ ¬C`; embed a pairwise-distinct
+        // clique in ¬C so deciding it needs actual CDCL conflicts (tiny
+        // guard formulas settle by propagation alone and never conflict).
+        let rule = SemanticRule::new(
+            "R-clique",
+            "negated disequality clique",
+            TargetSpec::Call { callee: "create_ephemeral".into() },
+            "!(x >= 0 && x <= 1 && y >= 0 && y <= 1 && z >= 0 && z <= 1 \
+              && x != y && y != z && x != z)",
+        )
+        .expect("rule");
+        let report = pipeline.check_rule(&version(), &rule);
+        assert!(report.stats.solver_unknowns > 0, "stats: {:?}", report.stats);
+        assert!(
+            report.chains.iter().all(|c| matches!(c.verdict, ChainVerdict::NotCovered)),
+            "undecided chains must stay not-covered: {:#?}",
+            report.chains
+        );
+    }
+
+    #[test]
+    fn generous_budgets_match_unbudgeted_verdicts() {
+        let unbudgeted = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let budgeted = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            budgets: ResourceBudgets {
+                max_solver_conflicts: Some(1_000_000),
+                max_steps_per_test: Some(100_000_000),
+                rule_wall: Some(Duration::from_secs(3600)),
+            },
+            ..PipelineConfig::default()
+        });
+        let a = unbudgeted.check_rule(&version(), &rule());
+        let b = budgeted.check_rule(&version(), &rule());
+        assert_eq!(a.chains.len(), b.chains.len());
+        for (x, y) in a.chains.iter().zip(b.chains.iter()) {
+            assert_eq!(x.verdict.label(), y.verdict.label(), "{}", x.rendered);
+        }
+        assert!(!b.degraded);
+        assert_eq!(b.stats.solver_unknowns, 0);
+    }
+
+    #[test]
+    fn degraded_mode_is_marked_and_terminates_fast() {
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.check_rule_degraded(&version(), &rule());
+        assert!(report.degraded);
+        assert!(report.tests_selected.len() <= 1, "{:?}", report.tests_selected);
+    }
+
+    #[test]
+    fn try_check_rule_rejects_malformed_condition() {
+        let pipeline = Pipeline::new(PipelineConfig {
+            selection: TestSelection::All,
+            ..PipelineConfig::default()
+        });
+        let mut bad = rule();
+        bad.condition_src = "s != null &&".to_string();
+        match pipeline.try_check_rule(&version(), &bad) {
+            Err(crate::error::LisaError::MalformedRule { rule_id, .. }) => {
+                assert_eq!(rule_id, bad.id);
+            }
+            other => panic!("expected MalformedRule, got {other:?}"),
+        }
+        // A well-formed rule passes through the boundary unchanged.
+        let ok = pipeline.try_check_rule(&version(), &rule()).expect("ok");
+        assert!(ok.has_violation());
     }
 
     #[test]

@@ -20,12 +20,27 @@ pub fn render_rule_report(r: &RuleReport) -> String {
         r.not_covered_count(),
         r.chains.len()
     );
+    if r.degraded {
+        let _ = writeln!(
+            out,
+            "  note: checked in degraded mode (fixed-path sanity check only)"
+        );
+    }
+    if r.retries > 0 {
+        let _ = writeln!(out, "  note: {} retr{} before settling", r.retries, if r.retries == 1 { "y" } else { "ies" });
+    }
     for c in &r.chains {
         let _ = writeln!(out, "    [{}] {}", c.verdict.label(), c.rendered);
-        if let ChainVerdict::Violated(v) = &c.verdict {
-            let _ = writeln!(out, "        test:    {}", v.test);
-            let _ = writeln!(out, "        pi:      {}", v.pi);
-            let _ = writeln!(out, "        witness: {}", v.witness);
+        match &c.verdict {
+            ChainVerdict::Violated(v) => {
+                let _ = writeln!(out, "        test:    {}", v.test);
+                let _ = writeln!(out, "        pi:      {}", v.pi);
+                let _ = writeln!(out, "        witness: {}", v.witness);
+            }
+            ChainVerdict::EngineError { reason } => {
+                let _ = writeln!(out, "        reason:  {reason}");
+            }
+            _ => {}
         }
     }
     for v in &r.off_tree_violations {
@@ -49,6 +64,20 @@ pub fn render_enforcement(e: &EnforcementReport) -> String {
     let _ = writeln!(out, "== LISA gate for version `{}` ==", e.version);
     for r in &e.reports {
         out.push_str(&render_rule_report(r));
+    }
+    for w in &e.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    if e.engine_errors > 0 || e.degraded_rules > 0 || e.retries > 0 {
+        let _ = writeln!(
+            out,
+            "resilience: {} engine error(s), {} degraded rule(s), {} retr{} (fail-{})",
+            e.engine_errors,
+            e.degraded_rules,
+            e.retries,
+            if e.retries == 1 { "y" } else { "ies" },
+            e.fail_mode
+        );
     }
     let _ = writeln!(out, "decision: {} ({} chain(s) need developer review)", e.decision, e.review_needed);
     out

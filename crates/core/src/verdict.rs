@@ -15,6 +15,10 @@ pub enum ChainVerdict {
     /// No selected test drove this chain to the target — a coverage gap
     /// for developer review.
     NotCovered,
+    /// The gate machinery failed while checking this chain (panic,
+    /// exhausted budget, malformed rule). Not a statement about the
+    /// system under check; the fail-mode decides whether it blocks.
+    EngineError { reason: String },
 }
 
 impl ChainVerdict {
@@ -22,11 +26,16 @@ impl ChainVerdict {
         matches!(self, ChainVerdict::Violated(_))
     }
 
+    pub fn is_engine_error(&self) -> bool {
+        matches!(self, ChainVerdict::EngineError { .. })
+    }
+
     pub fn label(&self) -> &'static str {
         match self {
             ChainVerdict::Verified => "verified",
             ChainVerdict::Violated(_) => "VIOLATED",
             ChainVerdict::NotCovered => "not-covered",
+            ChainVerdict::EngineError { .. } => "engine-error",
         }
     }
 }
@@ -78,6 +87,12 @@ pub struct RuleReport {
     pub off_tree_violations: Vec<Violation>,
     /// Arrivals that matched no static chain (violating or not).
     pub unmatched_hits: u64,
+    /// True when the rule was checked in degraded mode (fixed-path
+    /// sanity check instead of full exploration), e.g. after the gate
+    /// deadline expired or the harness wall budget truncated the batch.
+    pub degraded: bool,
+    /// Retries the gate spent on this rule before it settled.
+    pub retries: u32,
     /// Aggregate engine statistics across test executions.
     pub stats: PipelineStats,
 }
@@ -110,8 +125,49 @@ impl RuleReport {
         self.count(|v| matches!(v, ChainVerdict::NotCovered))
     }
 
+    pub fn engine_error_count(&self) -> usize {
+        self.count(|v| matches!(v, ChainVerdict::EngineError { .. }))
+    }
+
+    pub fn has_engine_error(&self) -> bool {
+        self.engine_error_count() > 0
+    }
+
     pub fn has_violation(&self) -> bool {
         self.violated_count() > 0 || !self.off_tree_violations.is_empty()
+    }
+
+    /// A report representing a rule whose check failed entirely: one
+    /// synthetic engine-error chain carrying the reason, so the rule
+    /// still appears in the enforcement report instead of vanishing.
+    pub fn engine_error(
+        rule_id: impl Into<String>,
+        rule_description: impl Into<String>,
+        target: impl Into<String>,
+        condition: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> RuleReport {
+        let reason = reason.into();
+        RuleReport {
+            rule_id: rule_id.into(),
+            rule_description: rule_description.into(),
+            target: target.into(),
+            condition: condition.into(),
+            chains: vec![ChainReport {
+                rendered: "<engine error>".to_string(),
+                entry: String::new(),
+                functions: Vec::new(),
+                verdict: ChainVerdict::EngineError { reason },
+                covering_tests: Vec::new(),
+            }],
+            tests_selected: Vec::new(),
+            sanity_ok: false,
+            off_tree_violations: Vec::new(),
+            unmatched_hits: 0,
+            degraded: false,
+            retries: 0,
+            stats: PipelineStats::default(),
+        }
     }
 }
 
@@ -125,6 +181,8 @@ pub struct PipelineStats {
     pub branches_recorded: u64,
     pub target_hits: u64,
     pub solver_calls: u64,
+    /// Violation queries the solver gave up on (budget exhausted).
+    pub solver_unknowns: u64,
     pub interp_steps: u64,
     /// Wall time of the whole rule check.
     pub wall: std::time::Duration,

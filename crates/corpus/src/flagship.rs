@@ -1011,7 +1011,7 @@ mod tests {
         run(&mut interp, "open_session", vec![Int(2), Str("kafka".into())]);
         run(&mut interp, "begin_close_session", vec![Int(2)]);
         run(&mut interp, "finish_close_session", vec![Int(2)]);
-        assert_eq!(interp.global("sessions").is_some(), true);
+        assert!(interp.global("sessions").is_some());
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn main() {
         "e7_reliability",
         "e8_pruning",
         "e9_selection",
+        "e10_faults",
     ];
     for bin in bins {
         let path = dir.join(bin);

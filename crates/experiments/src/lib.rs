@@ -13,6 +13,7 @@
 //! - `e7_reliability` — §5 Q1 noise sweep,
 //! - `e8_pruning` — §3.2 relevance pruning ablation,
 //! - `e9_selection` — §3.2 test-selection ablation,
+//! - `e10_faults` — fault-injection sweep over the gate,
 //! - `repro_all` — everything above in sequence.
 
 #![forbid(unsafe_code)]

@@ -266,6 +266,7 @@ impl<'p> Interp<'p> {
         self.call_at_depth(fn_name, args, tracer, 0, None, Span::default(), "<harness>")
     }
 
+    #[allow(clippy::too_many_arguments)] // the full call-site context, threaded once
     fn call_at_depth(
         &mut self,
         fn_name: &str,
@@ -303,7 +304,7 @@ impl<'p> Interp<'p> {
             depth,
         });
         let mut env: HashMap<String, Value> = HashMap::new();
-        for ((pname, _), v) in decl.params.iter().zip(args.into_iter()) {
+        for ((pname, _), v) in decl.params.iter().zip(args) {
             env.insert(pname.clone(), v);
         }
         let decl = decl.clone();
@@ -817,6 +818,7 @@ impl<'p> Interp<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // the full call-site context, threaded once
     fn call_with_paths(
         &mut self,
         callee: &str,
@@ -851,7 +853,7 @@ impl<'p> Interp<'p> {
         });
         let decl = decl.clone();
         let mut env: HashMap<String, Value> = HashMap::new();
-        for ((pname, _), v) in decl.params.iter().zip(args.into_iter()) {
+        for ((pname, _), v) in decl.params.iter().zip(args) {
             env.insert(pname.clone(), v);
         }
         let out = self.exec_block(&decl.body, &mut env, &decl, tracer, depth)?;

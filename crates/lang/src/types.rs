@@ -116,11 +116,10 @@ impl<'a> Checker<'a> {
 
     fn check_type_wf(&mut self, ty: &Type, span: Span, what: &str) {
         match ty {
-            Type::Struct(name) => {
-                if self.program.struct_decl(name).is_none() {
+            Type::Struct(name)
+                if self.program.struct_decl(name).is_none() => {
                     self.error(span, format!("{what}: unknown struct type `{name}`"));
                 }
-            }
             Type::Map(k, v) => {
                 if !matches!(**k, Type::Int | Type::Str | Type::Bool) {
                     self.error(span, format!("{what}: map key type must be int/str/bool"));

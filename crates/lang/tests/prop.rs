@@ -3,74 +3,77 @@
 //! - lexing printed modules never fails,
 //! - the interpreter is deterministic and obeys its step budget,
 //! - guard-term derivation is total over generated guards.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated with `lisa_util::Prng` under fixed seeds, so every
+//! run exercises the same inputs and failures reproduce exactly.
 
 use lisa_lang::ast::{BinOp, Expr, ExprKind, UnOp};
 use lisa_lang::pretty::print_expr;
 use lisa_lang::symbolic::guard_term;
 use lisa_lang::{parse_module, Interp, NullTracer, Program, Span, Value};
+use lisa_util::Prng;
 
 fn expr(kind: ExprKind) -> Expr {
     Expr { kind, span: Span::default() }
 }
 
+const ARITH_OPS: [BinOp; 3] = [BinOp::Add, BinOp::Sub, BinOp::Mul];
+const CMP_OPS: [BinOp; 6] =
+    [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge];
+
 /// Random well-formed *integer* expressions over variables a, b.
-fn arb_int_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(|v| expr(ExprKind::Int(v))),
-        Just(expr(ExprKind::Var("a".into()))),
-        Just(expr(ExprKind::Var("b".into()))),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_arith_op()).prop_map(|(l, r, op)| expr(
-                ExprKind::Binary(op, Box::new(l), Box::new(r))
-            )),
-            inner.prop_map(|e| expr(ExprKind::Unary(UnOp::Neg, Box::new(e)))),
-        ]
-    })
-}
-
-fn arb_arith_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)]
-}
-
-fn arb_cmp_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
+fn gen_int_expr(rng: &mut Prng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_index(3) {
+            0 => expr(ExprKind::Int(rng.gen_range_i64(-100, 99))),
+            1 => expr(ExprKind::Var("a".into())),
+            _ => expr(ExprKind::Var("b".into())),
+        };
+    }
+    match rng.gen_index(2) {
+        0 => {
+            let l = gen_int_expr(rng, depth - 1);
+            let r = gen_int_expr(rng, depth - 1);
+            let op = *rng.pick(&ARITH_OPS);
+            expr(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+        }
+        _ => {
+            let inner = gen_int_expr(rng, depth - 1);
+            expr(ExprKind::Unary(UnOp::Neg, Box::new(inner)))
+        }
+    }
 }
 
 /// Random boolean expressions (guards) over int vars a, b.
-fn arb_bool_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(expr(ExprKind::Bool(true))),
-        Just(expr(ExprKind::Bool(false))),
-        (arb_int_expr(), arb_cmp_op(), arb_int_expr()).prop_map(|(l, op, r)| expr(
-            ExprKind::Binary(op, Box::new(l), Box::new(r))
-        )),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| expr(ExprKind::Binary(
-                BinOp::And,
-                Box::new(l),
-                Box::new(r)
-            ))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| expr(ExprKind::Binary(
-                BinOp::Or,
-                Box::new(l),
-                Box::new(r)
-            ))),
-            inner.prop_map(|e| expr(ExprKind::Unary(UnOp::Not, Box::new(e)))),
-        ]
-    })
+fn gen_bool_expr(rng: &mut Prng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_index(3) {
+            0 => expr(ExprKind::Bool(true)),
+            1 => expr(ExprKind::Bool(false)),
+            _ => {
+                let l = gen_int_expr(rng, 2);
+                let r = gen_int_expr(rng, 2);
+                let op = *rng.pick(&CMP_OPS);
+                expr(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+            }
+        };
+    }
+    match rng.gen_index(3) {
+        0 => {
+            let l = gen_bool_expr(rng, depth - 1);
+            let r = gen_bool_expr(rng, depth - 1);
+            expr(ExprKind::Binary(BinOp::And, Box::new(l), Box::new(r)))
+        }
+        1 => {
+            let l = gen_bool_expr(rng, depth - 1);
+            let r = gen_bool_expr(rng, depth - 1);
+            expr(ExprKind::Binary(BinOp::Or, Box::new(l), Box::new(r)))
+        }
+        _ => {
+            let inner = gen_bool_expr(rng, depth - 1);
+            expr(ExprKind::Unary(UnOp::Not, Box::new(inner)))
+        }
+    }
 }
 
 /// Fold constant negation chains: `-1` parses as `Neg(1)` while the
@@ -125,35 +128,48 @@ fn reparse_expr(src: &str, int_ret: bool) -> Expr {
     e.clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn int_expr_print_parse_roundtrip(e in arb_int_expr()) {
-        // `- -5` style double negation prints ambiguously only if the
-        // printer is wrong; the property catches it.
+#[test]
+fn int_expr_print_parse_roundtrip() {
+    // `- -5` style double negation prints ambiguously only if the
+    // printer is wrong; the property catches it.
+    let mut rng = Prng::seed_from_u64(0x1a5_0001);
+    for case in 0..192 {
+        let e = gen_int_expr(&mut rng, 4);
         let printed = print_expr(&e);
         let reparsed = reparse_expr(&printed, true);
-        prop_assert_eq!(shape(&e), shape(&reparsed), "printed: {}", printed);
+        assert_eq!(shape(&e), shape(&reparsed), "case {case}, printed: {printed}");
     }
+}
 
-    #[test]
-    fn bool_expr_print_parse_roundtrip(e in arb_bool_expr()) {
+#[test]
+fn bool_expr_print_parse_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x1a5_0002);
+    for case in 0..192 {
+        let e = gen_bool_expr(&mut rng, 3);
         let printed = print_expr(&e);
         let reparsed = reparse_expr(&printed, false);
-        prop_assert_eq!(shape(&e), shape(&reparsed), "printed: {}", printed);
+        assert_eq!(shape(&e), shape(&reparsed), "case {case}, printed: {printed}");
     }
+}
 
-    #[test]
-    fn guard_term_total_and_deterministic(e in arb_bool_expr()) {
+#[test]
+fn guard_term_total_and_deterministic() {
+    let mut rng = Prng::seed_from_u64(0x1a5_0003);
+    for _ in 0..192 {
+        let e = gen_bool_expr(&mut rng, 3);
         let t1 = guard_term(&e);
         let t2 = guard_term(&e);
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
     }
+}
 
-    #[test]
-    fn interpreter_deterministic_on_generated_guards(e in arb_bool_expr(),
-                                                     a in -50i64..50, b in -50i64..50) {
+#[test]
+fn interpreter_deterministic_on_generated_guards() {
+    let mut rng = Prng::seed_from_u64(0x1a5_0004);
+    for _ in 0..96 {
+        let e = gen_bool_expr(&mut rng, 3);
+        let a = rng.gen_range_i64(-50, 49);
+        let b = rng.gen_range_i64(-50, 49);
         let src = format!(
             "fn f(a: int, b: int) -> bool {{ return {}; }}",
             print_expr(&e)
@@ -165,37 +181,46 @@ proptest! {
         };
         let r1 = run();
         let r2 = run();
-        prop_assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
     }
+}
 
-    #[test]
-    fn step_budget_is_respected(n in 1u64..2_000) {
-        let p = Program::parse_single(
-            "t",
-            "fn spin() -> int { let i = 0; while (true) { i = i + 1; } return i; }",
-        )
-        .expect("parse");
+#[test]
+fn step_budget_is_respected() {
+    let mut rng = Prng::seed_from_u64(0x1a5_0005);
+    let p = Program::parse_single(
+        "t",
+        "fn spin() -> int { let i = 0; while (true) { i = i + 1; } return i; }",
+    )
+    .expect("parse");
+    for _ in 0..64 {
+        let n = 1 + rng.next_below(1_999);
         let mut interp = Interp::with_config(
             &p,
             lisa_lang::RunConfig { max_steps: n, ..Default::default() },
         );
         let err = interp.call("spin", vec![], &mut NullTracer).expect_err("must hit budget");
-        prop_assert!(matches!(err.kind, lisa_lang::interp::ErrorKind::StepLimit));
-        prop_assert!(interp.stats.steps <= n + 1);
+        assert!(matches!(err.kind, lisa_lang::interp::ErrorKind::StepLimit));
+        assert!(interp.stats.steps <= n + 1);
     }
+}
 
-    #[test]
-    fn arithmetic_matches_reference_semantics(x in -1000i64..1000, y in -1000i64..1000) {
-        let p = Program::parse_single(
-            "t",
-            "fn f(x: int, y: int) -> int { return x * 3 + y - x % 7; }",
-        )
-        .expect("parse");
+#[test]
+fn arithmetic_matches_reference_semantics() {
+    let mut rng = Prng::seed_from_u64(0x1a5_0006);
+    let p = Program::parse_single(
+        "t",
+        "fn f(x: int, y: int) -> int { return x * 3 + y - x % 7; }",
+    )
+    .expect("parse");
+    for _ in 0..192 {
+        let x = rng.gen_range_i64(-1000, 999);
+        let y = rng.gen_range_i64(-1000, 999);
         let mut interp = Interp::new(&p);
         let got = interp
             .call("f", vec![Value::Int(x), Value::Int(y)], &mut NullTracer)
             .expect("run");
         let want = x.wrapping_mul(3).wrapping_add(y).wrapping_sub(x.wrapping_rem(7));
-        prop_assert_eq!(got, Value::Int(want));
+        assert_eq!(got, Value::Int(want));
     }
 }

@@ -9,8 +9,7 @@
 //! [`NoiseModel`] perturbs inferred rules with configurable probability,
 //! producing exactly the error classes the paper worries about.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lisa_util::Prng;
 
 use lisa_smt::term::{CmpOp, Term};
 
@@ -66,7 +65,7 @@ impl NoiseModel {
     /// (rules, seed) pair — two calls with different seeds model the
     /// paper's non-determinism risk.
     pub fn apply(&self, rules: &[SemanticRule]) -> Vec<NoisyRule> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let mut out = Vec::new();
         for rule in rules {
             if rng.gen_bool(self.loss_rate.clamp(0.0, 1.0)) {
@@ -86,13 +85,11 @@ impl NoiseModel {
     }
 }
 
-fn perturb(rule: &SemanticRule, rng: &mut StdRng) -> NoisyRule {
+fn perturb(rule: &SemanticRule, rng: &mut Prng) -> NoisyRule {
     // Try the three hallucination classes in a random order; fall back to
     // Faithful if none applies to this condition's shape.
     let mut order = [0u8, 1, 2];
-    for i in (1..order.len()).rev() {
-        order.swap(i, rng.gen_range(0..=i));
-    }
+    rng.shuffle(&mut order);
     for kind in order {
         let attempted = match kind {
             0 => drop_conjunct(&rule.condition, rng).map(|c| (c, Perturbation::DroppedConjunct)),
@@ -111,10 +108,10 @@ fn perturb(rule: &SemanticRule, rng: &mut StdRng) -> NoisyRule {
 }
 
 /// Drop one conjunct of a top-level conjunction.
-fn drop_conjunct(t: &Term, rng: &mut StdRng) -> Option<Term> {
+fn drop_conjunct(t: &Term, rng: &mut Prng) -> Option<Term> {
     match t {
         Term::And(parts) if parts.len() >= 2 => {
-            let drop = rng.gen_range(0..parts.len());
+            let drop = rng.gen_index(parts.len());
             let kept: Vec<Term> =
                 parts.iter().enumerate().filter(|&(i, _)| i != drop).map(|(_, p)| p.clone()).collect();
             Some(Term::and(kept))
@@ -223,7 +220,7 @@ mod tests {
     #[test]
     fn dropped_conjunct_weakens_condition() {
         let r = rule();
-        let dropped = drop_conjunct(&r.condition, &mut StdRng::seed_from_u64(3)).expect("drop");
+        let dropped = drop_conjunct(&r.condition, &mut Prng::seed_from_u64(3)).expect("drop");
         assert!(lisa_smt::implies(&r.condition, &dropped));
         assert!(!lisa_smt::equivalent(&r.condition, &dropped));
     }

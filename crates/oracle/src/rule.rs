@@ -6,8 +6,6 @@
 //! For the ZooKeeper bug the recovered rule is
 //! `<session.isClosing == false> createEphemeralNode <>`.
 
-use serde::{Deserialize, Serialize};
-
 use lisa_analysis::TargetSpec;
 use lisa_smt::{parse_cond, Term};
 
@@ -72,7 +70,7 @@ pub fn condition_roots(t: &Term) -> Vec<String> {
 
 /// The full structured inference output, mirroring the JSON schema of the
 /// paper's prompt (Listing 1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InferenceReport {
     pub ticket: String,
     pub high_level_semantics: String,
@@ -81,7 +79,7 @@ pub struct InferenceReport {
 }
 
 /// One low-level semantic in serialized form.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LowLevelOut {
     pub description: String,
     pub target_statement: String,

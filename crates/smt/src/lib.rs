@@ -50,5 +50,8 @@ pub mod theory;
 pub use model::{Model, Value};
 pub use nnf::{preprocess, to_nnf, Literal};
 pub use parse::{parse_cond, parse_cond_with, ParseError};
-pub use solver::{equivalent, implies, is_sat, is_valid, violates, SatResult, Solver};
+pub use solver::{
+    equivalent, implies, is_sat, is_valid, violates, violates_budgeted, SatResult, Solver,
+    ViolationOutcome,
+};
 pub use term::{Atom, CmpOp, IntOperand, RefOperand, Sort, StrOperand, Term};

@@ -29,7 +29,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "condition parse error at byte {}: {}", self.offset, self.message)
+        if self.offset == usize::MAX {
+            write!(f, "condition parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "condition parse error at byte {}: {}", self.offset, self.message)
+        }
     }
 }
 
@@ -224,6 +228,14 @@ struct Parser<'a> {
     hints: &'a HashMap<String, Sort>,
 }
 
+/// Human-readable token name for error messages.
+fn describe(tok: Option<&Tok>) -> String {
+    match tok {
+        Some(t) => format!("{t:?}"),
+        None => "end of input".to_string(),
+    }
+}
+
 impl<'a> Parser<'a> {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|(t, _)| t)
@@ -244,7 +256,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(format!("expected {tok:?}, found {:?}", self.peek())))
+            Err(self.err(format!("expected {tok:?}, found {}", describe(self.peek()))))
         }
     }
 
@@ -274,21 +286,29 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_or(&mut self) -> Result<Term, ParseError> {
-        let mut parts = vec![self.parse_and()?];
+        let first = self.parse_and()?;
+        if self.peek() != Some(&Tok::OrOr) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
         while self.peek() == Some(&Tok::OrOr) {
             self.pos += 1;
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Term::or(parts) })
+        Ok(Term::or(parts))
     }
 
     fn parse_and(&mut self) -> Result<Term, ParseError> {
-        let mut parts = vec![self.parse_unary()?];
+        let first = self.parse_unary()?;
+        if self.peek() != Some(&Tok::AndAnd) {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
         while self.peek() == Some(&Tok::AndAnd) {
             self.pos += 1;
             parts.push(self.parse_unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Term::and(parts) })
+        Ok(Term::and(parts))
     }
 
     fn parse_unary(&mut self) -> Result<Term, ParseError> {
@@ -336,7 +356,7 @@ impl<'a> Parser<'a> {
                 Some(Tok::Null) => Ok(Operand::Null),
                 Some(Tok::True) => Ok(Operand::Path("$true".into())),
                 Some(Tok::False) => Ok(Operand::Path("$false".into())),
-                other => Err(p.err(format!("expected operand, found {other:?}"))),
+                other => Err(p.err(format!("expected operand, found {}", describe(other.as_ref())))),
             }
         };
         let lhs = operand(self)?;

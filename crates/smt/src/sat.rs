@@ -32,6 +32,10 @@ pub enum SatOutcome {
     /// Satisfying assignment, indexed by variable (index 0 unused).
     Sat(Vec<bool>),
     Unsat,
+    /// The solver gave up: a resource budget (conflicts or decisions) was
+    /// exhausted before the search concluded. Neither a model nor a proof
+    /// of unsatisfiability exists; callers must treat this conservatively.
+    Unknown,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +63,12 @@ pub struct SatSolver {
     /// Set when an added clause made the instance unsatisfiable at level 0;
     /// sticky so later `solve` calls agree with the `add_clause` verdict.
     unsat: bool,
+    /// Resource budget: total conflicts (cumulative across `solve` calls,
+    /// so an incremental DPLL(T) session shares one budget). `None` means
+    /// unbounded. Exhaustion yields [`SatOutcome::Unknown`].
+    pub max_conflicts: Option<u64>,
+    /// Resource budget on decisions, same semantics as `max_conflicts`.
+    pub max_decisions: Option<u64>,
     pub stats: SatStats,
 }
 
@@ -102,6 +112,8 @@ impl SatSolver {
             conflicts_since_restart: 0,
             restart_limit: 64,
             unsat: false,
+            max_conflicts: None,
+            max_decisions: None,
             stats: SatStats::default(),
         }
     }
@@ -234,7 +246,7 @@ impl SatSolver {
                 // Clause is unit or conflicting on `first`.
                 if self.value(first) == VarVal::False {
                     // Conflict: restore remaining watches.
-                    self.watches[lit_index(falsified)].extend(watch_list.drain(..));
+                    self.watches[lit_index(falsified)].append(&mut watch_list);
                     return Some(cref);
                 }
                 self.enqueue(first, Some(cref));
@@ -347,6 +359,10 @@ impl SatSolver {
                 if self.trail_lim.is_empty() {
                     return SatOutcome::Unsat;
                 }
+                if self.max_conflicts.is_some_and(|b| self.stats.conflicts > b) {
+                    self.backtrack(0);
+                    return SatOutcome::Unknown;
+                }
                 let (learned, bt) = self.analyze(conflict);
                 self.backtrack(bt);
                 self.stats.learned_clauses += 1;
@@ -383,6 +399,10 @@ impl SatSolver {
                     }
                     Some(v) => {
                         self.stats.decisions += 1;
+                        if self.max_decisions.is_some_and(|b| self.stats.decisions > b) {
+                            self.backtrack(0);
+                            return SatOutcome::Unknown;
+                        }
                         self.trail_lim.push(self.trail.len());
                         // Phase: default to false — atoms in LISA formulas
                         // are predominantly guards that fail on the
@@ -422,7 +442,7 @@ mod tests {
     fn trivial_sat() {
         match solve(&[&[1], &[2, -1]], 2) {
             SatOutcome::Sat(m) => check_model(&[&[1], &[2, -1]], &m),
-            SatOutcome::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 
@@ -464,7 +484,7 @@ mod tests {
         }
         match s.solve() {
             SatOutcome::Sat(m) => assert!(m[1..=20].iter().all(|&b| b)),
-            SatOutcome::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 
@@ -483,6 +503,50 @@ mod tests {
         assert!(matches!(s.solve(), SatOutcome::Sat(_)));
         s.add_clause(vec![-1]);
         s.add_clause(vec![-2]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_exhaustion_reports_unknown() {
+        // Pigeonhole needs search; a zero-conflict budget cannot finish.
+        let clauses: Vec<&[PLit]> = vec![
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ];
+        let mut s = SatSolver::new(6);
+        s.max_conflicts = Some(0);
+        for c in &clauses {
+            assert!(s.add_clause(c.to_vec()));
+        }
+        assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn decision_budget_exhaustion_reports_unknown() {
+        let mut s = SatSolver::new(2);
+        s.max_decisions = Some(0);
+        assert!(s.add_clause(vec![1, 2]));
+        assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_verdict() {
+        let clauses: Vec<&[PLit]> =
+            vec![&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]];
+        let mut s = SatSolver::new(3);
+        s.max_conflicts = Some(1_000_000);
+        for c in &clauses {
+            if !s.add_clause(c.to_vec()) {
+                panic!("level-0 conflict not expected here");
+            }
+        }
         assert_eq!(s.solve(), SatOutcome::Unsat);
     }
 

@@ -14,6 +14,10 @@ use crate::theory::{self, TheoryLit, TheoryResult};
 pub enum SatResult {
     Sat(Model),
     Unsat,
+    /// A resource budget ran out before the search concluded. The query is
+    /// neither proved nor refuted; gate layers must degrade gracefully
+    /// (e.g. treat the chain as not-covered) rather than pick a side.
+    Unknown { reason: String },
 }
 
 impl SatResult {
@@ -21,10 +25,14 @@ impl SatResult {
         matches!(self, SatResult::Sat(_))
     }
 
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SatResult::Unknown { .. })
+    }
+
     pub fn model(&self) -> Option<&Model> {
         match self {
             SatResult::Sat(m) => Some(m),
-            SatResult::Unsat => None,
+            _ => None,
         }
     }
 }
@@ -46,11 +54,27 @@ pub struct Solver {
     /// Upper bound on lazy theory-refinement rounds; a safety valve, far
     /// above anything the LISA workload reaches.
     pub max_rounds: u64,
+    /// SAT-core conflict budget for the whole `check` call (`None` =
+    /// unbounded). Exhaustion yields [`SatResult::Unknown`].
+    pub max_conflicts: Option<u64>,
+    /// SAT-core decision budget, same semantics.
+    pub max_decisions: Option<u64>,
 }
 
 impl Solver {
     pub fn new() -> Self {
-        Solver { stats: SolverStats::default(), max_rounds: 100_000 }
+        Solver {
+            stats: SolverStats::default(),
+            max_rounds: 100_000,
+            max_conflicts: None,
+            max_decisions: None,
+        }
+    }
+
+    /// A solver with a conflict budget; use for gate calls that must
+    /// terminate promptly even on adversarial formulas.
+    pub fn with_conflict_budget(max_conflicts: u64) -> Self {
+        Solver { max_conflicts: Some(max_conflicts), ..Solver::new() }
     }
 
     /// Decide satisfiability of `term` modulo the equality + difference
@@ -73,6 +97,8 @@ impl Solver {
             return SatResult::Unsat;
         }
         let mut sat = SatSolver::new(cnf.num_vars());
+        sat.max_conflicts = self.max_conflicts;
+        sat.max_decisions = self.max_decisions;
         for clause in &cnf.clauses {
             if !sat.add_clause(clause.clone()) {
                 return SatResult::Unsat;
@@ -82,13 +108,27 @@ impl Solver {
         loop {
             self.stats.theory_rounds += 1;
             if self.stats.theory_rounds > self.max_rounds {
-                // Unreachable in practice; fail closed (treat as UNSAT
-                // would be unsound for the violation check, so panic in
-                // debug and return the safe side in release).
-                debug_assert!(false, "theory refinement did not converge");
-                return SatResult::Unsat;
+                // The lazy loop did not converge within the round budget.
+                // Picking a side here would be unsound for the violation
+                // check, so report the honest "don't know".
+                self.capture_stats(&sat);
+                return SatResult::Unknown {
+                    reason: format!(
+                        "theory refinement did not converge within {} rounds",
+                        self.max_rounds
+                    ),
+                };
             }
             match sat.solve() {
+                SatOutcome::Unknown => {
+                    self.capture_stats(&sat);
+                    return SatResult::Unknown {
+                        reason: format!(
+                            "sat budget exhausted ({} conflicts, {} decisions)",
+                            sat.stats.conflicts, sat.stats.decisions
+                        ),
+                    };
+                }
                 SatOutcome::Unsat => {
                     self.capture_stats(&sat);
                     return SatResult::Unsat;
@@ -204,7 +244,38 @@ pub fn equivalent(a: &Term, b: &Term) -> bool {
 pub fn violates(pi: &Term, checker: &Term) -> Option<Model> {
     match Solver::new().check(&Term::and([pi.clone(), checker.clone().not()])) {
         SatResult::Sat(m) => Some(m),
-        SatResult::Unsat => None,
+        _ => None,
+    }
+}
+
+/// Three-valued outcome of a budgeted violation query.
+#[derive(Debug)]
+pub enum ViolationOutcome {
+    /// `pi ∧ ¬checker` is satisfiable; the witness model is attached.
+    Violated(Model),
+    /// `pi ∧ ¬checker` is unsatisfiable: the path provably establishes
+    /// the checker.
+    Verified,
+    /// The solver ran out of budget; the query is undecided.
+    Unknown { reason: String },
+}
+
+/// Budgeted variant of [`violates`]: same query, but the SAT core gives up
+/// after `max_conflicts` conflicts (when `Some`) instead of running to
+/// completion. An exhausted budget is reported as
+/// [`ViolationOutcome::Unknown`] so the gate can degrade the chain to
+/// not-covered rather than inventing a verdict.
+pub fn violates_budgeted(
+    pi: &Term,
+    checker: &Term,
+    max_conflicts: Option<u64>,
+) -> ViolationOutcome {
+    let mut solver = Solver::new();
+    solver.max_conflicts = max_conflicts;
+    match solver.check(&Term::and([pi.clone(), checker.clone().not()])) {
+        SatResult::Sat(m) => ViolationOutcome::Violated(m),
+        SatResult::Unsat => ViolationOutcome::Verified,
+        SatResult::Unknown { reason } => ViolationOutcome::Unknown { reason },
     }
 }
 
@@ -369,6 +440,38 @@ mod tests {
             Term::int_cmp_v("x", CmpOp::Ne, "z"),
         ]);
         assert!(!is_sat(&t));
+    }
+
+    #[test]
+    fn budgeted_check_reports_unknown_on_tiny_budget() {
+        // Pairwise-distinct in [0,1] over three variables forces real
+        // search; a zero-conflict budget cannot decide it.
+        let in01 = |v: &str| {
+            Term::and([Term::int_cmp_c(v, CmpOp::Ge, 0), Term::int_cmp_c(v, CmpOp::Le, 1)])
+        };
+        let t = Term::and([
+            in01("x"),
+            in01("y"),
+            in01("z"),
+            Term::int_cmp_v("x", CmpOp::Ne, "y"),
+            Term::int_cmp_v("y", CmpOp::Ne, "z"),
+            Term::int_cmp_v("x", CmpOp::Ne, "z"),
+        ]);
+        let r = Solver::with_conflict_budget(0).check(&t);
+        assert!(r.is_unknown(), "expected Unknown, got {r:?}");
+    }
+
+    #[test]
+    fn budgeted_violates_agrees_with_unbudgeted_when_generous() {
+        let pi = Term::and([Term::not_null("s"), Term::bool_var("s.isClosing").not()]);
+        match violates_budgeted(&pi, &zk_checker(), Some(1_000_000)) {
+            ViolationOutcome::Violated(m) => assert!(m.validated),
+            other => panic!("expected Violated, got {other:?}"),
+        }
+        match violates_budgeted(&zk_checker(), &zk_checker(), Some(1_000_000)) {
+            ViolationOutcome::Verified => {}
+            other => panic!("expected Verified, got {other:?}"),
+        }
     }
 
     #[test]

@@ -258,6 +258,7 @@ impl Term {
     }
 
     /// Negation; collapses double negation.
+    #[allow(clippy::should_implement_trait)] // by-value builder, not ops::Not
     pub fn not(self) -> Term {
         match self {
             Term::True => Term::False,

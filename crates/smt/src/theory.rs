@@ -313,6 +313,7 @@ impl IntSolver {
         for k in 0..n {
             for i in 0..n {
                 if let Some(dik) = d[i][k] {
+                    #[allow(clippy::needless_range_loop)] // d is indexed by 3 loops at once
                     for j in 0..n {
                         if let Some(dkj) = d[k][j] {
                             let cand = dik.saturating_add(dkj);
@@ -361,7 +362,7 @@ impl IntSolver {
             for &(a, b, _) in &self.diseqs {
                 if value[a] == value[b] {
                     // Try lowering a by 1 if a - b can be <= -1.
-                    let can_lower = d[b][a].map_or(true, |ub| ub <= -1 || ub >= 1);
+                    let can_lower = d[b][a].is_none_or(|ub| ub <= -1 || ub >= 1);
                     // Simple nudge: move `a` down one if nothing pins it.
                     let pinned = self.pins.iter().any(|&(p, _)| p == a);
                     if !pinned && can_lower {

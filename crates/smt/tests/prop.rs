@@ -7,12 +7,14 @@
 //! #3}, and strings from the mentioned literals plus one fresh value.
 //! Brute-force enumeration over that domain is therefore a complete
 //! reference solver.
-
-use proptest::prelude::*;
+//!
+//! Randomness comes from `lisa_util::Prng` with fixed seeds, so every
+//! case is reproducible without an external property-testing crate.
 
 use lisa_smt::model::{Model, Value};
 use lisa_smt::solver::{implies, is_sat, violates, Solver};
 use lisa_smt::term::{CmpOp, Term};
+use lisa_util::Prng;
 
 const INT_VARS: [&str; 2] = ["x", "y"];
 const BOOL_VARS: [&str; 2] = ["p", "q"];
@@ -20,56 +22,48 @@ const REF_VARS: [&str; 2] = ["r", "t"];
 const STR_VARS: [&str; 1] = ["s"];
 const STR_LITS: [&str; 2] = ["open", "closed"];
 
-fn arb_atom() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        proptest::sample::select(&BOOL_VARS[..]).prop_map(Term::bool_var),
-        (
-            proptest::sample::select(&INT_VARS[..]),
-            arb_cmpop(),
-            -3i64..=3,
-        )
-            .prop_map(|(v, op, c)| Term::int_cmp_c(v, op, c)),
-        (
-            proptest::sample::select(&INT_VARS[..]),
-            arb_cmpop(),
-            proptest::sample::select(&INT_VARS[..]),
-        )
-            .prop_map(|(a, op, b)| Term::int_cmp_v(a, op, b)),
-        proptest::sample::select(&REF_VARS[..]).prop_map(Term::is_null),
-        (
-            proptest::sample::select(&REF_VARS[..]),
-            proptest::sample::select(&REF_VARS[..]),
-        )
-            .prop_map(|(a, b)| Term::ref_eq(a, b)),
-        (
-            proptest::sample::select(&STR_VARS[..]),
-            proptest::sample::select(&STR_LITS[..]),
-        )
-            .prop_map(|(v, l)| Term::str_eq_lit(v, l)),
-    ]
+const CMP_OPS: [CmpOp; 6] =
+    [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+fn gen_atom(rng: &mut Prng) -> Term {
+    match rng.gen_index(6) {
+        0 => Term::bool_var(*rng.pick(&BOOL_VARS)),
+        1 => {
+            let v = *rng.pick(&INT_VARS);
+            let op = *rng.pick(&CMP_OPS);
+            Term::int_cmp_c(v, op, rng.gen_range_i64(-3, 3))
+        }
+        2 => {
+            let a = *rng.pick(&INT_VARS);
+            let op = *rng.pick(&CMP_OPS);
+            let b = *rng.pick(&INT_VARS);
+            Term::int_cmp_v(a, op, b)
+        }
+        3 => Term::is_null(*rng.pick(&REF_VARS)),
+        4 => Term::ref_eq(*rng.pick(&REF_VARS), *rng.pick(&REF_VARS)),
+        _ => Term::str_eq_lit(*rng.pick(&STR_VARS), *rng.pick(&STR_LITS)),
+    }
 }
 
-fn arb_cmpop() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-}
-
-fn arb_term() -> impl Strategy<Value = Term> {
-    arb_atom().prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Term::not),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::and),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Term::or),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
-        ]
-    })
+/// Random term with bounded nesting depth, mirroring proptest's
+/// `prop_recursive(3, ..)` shape: at depth 0 only atoms are produced.
+fn gen_term(rng: &mut Prng, depth: usize) -> Term {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return gen_atom(rng);
+    }
+    match rng.gen_index(5) {
+        0 => gen_term(rng, depth - 1).not(),
+        1 => {
+            let n = 2 + rng.gen_index(2);
+            Term::and((0..n).map(|_| gen_term(rng, depth - 1)).collect::<Vec<_>>())
+        }
+        2 => {
+            let n = 2 + rng.gen_index(2);
+            Term::or((0..n).map(|_| gen_term(rng, depth - 1)).collect::<Vec<_>>())
+        }
+        3 => gen_term(rng, depth - 1).implies(gen_term(rng, depth - 1)),
+        _ => gen_term(rng, depth - 1).iff(gen_term(rng, depth - 1)),
+    }
 }
 
 /// Enumerate the small-model domain and report whether any assignment
@@ -106,70 +100,118 @@ fn brute_force_sat(t: &Term) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_model(rng: &mut Prng) -> Model {
+    let refs = [None, Some(1), Some(2)];
+    let strs = ["open", "closed", "$other"];
+    let mut m = Model::new();
+    m.set("x", Value::Int(rng.gen_range_i64(-6, 6)));
+    m.set("y", Value::Int(rng.gen_range_i64(-6, 6)));
+    m.set("p", Value::Bool(rng.gen_bool(0.5)));
+    m.set("q", Value::Bool(rng.gen_bool(0.5)));
+    m.set("r", Value::Ref(*rng.pick(&refs)));
+    m.set("t", Value::Ref(*rng.pick(&refs)));
+    m.set("s", Value::Str(rng.pick(&strs).to_string()));
+    m
+}
 
-    #[test]
-    fn solver_agrees_with_brute_force(t in arb_term()) {
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut rng = Prng::seed_from_u64(0xabcd_0000);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
         let expected = brute_force_sat(&t);
         let got = is_sat(&t);
-        prop_assert_eq!(got, expected, "term: {}", t);
+        assert_eq!(got, expected, "case {case}, term: {t}");
     }
+}
 
-    #[test]
-    fn sat_models_validate(t in arb_term()) {
+#[test]
+fn sat_models_validate() {
+    let mut rng = Prng::seed_from_u64(0xabcd_0001);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
         let mut solver = Solver::new();
         if let lisa_smt::SatResult::Sat(m) = solver.check(&t) {
-            prop_assert!(m.validated, "model {} does not satisfy {}", m, t);
+            assert!(m.validated, "case {case}: model {m} does not satisfy {t}");
         }
     }
+}
 
-    #[test]
-    fn preprocess_preserves_truth_pointwise(t in arb_term(), x in -6i64..=6, y in -6i64..=6,
-                                            pb in any::<bool>(), qb in any::<bool>(),
-                                            r in 0usize..3, tv in 0usize..3, s in 0usize..3) {
-        let refs = [None, Some(1), Some(2)];
-        let strs = ["open", "closed", "$other"];
-        let mut m = Model::new();
-        m.set("x", Value::Int(x));
-        m.set("y", Value::Int(y));
-        m.set("p", Value::Bool(pb));
-        m.set("q", Value::Bool(qb));
-        m.set("r", Value::Ref(refs[r]));
-        m.set("t", Value::Ref(refs[tv]));
-        m.set("s", Value::Str(strs[s].to_string()));
+#[test]
+fn preprocess_preserves_truth_pointwise() {
+    let mut rng = Prng::seed_from_u64(0xabcd_0002);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
+        let m = random_model(&mut rng);
         let pre = lisa_smt::preprocess(&t);
-        prop_assert_eq!(m.eval(&t), m.eval(&pre), "term: {} pre: {}", t, pre);
+        assert_eq!(m.eval(&t), m.eval(&pre), "case {case}: term: {t} pre: {pre}");
     }
+}
 
-    #[test]
-    fn violates_is_negated_implication(pi in arb_term(), checker in arb_term()) {
+#[test]
+fn violates_is_negated_implication() {
+    let mut rng = Prng::seed_from_u64(0xabcd_0003);
+    for case in 0..192 {
+        let pi = gen_term(&mut rng, 3);
+        let checker = gen_term(&mut rng, 3);
         let v = violates(&pi, &checker).is_some();
-        prop_assert_eq!(v, !implies(&pi, &checker));
+        assert_eq!(v, !implies(&pi, &checker), "case {case}: pi {pi} checker {checker}");
     }
+}
 
-    #[test]
-    fn double_negation_roundtrip(t in arb_term()) {
-        prop_assert_eq!(is_sat(&t), is_sat(&t.clone().not().not()));
+#[test]
+fn double_negation_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0xabcd_0004);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
+        assert_eq!(is_sat(&t), is_sat(&t.clone().not().not()), "case {case}: {t}");
     }
+}
 
-    #[test]
-    fn conjunction_with_negation_unsat(t in arb_term()) {
-        prop_assert!(!is_sat(&Term::and([t.clone(), t.not()])));
+#[test]
+fn conjunction_with_negation_unsat() {
+    let mut rng = Prng::seed_from_u64(0xabcd_0005);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
+        assert!(!is_sat(&Term::and([t.clone(), t.clone().not()])), "case {case}: {t}");
     }
+}
 
-    #[test]
-    fn parser_roundtrips_display(t in arb_term()) {
-        // Display output must re-parse to an equivalent term (sort hints
-        // supplied for ref/str var-var comparisons).
+#[test]
+fn parser_roundtrips_display() {
+    // Display output must re-parse to an equivalent term (sort hints
+    // supplied for ref/str var-var comparisons).
+    let mut rng = Prng::seed_from_u64(0xabcd_0006);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
         let mut hints = std::collections::HashMap::new();
         for (v, sort) in t.vars() {
             hints.insert(v, sort);
         }
         let printed = t.to_string();
         let reparsed = lisa_smt::parse_cond_with(&printed, &hints)
-            .map_err(|e| TestCaseError::fail(format!("reparse of {printed:?}: {e}")))?;
-        prop_assert!(lisa_smt::equivalent(&t, &reparsed),
-                     "printed {} reparsed {}", printed, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: reparse of {printed:?}: {e}"));
+        assert!(
+            lisa_smt::equivalent(&t, &reparsed),
+            "case {case}: printed {printed} reparsed {reparsed}"
+        );
+    }
+}
+
+#[test]
+fn generous_budget_agrees_with_unbudgeted_solver() {
+    // A budget large enough never to trip must leave the verdict exactly
+    // where the unbudgeted solver puts it — `Unknown` is reserved for
+    // genuine exhaustion, not a third answer the solver may wander into.
+    let mut rng = Prng::seed_from_u64(0xabcd_0007);
+    for case in 0..256 {
+        let t = gen_term(&mut rng, 3);
+        let unbudgeted = is_sat(&t);
+        let r = Solver::with_conflict_budget(1_000_000).check(&t);
+        assert!(
+            !matches!(r, lisa_smt::SatResult::Unknown { .. }),
+            "case {case}: generous budget must not exhaust on {t}"
+        );
+        assert_eq!(r.is_sat(), unbudgeted, "case {case}: {t}");
     }
 }

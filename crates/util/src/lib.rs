@@ -1,0 +1,14 @@
+//! # lisa-util
+//!
+//! Small dependency-free utilities shared across the workspace. The
+//! container this repo builds in has no crates.io access, so anything
+//! the system needs from the usual ecosystem crates (seeded randomness,
+//! retry/backoff) lives here instead.
+
+#![forbid(unsafe_code)]
+
+pub mod prng;
+pub mod retry;
+
+pub use prng::Prng;
+pub use retry::{retry_with_backoff, RetryPolicy};

@@ -1,0 +1,138 @@
+//! A seeded, deterministic pseudo-random number generator.
+//!
+//! SplitMix64 at the core: 64 bits of state, one multiply-xorshift
+//! avalanche per draw. Not cryptographic — it exists so noise models,
+//! fault plans, and randomized property tests are *reproducible from a
+//! seed*, which is the only property the workspace needs.
+
+/// Deterministic PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    pub fn seed_from_u64(seed: u64) -> Prng {
+        Prng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_below(0)");
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // < 2^-32 for every bound the workspace uses.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let draw = (self.next_u64() as u128 * span) >> 64;
+        (lo as i128 + draw as i128) as i64
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_index(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range_i64(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let i = rng.gen_index(3);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn range_hits_both_endpoints() {
+        let mut rng = Prng::seed_from_u64(9);
+        let draws: Vec<i64> = (0..500).map(|_| rng.gen_range_i64(0, 3)).collect();
+        for want in 0..=3 {
+            assert!(draws.contains(&want), "endpoint {want} never drawn");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Prng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_approximate() {
+        let mut rng = Prng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count() as f64;
+        assert!((hits / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+}

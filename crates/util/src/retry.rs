@@ -1,0 +1,144 @@
+//! Bounded retry with exponential backoff.
+//!
+//! The enforcement gate treats some injected/observed faults as
+//! *transient* (paper framing: a tool-stage failure is a recoverable
+//! outcome, not a fatal one). This helper centralizes the retry loop so
+//! the policy — attempt cap, backoff growth, sleep ceiling — is uniform
+//! and testable.
+
+use std::time::Duration;
+
+/// Retry policy: how many attempts, and how the pause between them grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Pause before the first retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on any single pause.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The pause before retry number `retry` (1-based), doubling each
+    /// time and capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << (retry.saturating_sub(1)).min(16);
+        self.initial_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// Run `op` until it succeeds or attempts are exhausted; returns the last
+/// error alongside the number of retries performed. `should_retry`
+/// decides per-error whether another attempt is worthwhile (transient
+/// faults yes, deterministic failures no).
+pub fn retry_with_backoff<T, E>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+    mut should_retry: impl FnMut(&E) -> bool,
+) -> (Result<T, E>, u32) {
+    let mut retries = 0;
+    loop {
+        match op(retries) {
+            Ok(v) => return (Ok(v), retries),
+            Err(e) => {
+                if retries + 1 >= policy.max_attempts.max(1) || !should_retry(&e) {
+                    return (Err(e), retries);
+                }
+                retries += 1;
+                std::thread::sleep(policy.backoff(retries));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_first_try_no_retries() {
+        let (r, retries) =
+            retry_with_backoff(&RetryPolicy::default(), |_| Ok::<_, ()>(7), |_| true);
+        assert_eq!(r, Ok(7));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn transient_error_retried_until_success() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let (r, retries) =
+            retry_with_backoff(&policy, |attempt| if attempt < 2 { Err("flaky") } else { Ok(()) }, |_| true);
+        assert_eq!(r, Ok(()));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn permanent_error_not_retried() {
+        let mut calls = 0;
+        let (r, retries) = retry_with_backoff(
+            &RetryPolicy::default(),
+            |_| -> Result<(), &str> {
+                calls += 1;
+                Err("permanent")
+            },
+            |_| false,
+        );
+        assert!(r.is_err());
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        let mut calls = 0;
+        let (r, retries) = retry_with_backoff(
+            &policy,
+            |_| -> Result<(), &str> {
+                calls += 1;
+                Err("always")
+            },
+            |_| true,
+        );
+        assert!(r.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35));
+        assert_eq!(p.backoff(9), Duration::from_millis(35));
+    }
+}

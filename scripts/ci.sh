@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint. Mirrors the tier-1 gate the repo is
+# held to; run from the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
