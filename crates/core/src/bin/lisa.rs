@@ -4,7 +4,12 @@
 //! lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
 //! lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
 //!              [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
-//!              [--fault-seed N] [--fault-rate F]
+//!              [--fault-seed N] [--fault-rate F] [--state <dir>]
+//! lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
+//! lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
+//!              [--job-timeout-ms N] [--max-attempts N]
+//! lisa submit  --socket <path> [--op gate|ping|stats|shutdown] [--system <dir>]
+//!              [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
 //! lisa suggest --system <dir> --target <fn>
 //! lisa paths   --system <dir> --target <fn>
 //! ```
@@ -19,24 +24,32 @@
 //! never call blocking_io while holding a lock
 //! ```
 //!
+//! `gate --state <dir>` journals every settled verdict to `<dir>` so a
+//! killed run can be resumed (`lisa resume`) without re-checking rules
+//! whose verdicts were already durable. `lisa serve` runs the same
+//! durable gate as a daemon behind a unix socket with a supervised
+//! worker pool; `lisa submit` is its client.
+//!
 //! Exit status: 0 = pass, 1 = violations found (gate blocks), 2 = a true
 //! engine error — usage/load failure, or (under fail-closed) a rule check
 //! the gate itself could not complete. Directly usable as a CI step.
 
 use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use lisa::faults::FAULT_PANIC_PREFIX;
 use lisa::report::{render_enforcement, render_rule_report};
+use lisa::service::request;
 use lisa::{
-    enforce_with, FailMode, FaultInjector, FaultPlan, GateDecision, GateOptions, Pipeline,
-    PipelineConfig, ResourceBudgets, RuleRegistry, TestSelection,
+    enforce_with, gate_durable, load_rules, load_system, serve, DurableOptions, FailMode,
+    FaultInjector, FaultPlan, GateDecision, GateOptions, Json, Pipeline, PipelineConfig,
+    ResourceBudgets, RuleRegistry, ServeConfig, TestSelection,
 };
 use lisa_analysis::{execution_tree_filtered, CallGraph, TargetSpec, TreeLimits};
-use lisa_concolic::{discover_tests, SystemVersion};
-use lisa_lang::Program;
-use lisa_oracle::{author_rule, suggest_conditions, SemanticRule};
+use lisa_oracle::suggest_conditions;
+use lisa_util::RetryPolicy;
 
 /// How a successful run (no usage/load error) ended.
 enum Outcome {
@@ -68,7 +81,12 @@ const USAGE: &str = "usage:
   lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
   lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
                [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
-               [--fault-seed N] [--fault-rate F]
+               [--fault-seed N] [--fault-rate F] [--state <dir>]
+  lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
+  lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
+               [--job-timeout-ms N] [--max-attempts N]
+  lisa submit  --socket <path> [--op gate|ping|stats|shutdown] [--system <dir>]
+               [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
   lisa suggest --system <dir> --target <fn>
   lisa paths   --system <dir> --target <fn>";
 
@@ -80,6 +98,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     match cmd.as_str() {
         "check" => cmd_check(&flags, false),
         "gate" => cmd_check(&flags, true),
+        "resume" => cmd_resume(&flags),
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
         "suggest" => cmd_suggest(&flags),
         "paths" => cmd_paths(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -108,56 +129,14 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a st
         .ok_or_else(|| format!("missing required flag --{name}"))
 }
 
-/// Load every `.sir` file under `dir` (sorted, non-recursive) into one
-/// program; discover tests by prefix.
-fn load_system(dir: &str, test_prefix: &str) -> Result<SystemVersion, String> {
-    let dir = Path::new(dir);
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "sir"))
-        .collect();
-    files.sort();
-    if files.is_empty() {
-        return Err(format!("no .sir files in {}", dir.display()));
-    }
-    let mut sources = Vec::new();
-    for f in &files {
-        let text =
-            std::fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
-        let name = f.file_stem().and_then(|s| s.to_str()).unwrap_or("module").to_string();
-        sources.push((name, text));
-    }
-    let refs: Vec<(&str, &str)> =
-        sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
-    let program = Program::parse(&refs).map_err(|e| e.to_string())?;
-    let errors = lisa_lang::check_program(&program);
-    if !errors.is_empty() {
-        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
-        return Err(format!("type errors:\n  {}", msgs.join("\n  ")));
-    }
-    let tests = discover_tests(&program, test_prefix);
-    let label = dir.file_name().and_then(|s| s.to_str()).unwrap_or("system").to_string();
-    Ok(SystemVersion::new(label, program, tests))
-}
-
-/// Parse a rules file of authoring-template sentences.
-fn load_rules(path: &str) -> Result<Vec<SemanticRule>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let mut rules = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let rule = author_rule(&format!("rule-{}", lineno + 1), line)
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        rules.push(rule);
-    }
-    if rules.is_empty() {
-        return Err(format!("{path}: no rules"));
-    }
-    Ok(rules)
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+) -> Result<Option<T>, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse::<T>().map_err(|_| format!("--{name} {v}: not a number")))
+        .transpose()
 }
 
 fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, String> {
@@ -184,43 +163,18 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
         );
     }
     if gate {
-        let workers = flags
-            .get("workers")
-            .map(|w| w.parse().map_err(|_| format!("--workers {w}: not a number")))
-            .transpose()?
-            .unwrap_or(4);
+        let workers: usize = parse_num(flags, "workers")?.unwrap_or(4);
         let fail_mode = flags
             .get("fail-mode")
             .map(|m| m.parse::<FailMode>())
             .transpose()?
             .unwrap_or_default();
-        let deadline = flags
-            .get("deadline-ms")
-            .map(|d| {
-                d.parse::<u64>().map_err(|_| format!("--deadline-ms {d}: not a number"))
-            })
-            .transpose()?
-            .map(Duration::from_millis);
-        let max_solver_conflicts = flags
-            .get("max-solver-conflicts")
-            .map(|c| {
-                c.parse::<u64>()
-                    .map_err(|_| format!("--max-solver-conflicts {c}: not a number"))
-            })
-            .transpose()?;
+        let deadline = parse_num::<u64>(flags, "deadline-ms")?.map(Duration::from_millis);
+        let max_solver_conflicts = parse_num::<u64>(flags, "max-solver-conflicts")?;
         // Resilience drill: seed a deterministic fault plan over the
         // loaded rules (chaos-testing the gate itself in CI).
-        let fault_seed = flags
-            .get("fault-seed")
-            .map(|s| s.parse::<u64>().map_err(|_| format!("--fault-seed {s}: not a number")))
-            .transpose()?;
-        let fault_rate = flags
-            .get("fault-rate")
-            .map(|r| {
-                r.parse::<f64>().map_err(|_| format!("--fault-rate {r}: not a number"))
-            })
-            .transpose()?
-            .unwrap_or(1.0);
+        let fault_seed = parse_num::<u64>(flags, "fault-seed")?;
+        let fault_rate = parse_num::<f64>(flags, "fault-rate")?.unwrap_or(1.0);
         let faults = fault_seed.map(|seed| {
             let ids: Vec<String> = rules.iter().map(|r| r.id.clone()).collect();
             FaultInjector::new(FaultPlan::random(seed, fault_rate, &ids))
@@ -235,6 +189,11 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
         let mut registry = RuleRegistry::new();
         for r in rules {
             registry.register(r);
+        }
+        // `--state <dir>`: journal the run so a crash can be resumed
+        // without re-checking already-settled rules.
+        if let Some(state) = flags.get("state") {
+            return run_durable(&registry, &version, &config, &options, state, json);
         }
         let report = enforce_with(&registry, &version, &config, workers, &options);
         if json {
@@ -271,6 +230,137 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
             println!("[{}]", json_reports.join(","));
         }
         Ok(if clean { Outcome::Clean } else { Outcome::Violations })
+    }
+}
+
+/// `lisa resume` — continue a journaled gate run. Identical to
+/// `gate --state <dir>`: the journal itself knows which verdicts are
+/// already settled, so "start" and "resume" are the same operation.
+fn cmd_resume(flags: &HashMap<String, String>) -> Result<Outcome, String> {
+    let version = load_system(
+        required(flags, "system")?,
+        flags.get("test-prefix").map(String::as_str).unwrap_or("test_"),
+    )?;
+    let rules = load_rules(required(flags, "rules")?)?;
+    let state = required(flags, "state")?;
+    let fail_mode = flags
+        .get("fail-mode")
+        .map(|m| m.parse::<FailMode>())
+        .transpose()?
+        .unwrap_or_default();
+    let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
+    let options = GateOptions { fail_mode, ..GateOptions::default() };
+    let mut registry = RuleRegistry::new();
+    for r in rules {
+        registry.register(r);
+    }
+    run_durable(&registry, &version, &config, &options, state, false)
+}
+
+fn run_durable(
+    registry: &RuleRegistry,
+    version: &lisa_concolic::SystemVersion,
+    config: &PipelineConfig,
+    options: &GateOptions,
+    state: &str,
+    json: bool,
+) -> Result<Outcome, String> {
+    let durable = DurableOptions {
+        state_dir: PathBuf::from(state),
+        ..DurableOptions::default()
+    };
+    let report = gate_durable(registry, version, config, options, &durable)
+        .map_err(|e| format!("durable state {state}: {e}"))?;
+    if json {
+        println!(
+            "{{\"decision\":\"{}\",\"reused\":{},\"fresh\":{},\"durable\":{}}}",
+            report.decision, report.reused, report.fresh, report.durable
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if report.has_violation() {
+        Ok(Outcome::Violations)
+    } else if report.engine_errors() > 0 && report.fail_mode == FailMode::Closed {
+        Ok(Outcome::EngineFailure)
+    } else {
+        Ok(Outcome::Clean)
+    }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
+    let socket = PathBuf::from(required(flags, "socket")?);
+    let state_root = flags
+        .get("state-root")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| socket.with_extension("state"));
+    let config = ServeConfig {
+        socket,
+        state_root,
+        workers: parse_num(flags, "workers")?.unwrap_or(2),
+        queue_cap: parse_num(flags, "queue-cap")?.unwrap_or(64),
+        job_timeout: Duration::from_millis(
+            parse_num::<u64>(flags, "job-timeout-ms")?.unwrap_or(30_000),
+        ),
+        max_attempts: parse_num(flags, "max-attempts")?.unwrap_or(3),
+        retry: RetryPolicy::default(),
+    };
+    // Chaos panics (and enforce-side injected panics) are expected,
+    // supervised events in a daemon — keep them off stderr.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let quiet = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.starts_with(FAULT_PANIC_PREFIX));
+        if !quiet {
+            default_hook(info);
+        }
+    }));
+    eprintln!("lisa serve: listening on {}", config.socket.display());
+    let stats = serve(&config)?;
+    eprintln!(
+        "lisa serve: drained — {} job(s) done, {} retried, {} dead-lettered, {} worker(s) respawned",
+        stats.jobs_done, stats.retries, stats.dead_letters, stats.respawned_workers
+    );
+    Ok(Outcome::Clean)
+}
+
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
+    let socket = PathBuf::from(required(flags, "socket")?);
+    let op = flags.get("op").map(String::as_str).unwrap_or("gate");
+    let line = match op {
+        "ping" | "stats" | "shutdown" => format!("{{\"op\":\"{op}\"}}"),
+        "gate" => {
+            let system = required(flags, "system")?;
+            let rules = required(flags, "rules")?;
+            let mut line = format!(
+                "{{\"op\":\"gate\",\"system\":\"{}\",\"rules\":\"{}\"",
+                lisa::json::escape(system),
+                lisa::json::escape(rules),
+            );
+            for (flag, field) in
+                [("fail-mode", "fail_mode"), ("job-id", "job_id"), ("chaos", "chaos")]
+            {
+                if let Some(v) = flags.get(flag) {
+                    line.push_str(&format!(",\"{field}\":\"{}\"", lisa::json::escape(v)));
+                }
+            }
+            line.push('}');
+            line
+        }
+        other => return Err(format!("unknown --op {other:?}")),
+    };
+    let reply = request(&socket, &line)
+        .map_err(|e| format!("request to {}: {e}", socket.display()))?;
+    println!("{reply}");
+    let parsed = Json::parse(&reply).map_err(|e| format!("bad reply: {e}"))?;
+    match parsed.u64_of("exit") {
+        Some(0) | None => Ok(Outcome::Clean),
+        Some(1) => Ok(Outcome::Violations),
+        Some(_) => Ok(Outcome::EngineFailure),
     }
 }
 

@@ -1,9 +1,10 @@
-//! Minimal JSON rendering for reports.
+//! Minimal JSON rendering and parsing.
 //!
-//! CI systems want machine-readable gate results. This is a small,
-//! dependency-free writer (the workspace deliberately avoids a JSON
-//! crate): correct string escaping, stable key order, no floats beyond
-//! millisecond durations.
+//! CI systems want machine-readable gate results, and the `lisa serve`
+//! daemon speaks newline-delimited JSON over its unix socket. This is a
+//! small, dependency-free writer plus a strict recursive-descent reader
+//! (the workspace deliberately avoids a JSON crate): correct string
+//! escaping, stable key order, no floats beyond millisecond durations.
 
 use std::fmt::Write as _;
 
@@ -127,6 +128,252 @@ pub fn enforcement_json(e: &EnforcementReport) -> String {
     out
 }
 
+/// A parsed JSON value — the reader side of the module, used by the
+/// `lisa serve` NDJSON socket protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one complete JSON document; trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (None on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience: string member of an object.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+
+    /// Convenience: numeric member of an object.
+    pub fn u64_of(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{word}` at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_word("null").map(|_| Json::Null),
+            Some(b't') => self.eat_word("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_word("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected {:?} at offset {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else { return Err("unterminated string".to_string()) };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else { return Err("truncated escape".to_string()) };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(format!("unknown escape \\{}", other as char));
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: take the whole sequence verbatim.
+                    let start = self.pos - 1;
+                    while matches!(self.bytes.get(self.pos), Some(c) if c & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape")
+            .and_then(|c| std::str::from_utf8(c).map_err(|_| "bad \\u escape"))?;
+        let code = u32::from_str_radix(chunk, 16).map_err(|_| format!("bad \\u{chunk}"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        let code = if (0xd800..0xdc00).contains(&hi) {
+            // Surrogate pair: expect an immediately following \uXXXX low half.
+            self.eat(b'\\')?;
+            self.eat(b'u')?;
+            let lo = self.hex4()?;
+            if !(0xdc00..0xe000).contains(&lo) {
+                return Err(format!("unpaired surrogate \\u{hi:04x}"));
+            }
+            0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| format!("invalid codepoint {code:#x}"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +405,40 @@ mod tests {
     #[test]
     fn escaping_is_correct() {
         assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn parser_reads_what_writer_writes() {
+        let j = Json::parse(&rule_report_json(&sample_report())).expect("parse");
+        assert!(j.str_of("rule").is_some());
+        assert!(j.u64_of("violated").is_some());
+        assert!(matches!(j.get("chains"), Some(Json::Arr(_))));
+        // The tricky escapes round-trip through write → parse.
+        assert_eq!(j.str_of("rule"), Some("R \"quoted\""));
+        assert_eq!(j.str_of("description"), Some("desc with\nnewline"));
+    }
+
+    #[test]
+    fn parser_handles_scalars_nesting_and_unicode() {
+        let j = Json::parse(r#"{"a":[1,-2.5,true,false,null],"b":{"c":"\u0041\ud83d\ude00\n"}}"#)
+            .expect("parse");
+        let Some(Json::Arr(items)) = j.get("a") else { panic!("a") };
+        assert_eq!(items[0], Json::Num(1.0));
+        assert_eq!(items[1], Json::Num(-2.5));
+        assert_eq!(items[2], Json::Bool(true));
+        assert_eq!(items[4], Json::Null);
+        assert_eq!(j.get("b").and_then(|b| b.str_of("c")), Some("A\u{1f600}\n"));
+        assert_eq!(Json::parse("\"caf\u{e9}\"").expect("utf8"), Json::Str("caf\u{e9}".into()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "\"\\q\"", "\"\\ud800x\"",
+            "{\"a\":1}garbage",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

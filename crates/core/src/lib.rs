@@ -21,7 +21,10 @@
 //! - [`mod@compose`] — §5 Q3: composing validated low-level semantics into
 //!   high-level guarantees,
 //! - [`report`] — human-readable tables and summaries,
-//! - [`json`] — machine-readable gate output for CI.
+//! - [`json`] — machine-readable gate output for CI (writer + strict
+//!   NDJSON parser for the `lisa serve` protocol),
+//! - [`service`] — durable (journaled, crash-resumable) gate runs and
+//!   the supervised `lisa serve` daemon, backed by `lisa-store`.
 //!
 //! ```
 //! use lisa::{Pipeline, PipelineConfig, TestSelection};
@@ -30,6 +33,7 @@
 //! use lisa_lang::Program;
 //! use lisa_oracle::SemanticRule;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program = Program::parse_single(
 //!     "demo",
 //!     "struct Order { id: int, paid: bool }\n\
@@ -44,23 +48,27 @@
 //!          orders.put(1, new Order { id: 1, paid: true });\n\
 //!          checkout(1);\n\
 //!      }",
-//! ).unwrap();
+//! )?;
 //! let version = SystemVersion::new("v1", program.clone(), discover_tests(&program, "test_"));
 //! let rule = SemanticRule::new(
 //!     "SHOP-1", "never ship unpaid orders",
 //!     TargetSpec::Call { callee: "ship".into() },
 //!     "o != null && o.paid == true",
-//! ).unwrap();
+//! )?;
 //! let pipeline = Pipeline::new(PipelineConfig {
 //!     selection: TestSelection::All,
 //!     ..PipelineConfig::default()
 //! });
-//! let report = pipeline.check_rule(&version, &rule);
+//! // `try_check_rule` is the Result-based stage boundary: a malformed
+//! // rule is a typed error, not a downstream panic.
+//! let report = pipeline.try_check_rule(&version, &rule)?;
 //! // The checkout path checks only for null — the missing `paid` check
 //! // is a violation with a concrete witness.
 //! assert!(report.has_violation());
 //! let v = report.violations()[0];
 //! assert_eq!(v.witness.get("o.paid"), Some(&lisa_smt::Value::Bool(false)));
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -74,6 +82,7 @@ pub mod faults;
 pub mod json;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 pub mod verdict;
 
 pub use compose::{compose, CompositionResult, HighLevelProperty, Obligation};
@@ -82,6 +91,13 @@ pub use enforce::{
     enforce, enforce_with, EnforcementReport, FailMode, GateDecision, GateOptions, RuleRegistry,
 };
 pub use error::LisaError;
-pub use faults::{FaultInjector, FaultKind, FaultPlan};
+pub use faults::{
+    DiskFaultInjector, DiskFaultKind, FaultInjector, FaultKind, FaultPlan,
+};
+pub use json::Json;
 pub use pipeline::{Pipeline, PipelineConfig, ResourceBudgets, TestSelection};
+pub use service::{
+    gate_durable, load_rules, load_system, run_key, serve, DurableGateReport, DurableOptions,
+    ServeConfig, ServeStats,
+};
 pub use verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};

@@ -1,0 +1,916 @@
+//! Durable gate runs and the supervised `lisa serve` daemon.
+//!
+//! Two layers live here, both built on `lisa-store`:
+//!
+//! - [`gate_durable`] — a gate run whose progress is journaled. Rules
+//!   are checked **sequentially** (deterministic journal-record
+//!   boundaries are what make the E11 kill-matrix meaningful), each
+//!   settled verdict is appended to the write-ahead journal before the
+//!   next rule starts, and a resumed run reuses journaled verdicts
+//!   instead of re-running concolic exploration. The recovery invariant:
+//!   a run killed at *any* journal-record boundary and resumed produces
+//!   a byte-identical final verdict artifact ([`DurableGateReport::verdicts_text`]).
+//! - [`serve`] — a daemon accepting gate jobs as newline-delimited JSON
+//!   over a unix socket, processed by a supervised worker pool: panicked
+//!   workers are reaped and respawned, stalled workers abandoned, their
+//!   jobs retried with backoff and dead-lettered after `max_attempts`,
+//!   with bounded-queue backpressure and graceful drain on shutdown.
+//!
+//! Parallel throughput comes from the worker pool across jobs; within a
+//! durable run, determinism wins over parallelism.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lisa_concolic::{discover_tests, SystemVersion};
+use lisa_lang::Program;
+use lisa_oracle::{author_rule, SemanticRule};
+use lisa_store::journal::fnv1a;
+use lisa_store::{IoFaults, RuleOutcome, RunStore, StoreError};
+use lisa_util::RetryPolicy;
+
+use crate::enforce::{enforce_with, FailMode, GateDecision, GateOptions, RuleRegistry};
+use crate::faults::FAULT_PANIC_PREFIX;
+use crate::json::{escape, Json};
+use crate::pipeline::{PipelineConfig, TestSelection};
+use crate::verdict::RuleReport;
+
+// ---------------------------------------------------------------------------
+// System / rules loading (shared by the CLI and serve jobs)
+// ---------------------------------------------------------------------------
+
+/// Load every `.sir` file under `dir` (sorted, non-recursive) into one
+/// program; discover tests by prefix.
+pub fn load_system(dir: &str, test_prefix: &str) -> Result<SystemVersion, String> {
+    let dir = Path::new(dir);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sir"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .sir files in {}", dir.display()));
+    }
+    let mut sources = Vec::new();
+    for f in &files {
+        let text =
+            std::fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        let name = f.file_stem().and_then(|s| s.to_str()).unwrap_or("module").to_string();
+        sources.push((name, text));
+    }
+    let refs: Vec<(&str, &str)> =
+        sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let program = Program::parse(&refs).map_err(|e| e.to_string())?;
+    let errors = lisa_lang::check_program(&program);
+    if !errors.is_empty() {
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        return Err(format!("type errors:\n  {}", msgs.join("\n  ")));
+    }
+    let tests = discover_tests(&program, test_prefix);
+    let label = dir.file_name().and_then(|s| s.to_str()).unwrap_or("system").to_string();
+    Ok(SystemVersion::new(label, program, tests))
+}
+
+/// Parse a rules file of authoring-template sentences.
+pub fn load_rules(path: &str) -> Result<Vec<SemanticRule>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut rules = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = author_rule(&format!("rule-{}", lineno + 1), line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err(format!("{path}: no rules"));
+    }
+    Ok(rules)
+}
+
+// ---------------------------------------------------------------------------
+// Durable gate runs
+// ---------------------------------------------------------------------------
+
+/// Fingerprint the `(version, rule set)` a journal belongs to. A stale
+/// journal — different program text, tests, or rules — must never donate
+/// verdicts to a run it does not describe.
+pub fn run_key(version: &SystemVersion, rules: &[SemanticRule]) -> String {
+    let mut text = String::new();
+    text.push_str(&version.label);
+    text.push('\n');
+    for f in version.program.functions() {
+        text.push_str(&lisa_lang::pretty::print_fn(f));
+    }
+    for t in &version.tests {
+        text.push_str(&t.name);
+        text.push('\n');
+    }
+    for r in rules {
+        text.push_str(&format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{}\n",
+            r.id, r.description, r.target, r.condition_src
+        ));
+    }
+    format!("{}-{:016x}", version.label, fnv1a(text.as_bytes()))
+}
+
+/// Canonical verdict fingerprint for one rule report: chain verdicts and
+/// rendered paths plus fold counts — everything decision-relevant,
+/// nothing timing-dependent. This is the byte-comparable artifact the
+/// crash-recovery invariant is stated over.
+pub fn fingerprint(r: &RuleReport) -> String {
+    let mut s = String::new();
+    for c in &r.chains {
+        s.push_str(&format!("[{}] {}\n", c.verdict.label(), c.rendered));
+    }
+    s.push_str(&format!(
+        "verified={} violated={} off_tree={} not_covered={} engine_errors={} sanity_ok={}",
+        r.verified_count(),
+        r.violated_count(),
+        r.off_tree_violations.len(),
+        r.not_covered_count(),
+        r.engine_error_count(),
+        r.sanity_ok,
+    ));
+    s
+}
+
+/// Condense a rule report into the journaled outcome.
+pub fn outcome_of(r: &RuleReport) -> RuleOutcome {
+    RuleOutcome {
+        rule_id: r.rule_id.clone(),
+        fingerprint: fingerprint(r),
+        verified: r.verified_count() as u64,
+        violated: (r.violated_count() + r.off_tree_violations.len()) as u64,
+        not_covered: r.not_covered_count() as u64,
+        engine_errors: r.engine_error_count() as u64,
+        degraded: r.degraded,
+        sanity_ok: r.sanity_ok,
+        retries: r.retries as u64,
+    }
+}
+
+/// Where and how a durable run persists its state.
+#[derive(Default)]
+pub struct DurableOptions {
+    /// Directory holding the run's journal and snapshot.
+    pub state_dir: PathBuf,
+    /// Disk fault injection at the store's I/O seams (E11, tests).
+    pub disk_faults: Option<Arc<dyn IoFaults>>,
+    /// Checkpoint (snapshot + journal truncate) after every N fresh
+    /// verdicts; 0 = never checkpoint.
+    pub checkpoint_every: usize,
+}
+
+/// Result of a durable (journaled, resumable) gate run.
+#[derive(Debug)]
+pub struct DurableGateReport {
+    pub version: String,
+    pub run_key: String,
+    pub decision: GateDecision,
+    pub fail_mode: FailMode,
+    /// Outcomes in registry order, one per rule.
+    pub outcomes: Vec<RuleOutcome>,
+    /// Verdicts reused from the journal (not re-executed).
+    pub reused: usize,
+    /// Verdicts computed by this process.
+    pub fresh: usize,
+    /// False if journaling was disabled mid-run (e.g. ENOSPC).
+    pub durable: bool,
+    /// Journal records replayed on open.
+    pub recovered_records: usize,
+    pub warnings: Vec<String>,
+}
+
+impl DurableGateReport {
+    pub fn engine_errors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.has_engine_error()).count()
+    }
+
+    pub fn has_violation(&self) -> bool {
+        self.outcomes.iter().any(|o| o.has_violation())
+    }
+
+    /// The canonical verdict artifact: byte-identical between an
+    /// uninterrupted run and any crash-resumed run of the same inputs.
+    pub fn verdicts_text(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&format!("rule {}\n{}\n", o.rule_id, o.fingerprint));
+        }
+        out.push_str(&format!("decision {}\n", self.decision));
+        out
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "durable gate `{}`: {} — {} rule(s), {} reused from journal, {} fresh\n",
+            self.version,
+            self.decision,
+            self.outcomes.len(),
+            self.reused,
+            self.fresh,
+        );
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<12} verified={} violated={} not_covered={} engine_errors={}{}\n",
+                o.rule_id,
+                o.verified,
+                o.violated,
+                o.not_covered,
+                o.engine_errors,
+                if o.degraded { " (degraded)" } else { "" },
+            ));
+        }
+        if !self.durable {
+            out.push_str("  ! journaling disabled mid-run; this run is not resumable\n");
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("  warning: {w}\n"));
+        }
+        out
+    }
+}
+
+/// Run the gate durably: journal every settled verdict, reuse verdicts a
+/// previous (crashed) run already journaled, and record the final
+/// decision. Opening the store can fail (bad directory); everything past
+/// that degrades instead of failing — an undecidable gate is worse than
+/// an unjournaled one.
+pub fn gate_durable(
+    registry: &RuleRegistry,
+    version: &SystemVersion,
+    config: &PipelineConfig,
+    gate: &GateOptions,
+    durable: &DurableOptions,
+) -> Result<DurableGateReport, StoreError> {
+    let key = run_key(version, registry.rules());
+    let mut store = RunStore::open(&durable.state_dir, &key, durable.disk_faults.clone())?;
+    let mut warnings = std::mem::take(&mut store.warnings);
+    let recovered_records = store.recovered_records;
+
+    let mut reused = 0usize;
+    let mut fresh = 0usize;
+    for rule in registry.rules() {
+        if store.state.finished_outcome(&rule.id).is_some() {
+            reused += 1;
+            continue;
+        }
+        store.record_started(&rule.id);
+        // One rule at a time: the per-rule machinery (panic isolation,
+        // retries, budgets) is enforce_with on a singleton registry.
+        let mut single = RuleRegistry::new();
+        single.register(rule.clone());
+        let report = enforce_with(&single, version, config, 1, gate);
+        warnings.extend(report.warnings.iter().cloned());
+        store.record_finished(outcome_of(&report.reports[0]));
+        fresh += 1;
+        if durable.checkpoint_every > 0 && fresh.is_multiple_of(durable.checkpoint_every) {
+            if let Err(e) = store.checkpoint() {
+                warnings.push(format!("checkpoint failed ({e}); journal left as-is"));
+            }
+        }
+    }
+
+    let outcomes: Vec<RuleOutcome> = registry
+        .rules()
+        .iter()
+        .filter_map(|r| store.state.finished_outcome(&r.id).cloned())
+        .collect();
+    let engine_errors = outcomes.iter().filter(|o| o.has_engine_error()).count();
+    let has_violation = outcomes.iter().any(|o| o.has_violation());
+    let decision = if has_violation || (engine_errors > 0 && gate.fail_mode == FailMode::Closed)
+    {
+        GateDecision::Block
+    } else {
+        GateDecision::Pass
+    };
+    store.record_run_finished(&decision.to_string());
+    warnings.extend(store.warnings.iter().cloned());
+
+    Ok(DurableGateReport {
+        version: version.label.clone(),
+        run_key: key,
+        decision,
+        fail_mode: gate.fail_mode,
+        outcomes,
+        reused,
+        fresh,
+        durable: store.durable(),
+        recovered_records,
+        warnings,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The serve daemon
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (created; removed on clean exit).
+    pub socket: PathBuf,
+    /// Root directory for per-job durable state (`<root>/<job-id>/`).
+    pub state_root: PathBuf,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it get an `overloaded` reply.
+    pub queue_cap: usize,
+    /// A worker holding one job longer than this is considered stalled:
+    /// abandoned, its job recovered and retried.
+    pub job_timeout: Duration,
+    /// Attempts per job before it is dead-lettered.
+    pub max_attempts: u32,
+    /// Backoff schedule between attempts.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            socket: PathBuf::from("lisa.sock"),
+            state_root: PathBuf::from("lisa-state"),
+            workers: 2,
+            queue_cap: 64,
+            job_timeout: Duration::from_secs(30),
+            max_attempts: 3,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Counters the daemon reports on exit and via the `stats` op.
+#[derive(Debug, Default, Clone)]
+pub struct ServeStats {
+    pub jobs_done: u64,
+    pub retries: u64,
+    pub dead_letters: u64,
+    pub respawned_workers: u64,
+    pub rejected_overload: u64,
+}
+
+/// One queued gate job. The response stream travels with the job so
+/// whoever settles it — worker, or supervisor on dead-letter — can reply.
+struct Job {
+    id: String,
+    system: String,
+    rules: String,
+    fail_mode: FailMode,
+    /// Test hook: `panic` (every attempt), `panic-once` (first attempt
+    /// only), `stall` (sleep past the job timeout).
+    chaos: Option<String>,
+    attempts: u32,
+    stream: UnixStream,
+}
+
+/// A worker's in-flight job: parked here while processing so the
+/// supervisor can recover it from a panicked or stalled thread.
+type Slot = Arc<Mutex<Option<(Job, Instant)>>>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    jobs_done: AtomicU64,
+    state_root: PathBuf,
+}
+
+fn respond(stream: &mut UnixStream, line: &str) {
+    // The client may have gone away; a failed reply must not take the
+    // daemon down with it.
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// Exit-code contract, same as the CLI: 0 = pass, 1 = violations,
+/// 2 = engine errors under fail-closed.
+fn exit_code_of(report: &DurableGateReport) -> u64 {
+    if report.has_violation() {
+        1
+    } else if report.engine_errors() > 0 && report.fail_mode == FailMode::Closed {
+        2
+    } else {
+        0
+    }
+}
+
+fn done_response(job_id: &str, report: &DurableGateReport) -> String {
+    format!(
+        "{{\"job_id\":\"{}\",\"status\":\"done\",\"decision\":\"{}\",\"exit\":{},\"violations\":{},\"engine_errors\":{},\"reused\":{},\"fresh\":{}}}",
+        escape(job_id),
+        report.decision,
+        exit_code_of(report),
+        report.outcomes.iter().map(|o| o.violated).sum::<u64>(),
+        report.engine_errors(),
+        report.reused,
+        report.fresh,
+    )
+}
+
+fn error_response(job_id: &str, status: &str, error: &str) -> String {
+    format!(
+        "{{\"job_id\":\"{}\",\"status\":\"{}\",\"exit\":2,\"error\":\"{}\"}}",
+        escape(job_id),
+        escape(status),
+        escape(error),
+    )
+}
+
+fn sanitize(id: &str) -> String {
+    id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' }).collect()
+}
+
+/// Process one gate job end to end (load, durable gate, response text).
+fn process_job(
+    system: &str,
+    rules_path: &str,
+    fail_mode: FailMode,
+    state_root: &Path,
+    job_id: &str,
+) -> Result<DurableGateReport, String> {
+    let version = load_system(system, "test_")?;
+    let rules = load_rules(rules_path)?;
+    let mut registry = RuleRegistry::new();
+    for r in rules {
+        registry.register(r);
+    }
+    let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
+    let gate = GateOptions { fail_mode, ..GateOptions::default() };
+    let durable = DurableOptions {
+        state_dir: state_root.join(sanitize(job_id)),
+        ..DurableOptions::default()
+    };
+    gate_durable(&registry, &version, &config, &gate, &durable).map_err(|e| e.to_string())
+}
+
+fn worker_loop(shared: Arc<Shared>, slot: Slot) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        let (id, system, rules, fail_mode, chaos, attempts) = (
+            job.id.clone(),
+            job.system.clone(),
+            job.rules.clone(),
+            job.fail_mode,
+            job.chaos.clone(),
+            job.attempts,
+        );
+        // Park the job (with its response stream) in the slot FIRST: from
+        // here on, a panic or stall loses nothing — the supervisor
+        // recovers the job from the slot.
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some((job, Instant::now()));
+        match chaos.as_deref() {
+            Some("panic") => panic!("{FAULT_PANIC_PREFIX} chaos panic for job {id}"),
+            Some("panic-once") if attempts == 0 => {
+                panic!("{FAULT_PANIC_PREFIX} chaos first-attempt panic for job {id}")
+            }
+            Some("stall") => {
+                // Outlive any plausible job timeout; the supervisor will
+                // abandon this thread and retry the job elsewhere.
+                std::thread::sleep(Duration::from_secs(600));
+            }
+            _ => {}
+        }
+        let result = process_job(&system, &rules, fail_mode, &shared.state_root, &id);
+        // Take the job back; if the supervisor already recovered it (it
+        // judged us stalled), it owns the reply — do not double-respond.
+        let taken = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let Some((mut job, _)) = taken else { continue };
+        let line = match &result {
+            Ok(report) => done_response(&job.id, report),
+            Err(e) => error_response(&job.id, "error", e),
+        };
+        respond(&mut job.stream, &line);
+        shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Run the daemon until a `shutdown` request drains it. Never panics on
+/// malformed input; every connection gets some reply.
+pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
+    if let Some(parent) = config.socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        }
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)
+        .map_err(|e| format!("bind {}: {e}", config.socket.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking listener: {e}"))?;
+    std::fs::create_dir_all(&config.state_root)
+        .map_err(|e| format!("mkdir {}: {e}", config.state_root.display()))?;
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        jobs_done: AtomicU64::new(0),
+        state_root: config.state_root.clone(),
+    });
+    let workers = config.workers.max(1);
+    let mut pool: Vec<(Option<JoinHandle<()>>, Slot)> = (0..workers)
+        .map(|_| {
+            let slot: Slot = Arc::new(Mutex::new(None));
+            let handle = spawn_worker(&shared, &slot);
+            (Some(handle), slot)
+        })
+        .collect();
+
+    let mut stats = ServeStats::default();
+    let mut pending_retries: Vec<(Job, Instant)> = Vec::new();
+    let mut next_job = 0u64;
+    let mut draining = false;
+
+    loop {
+        // 1. Accept one round of connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => handle_connection(
+                    stream,
+                    config,
+                    &shared,
+                    &mut stats,
+                    &mut next_job,
+                    &mut draining,
+                ),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    eprintln!("lisa serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+
+        // 2. Reap panicked workers, abandon stalled ones; recover jobs.
+        for (handle_cell, slot) in pool.iter_mut() {
+            let panicked = handle_cell.as_ref().is_some_and(|h| h.is_finished())
+                && !shared.shutdown.load(Ordering::SeqCst);
+            let stalled = slot
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .as_ref()
+                .is_some_and(|(_, started)| started.elapsed() > config.job_timeout);
+            if !panicked && !stalled {
+                continue;
+            }
+            let recovered = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+            if let Some((mut job, _)) = recovered {
+                job.attempts += 1;
+                if job.attempts >= config.max_attempts {
+                    let why = if stalled { "stalled" } else { "worker panicked" };
+                    respond(
+                        &mut job.stream,
+                        &error_response(
+                            &job.id,
+                            "dead-letter",
+                            &format!("{why}; gave up after {} attempt(s)", job.attempts),
+                        ),
+                    );
+                    stats.dead_letters += 1;
+                } else {
+                    let due = Instant::now() + config.retry.backoff(job.attempts);
+                    pending_retries.push((job, due));
+                    stats.retries += 1;
+                }
+            }
+            if panicked {
+                // Collect the dead thread; a panic result is expected.
+                if let Some(h) = handle_cell.take() {
+                    let _ = h.join();
+                }
+            } else {
+                // Stalled: the thread cannot be killed — abandon it (it
+                // will find its slot empty and skip responding) and hand
+                // its slot to a fresh worker.
+                let _ = handle_cell.take();
+            }
+            *handle_cell = Some(spawn_worker(&shared, slot));
+            stats.respawned_workers += 1;
+        }
+
+        // 3. Requeue retries that are due.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < pending_retries.len() {
+            if pending_retries[i].1 <= now {
+                let (job, _) = pending_retries.swap_remove(i);
+                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).push_back(job);
+                shared.available.notify_one();
+            } else {
+                i += 1;
+            }
+        }
+
+        // 4. Drain: queue empty, no in-flight jobs, no pending retries.
+        if draining {
+            let queue_empty = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty();
+            let idle = pool
+                .iter()
+                .all(|(_, slot)| slot.lock().unwrap_or_else(|p| p.into_inner()).is_none());
+            if queue_empty && idle && pending_retries.is_empty() {
+                break;
+            }
+        }
+
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.available.notify_all();
+    for (handle_cell, _) in pool.iter_mut() {
+        if let Some(h) = handle_cell.take() {
+            let _ = h.join();
+        }
+    }
+    stats.jobs_done = shared.jobs_done.load(Ordering::Relaxed);
+    let _ = std::fs::remove_file(&config.socket);
+    Ok(stats)
+}
+
+fn spawn_worker(shared: &Arc<Shared>, slot: &Slot) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let slot = Arc::clone(slot);
+    std::thread::spawn(move || worker_loop(shared, slot))
+}
+
+/// Read one NDJSON request from a fresh connection and dispatch it.
+fn handle_connection(
+    mut stream: UnixStream,
+    config: &ServeConfig,
+    shared: &Arc<Shared>,
+    stats: &mut ServeStats,
+    next_job: &mut u64,
+    draining: &mut bool,
+) {
+    // Requests are one short line; a slow or silent client gets cut off
+    // rather than wedging the supervisor.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut line = String::new();
+    if BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    })
+    .read_line(&mut line)
+    .is_err()
+    {
+        respond(&mut stream, &error_response("", "bad-request", "could not read request line"));
+        return;
+    }
+    let request = match Json::parse(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            respond(&mut stream, &error_response("", "bad-request", &format!("bad JSON: {e}")));
+            return;
+        }
+    };
+    match request.str_of("op").unwrap_or("gate") {
+        "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
+        "stats" => {
+            let line = format!(
+                "{{\"status\":\"ok\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"queued\":{}}}",
+                shared.jobs_done.load(Ordering::Relaxed),
+                stats.retries,
+                stats.dead_letters,
+                stats.respawned_workers,
+                stats.rejected_overload,
+                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len(),
+            );
+            respond(&mut stream, &line);
+        }
+        "shutdown" => {
+            *draining = true;
+            respond(&mut stream, "{\"status\":\"draining\"}");
+        }
+        "gate" => {
+            if *draining {
+                respond(
+                    &mut stream,
+                    &error_response("", "shutting-down", "daemon is draining"),
+                );
+                return;
+            }
+            let (Some(system), Some(rules)) =
+                (request.str_of("system"), request.str_of("rules"))
+            else {
+                respond(
+                    &mut stream,
+                    &error_response("", "bad-request", "gate needs `system` and `rules`"),
+                );
+                return;
+            };
+            let fail_mode = match request.str_of("fail_mode").unwrap_or("closed").parse::<FailMode>() {
+                Ok(m) => m,
+                Err(e) => {
+                    respond(&mut stream, &error_response("", "bad-request", &e));
+                    return;
+                }
+            };
+            *next_job += 1;
+            let id = request
+                .str_of("job_id")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("job-{next_job}"));
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if queue.len() >= config.queue_cap {
+                stats.rejected_overload += 1;
+                drop(queue);
+                respond(
+                    &mut stream,
+                    &error_response(&id, "overloaded", "queue full; retry later"),
+                );
+                return;
+            }
+            // From here the stream belongs to the job; the reply comes
+            // when the job settles.
+            queue.push_back(Job {
+                id,
+                system: system.to_string(),
+                rules: rules.to_string(),
+                fail_mode,
+                chaos: request.str_of("chaos").map(str::to_string),
+                attempts: 0,
+                stream,
+            });
+            drop(queue);
+            shared.available.notify_one();
+        }
+        other => {
+            respond(&mut stream, &error_response("", "bad-request", &format!("unknown op {other:?}")));
+        }
+    }
+}
+
+/// Client side: send one NDJSON request and wait for the one-line reply.
+pub fn request(socket: &Path, line: &str) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    reader.read_line(&mut out)?;
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_analysis::TargetSpec;
+
+    fn version(guarded: bool) -> SystemVersion {
+        let guard = if guarded { "session == null || session.closing" } else { "session == null" };
+        let src = format!(
+            "struct Session {{ id: int, closing: bool }}\n\
+             global sessions: map<int, Session>;\n\
+             fn create_ephemeral(s: Session, path: str) {{}}\n\
+             fn prep_create(sid: int, path: str) {{\n\
+                 let session: Session = sessions.get(sid);\n\
+                 if ({guard}) {{ return; }}\n\
+                 create_ephemeral(session, path);\n\
+             }}\n\
+             fn test_prep_live() {{\n\
+                 sessions.put(1, new Session {{ id: 1 }});\n\
+                 prep_create(1, \"/a\");\n\
+             }}"
+        );
+        let p = Program::parse_single("zk", &src).expect("parse");
+        let tests = discover_tests(&p, "test_");
+        SystemVersion::new(if guarded { "fixed" } else { "regressed" }, p, tests)
+    }
+
+    fn registry() -> RuleRegistry {
+        let mut reg = RuleRegistry::new();
+        for (id, cond) in
+            [("ZK-1208-r0", "s != null && s.closing == false"), ("EXTRA-r0", "s != null")]
+        {
+            reg.register(
+                SemanticRule::new(
+                    id,
+                    id,
+                    TargetSpec::Call { callee: "create_ephemeral".into() },
+                    cond,
+                )
+                .expect("rule"),
+            );
+        }
+        reg
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lisa-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() }
+    }
+
+    #[test]
+    fn run_key_separates_versions_and_rule_sets() {
+        let reg = registry();
+        let fixed = run_key(&version(true), reg.rules());
+        let regressed = run_key(&version(false), reg.rules());
+        assert_ne!(fixed, regressed);
+        let mut fewer = RuleRegistry::new();
+        fewer.register(reg.rules()[0].clone());
+        assert_ne!(fixed, run_key(&version(true), fewer.rules()));
+        // Deterministic across calls.
+        assert_eq!(fixed, run_key(&version(true), reg.rules()));
+    }
+
+    #[test]
+    fn durable_run_resumes_and_reuses_verdicts() {
+        let dir = tmpdir("resume");
+        let reg = registry();
+        let v = version(false);
+        let gate = GateOptions::default();
+        let durable = DurableOptions { state_dir: dir.clone(), ..DurableOptions::default() };
+        let full = gate_durable(&reg, &v, &config(), &gate, &durable).expect("run");
+        assert_eq!(full.decision, GateDecision::Block);
+        assert_eq!(full.fresh, 2);
+        assert_eq!(full.reused, 0);
+        // Second run over the same state: everything is reused.
+        let resumed = gate_durable(&reg, &v, &config(), &gate, &durable).expect("rerun");
+        assert_eq!(resumed.reused, 2);
+        assert_eq!(resumed.fresh, 0);
+        assert_eq!(resumed.verdicts_text(), full.verdicts_text());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_inputs_do_not_reuse_stale_verdicts() {
+        let dir = tmpdir("stale");
+        let reg = registry();
+        let gate = GateOptions::default();
+        let durable = DurableOptions { state_dir: dir.clone(), ..DurableOptions::default() };
+        let blocked =
+            gate_durable(&reg, &version(false), &config(), &gate, &durable).expect("run");
+        assert_eq!(blocked.decision, GateDecision::Block);
+        // Same state dir, fixed version: the journal is stale; no verdict
+        // may leak across the run-key boundary.
+        let passed =
+            gate_durable(&reg, &version(true), &config(), &gate, &durable).expect("rerun");
+        assert_eq!(passed.decision, GateDecision::Pass);
+        assert_eq!(passed.reused, 0);
+        assert_eq!(passed.fresh, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointing_preserves_the_verdict_artifact() {
+        let dir_a = tmpdir("ckpt-a");
+        let dir_b = tmpdir("ckpt-b");
+        let reg = registry();
+        let v = version(false);
+        let gate = GateOptions::default();
+        let plain = DurableOptions { state_dir: dir_a.clone(), ..DurableOptions::default() };
+        let ckpt = DurableOptions {
+            state_dir: dir_b.clone(),
+            checkpoint_every: 1,
+            ..DurableOptions::default()
+        };
+        let a = gate_durable(&reg, &v, &config(), &gate, &plain).expect("plain");
+        let b = gate_durable(&reg, &v, &config(), &gate, &ckpt).expect("checkpointed");
+        assert_eq!(a.verdicts_text(), b.verdicts_text());
+        // And a resume over the checkpointed state still reuses.
+        let resumed = gate_durable(&reg, &v, &config(), &gate, &ckpt).expect("resume");
+        assert_eq!(resumed.reused, 2);
+        assert_eq!(resumed.verdicts_text(), a.verdicts_text());
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}

@@ -1,0 +1,233 @@
+//! E11 — durability: crash-recovery matrix over the journaled gate.
+//!
+//! Run a multi-rule durable gate to completion, then simulate a crash at
+//! **every journal-record boundary**: truncate the write-ahead journal to
+//! that prefix, resume, and assert
+//!
+//! - the recovered final verdict artifact is **byte-identical** to the
+//!   uninterrupted run's,
+//! - verdicts already journaled before the crash are **reused**, not
+//!   re-executed (`fresh == rules − settled-in-prefix`, and the final
+//!   journal holds exactly one check-finished record per rule),
+//!
+//! and then layer 20 seeded disk-fault plans (torn writes, short reads,
+//! ENOSPC, fsync failures at the store's I/O seams) over the kill matrix:
+//! faults may cost durability or force re-checks, but the verdict bytes
+//! never change and no verdict is ever invented.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use lisa::report::Table;
+use lisa::{
+    gate_durable, DiskFaultInjector, DurableOptions, GateOptions, PipelineConfig, RuleRegistry,
+    TestSelection,
+};
+use lisa_analysis::TargetSpec;
+use lisa_concolic::{discover_tests, SystemVersion};
+use lisa_experiments::section;
+use lisa_lang::Program;
+use lisa_oracle::SemanticRule;
+use lisa_store::{scan, GateEvent};
+
+fn version() -> SystemVersion {
+    let src = "struct Session { id: int, closing: bool }\n\
+         global sessions: map<int, Session>;\n\
+         fn create_ephemeral(s: Session, path: str) {}\n\
+         fn delete_node(s: Session, path: str) {}\n\
+         fn archive(s: Session) {}\n\
+         fn prep_create(sid: int, path: str) {\n\
+             let session: Session = sessions.get(sid);\n\
+             if (session == null) { return; }\n\
+             create_ephemeral(session, path);\n\
+         }\n\
+         fn prep_delete(sid: int, path: str) {\n\
+             let session: Session = sessions.get(sid);\n\
+             if (session == null || session.closing) { return; }\n\
+             delete_node(session, path);\n\
+         }\n\
+         fn test_create() {\n\
+             sessions.put(1, new Session { id: 1 });\n\
+             prep_create(1, \"/a\");\n\
+         }\n\
+         fn test_delete() {\n\
+             sessions.put(2, new Session { id: 2 });\n\
+             prep_delete(2, \"/b\");\n\
+         }";
+    let p = Program::parse_single("zk", src).expect("fixture parses");
+    let tests = discover_tests(&p, "test_");
+    SystemVersion::new("zk", p, tests)
+}
+
+/// Four rules with distinct fates: violated (missing `closing` guard),
+/// verified (fully guarded), not-covered (no test reaches `archive`),
+/// verified (the null half of the create guard).
+fn registry() -> RuleRegistry {
+    let mut reg = RuleRegistry::new();
+    for (id, callee, cond) in [
+        ("ZK-1208-r0", "create_ephemeral", "s != null && s.closing == false"),
+        ("ZK-DEL-r0", "delete_node", "s != null && s.closing == false"),
+        ("ZK-ARCH-r0", "archive", "s != null"),
+        ("ZK-NULL-r0", "create_ephemeral", "s != null"),
+    ] {
+        reg.register(
+            SemanticRule::new(id, id, TargetSpec::Call { callee: callee.into() }, cond)
+                .expect("fixture rule"),
+        );
+    }
+    reg
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lisa-e11-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Resume from a journal truncated to `prefix` bytes, with optional disk
+/// faults; return the report.
+fn resume(
+    tag: &str,
+    prefix: &[u8],
+    faults: Option<Arc<DiskFaultInjector>>,
+) -> (lisa::DurableGateReport, Vec<u8>) {
+    let dir = tmpdir(tag);
+    std::fs::write(dir.join("wal.log"), prefix).expect("write truncated journal");
+    let reg = registry();
+    let durable = DurableOptions {
+        state_dir: dir.clone(),
+        disk_faults: faults.map(|f| f as Arc<dyn lisa_store::IoFaults>),
+        ..DurableOptions::default()
+    };
+    let report = gate_durable(
+        &reg,
+        &version(),
+        &PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() },
+        &GateOptions::default(),
+        &durable,
+    )
+    .expect("resume");
+    let journal = std::fs::read(dir.join("wal.log")).unwrap_or_default();
+    let _ = std::fs::remove_dir_all(&dir);
+    (report, journal)
+}
+
+fn finished_count(bytes: &[u8]) -> usize {
+    scan(bytes)
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(GateEvent::decode(r), Ok(GateEvent::RuleCheckFinished { .. }))
+        })
+        .count()
+}
+
+fn main() {
+    section("E11: crash-recovery matrix (kill at every journal-record boundary)");
+
+    // Uninterrupted baseline: the verdict artifact every recovery must
+    // reproduce byte for byte.
+    let dir0 = tmpdir("baseline");
+    let reg = registry();
+    let rules = reg.len();
+    let baseline = gate_durable(
+        &reg,
+        &version(),
+        &PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() },
+        &GateOptions::default(),
+        &DurableOptions { state_dir: dir0.clone(), ..DurableOptions::default() },
+    )
+    .expect("baseline run");
+    let v0 = baseline.verdicts_text();
+    let journal = std::fs::read(dir0.join("wal.log")).expect("baseline journal");
+    let _ = std::fs::remove_dir_all(&dir0);
+    assert_eq!(baseline.fresh, rules);
+    assert!(baseline.durable, "baseline must journal cleanly");
+
+    let scanned = scan(&journal);
+    assert!(scanned.corrupt.is_empty());
+    assert_eq!(scanned.torn_bytes, 0);
+    let kill_points: Vec<u64> =
+        std::iter::once(0u64).chain(scanned.boundaries.iter().copied()).collect();
+
+    let mut t = Table::new(&[
+        "kill after",
+        "journal bytes",
+        "settled in prefix",
+        "reused",
+        "fresh",
+        "verdicts",
+    ]);
+    for (i, &kp) in kill_points.iter().enumerate() {
+        let prefix = &journal[..kp as usize];
+        let settled = finished_count(prefix);
+        let (report, final_journal) = resume(&format!("kill-{i}"), prefix, None);
+        assert_eq!(
+            report.verdicts_text(),
+            v0,
+            "kill point {i} (byte {kp}): recovered verdicts must be byte-identical"
+        );
+        assert_eq!(report.reused, settled, "kill point {i}: settled verdicts are reused");
+        assert_eq!(report.fresh, rules - settled, "kill point {i}: only the rest re-runs");
+        assert_eq!(
+            finished_count(&final_journal),
+            rules,
+            "kill point {i}: exactly one settled verdict per rule in the final journal"
+        );
+        t.row(&[
+            format!("record {i}/{}", kill_points.len() - 1),
+            format!("{kp}"),
+            format!("{settled}"),
+            format!("{}", report.reused),
+            format!("{}", report.fresh),
+            "identical".to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    section("E11b: 20 seeded disk-fault plans layered on the kill matrix");
+    let mut fired_plans = 0usize;
+    let mut degraded_runs = 0usize;
+    let mut forced_rechecks = 0usize;
+    for seed in 0..20u64 {
+        let kp = kill_points[(seed as usize) % kill_points.len()] as usize;
+        let prefix = &journal[..kp];
+        let settled = finished_count(prefix);
+        let injector = Arc::new(DiskFaultInjector::random(seed));
+        let (report, _) = resume(&format!("fault-{seed}"), prefix, Some(injector.clone()));
+        assert_eq!(
+            report.verdicts_text(),
+            v0,
+            "fault plan {seed}: disk faults must never change the verdict bytes"
+        );
+        assert_eq!(report.reused + report.fresh, rules);
+        // A short read can only lose journaled verdicts (forcing a
+        // re-check); it can never fabricate one.
+        assert!(report.reused <= settled, "fault plan {seed}: no invented verdicts");
+        if !injector.fired().is_empty() {
+            fired_plans += 1;
+        }
+        if !report.durable {
+            degraded_runs += 1;
+        }
+        forced_rechecks += settled - report.reused;
+    }
+    let mut t2 = Table::new(&["plans", "plans that fired", "degraded runs", "forced re-checks", "verdict mismatches"]);
+    t2.row(&[
+        "20".to_string(),
+        format!("{fired_plans}"),
+        format!("{degraded_runs}"),
+        format!("{forced_rechecks}"),
+        "0".to_string(),
+    ]);
+    println!("{}", t2.render());
+    assert!(fired_plans > 0, "the sweep must actually exercise disk faults");
+
+    println!(
+        "shape check: a gate killed at any journal-record boundary resumes to byte-identical \
+         verdicts, re-running only rules whose outcomes were not yet durable; seeded torn \
+         writes, short reads, ENOSPC, and fsync failures at the store's I/O seams can cost \
+         durability or force re-checks, but never change a verdict byte or invent one."
+    );
+}

@@ -1,0 +1,188 @@
+//! Gate events: what the journal records.
+//!
+//! The unit of durability is the *settled rule verdict*: once a
+//! `RuleCheckFinished` event is on disk, a resumed run reuses the
+//! outcome instead of re-running concolic exploration — losing
+//! accumulated solver work on a crash is the dominant recovery cost
+//! (cf. the symbolic-execution orchestration literature). Outcomes are
+//! stored as opaque verdict fingerprints plus fold counts, never as
+//! re-interpretable reports: corruption can force a re-check, but it can
+//! never fabricate a verdict.
+
+use crate::codec::{decode, encode, field, field_u64};
+
+/// The settled result of one rule check, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleOutcome {
+    pub rule_id: String,
+    /// Canonical multi-line verdict fingerprint (chain labels + rendered
+    /// paths + fold counts) — the byte-comparable artifact the recovery
+    /// invariant is stated over.
+    pub fingerprint: String,
+    pub verified: u64,
+    pub violated: u64,
+    pub not_covered: u64,
+    pub engine_errors: u64,
+    pub degraded: bool,
+    pub sanity_ok: bool,
+    pub retries: u64,
+}
+
+impl RuleOutcome {
+    pub fn has_violation(&self) -> bool {
+        self.violated > 0
+    }
+
+    pub fn has_engine_error(&self) -> bool {
+        self.engine_errors > 0
+    }
+}
+
+/// One journaled gate event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateEvent {
+    /// A new run began; `run_key` fingerprints (version, rule set) so a
+    /// stale journal from a different input can never poison recovery.
+    RunStarted { run_key: String },
+    /// A rule check began (crash between Started and Finished ⇒ the rule
+    /// is re-checked on resume).
+    RuleCheckStarted { rule_id: String },
+    /// A rule check settled; the outcome is now durable.
+    RuleCheckFinished { outcome: RuleOutcome },
+    /// The run completed with a final gate decision.
+    RunFinished { decision: String },
+    /// A rule was registered (rule-store journal).
+    RuleRegistered {
+        id: String,
+        description: String,
+        target_kind: String,
+        callee: String,
+        caller: String,
+        condition_src: String,
+    },
+}
+
+impl GateEvent {
+    /// Serialize to a journal record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            GateEvent::RunStarted { run_key } => {
+                encode(&[("kind", "run-started"), ("run_key", run_key)])
+            }
+            GateEvent::RuleCheckStarted { rule_id } => {
+                encode(&[("kind", "check-started"), ("rule", rule_id)])
+            }
+            GateEvent::RuleCheckFinished { outcome: o } => encode(&[
+                ("kind", "check-finished"),
+                ("rule", &o.rule_id),
+                ("fp", &o.fingerprint),
+                ("verified", &o.verified.to_string()),
+                ("violated", &o.violated.to_string()),
+                ("not_covered", &o.not_covered.to_string()),
+                ("engine_errors", &o.engine_errors.to_string()),
+                ("degraded", if o.degraded { "1" } else { "0" }),
+                ("sanity_ok", if o.sanity_ok { "1" } else { "0" }),
+                ("retries", &o.retries.to_string()),
+            ]),
+            GateEvent::RunFinished { decision } => {
+                encode(&[("kind", "run-finished"), ("decision", decision)])
+            }
+            GateEvent::RuleRegistered { id, description, target_kind, callee, caller, condition_src } => {
+                encode(&[
+                    ("kind", "rule-registered"),
+                    ("id", id),
+                    ("description", description),
+                    ("target_kind", target_kind),
+                    ("callee", callee),
+                    ("caller", caller),
+                    ("condition", condition_src),
+                ])
+            }
+        }
+    }
+
+    /// Parse a journal record payload.
+    pub fn decode(payload: &[u8]) -> Result<GateEvent, String> {
+        let fields = decode(payload)?;
+        let kind = field(&fields, "kind")?;
+        match kind {
+            "run-started" => Ok(GateEvent::RunStarted { run_key: field(&fields, "run_key")?.to_string() }),
+            "check-started" => {
+                Ok(GateEvent::RuleCheckStarted { rule_id: field(&fields, "rule")?.to_string() })
+            }
+            "check-finished" => Ok(GateEvent::RuleCheckFinished {
+                outcome: RuleOutcome {
+                    rule_id: field(&fields, "rule")?.to_string(),
+                    fingerprint: field(&fields, "fp")?.to_string(),
+                    verified: field_u64(&fields, "verified")?,
+                    violated: field_u64(&fields, "violated")?,
+                    not_covered: field_u64(&fields, "not_covered")?,
+                    engine_errors: field_u64(&fields, "engine_errors")?,
+                    degraded: field(&fields, "degraded")? == "1",
+                    sanity_ok: field(&fields, "sanity_ok")? == "1",
+                    retries: field_u64(&fields, "retries")?,
+                },
+            }),
+            "run-finished" => {
+                Ok(GateEvent::RunFinished { decision: field(&fields, "decision")?.to_string() })
+            }
+            "rule-registered" => Ok(GateEvent::RuleRegistered {
+                id: field(&fields, "id")?.to_string(),
+                description: field(&fields, "description")?.to_string(),
+                target_kind: field(&fields, "target_kind")?.to_string(),
+                callee: field(&fields, "callee")?.to_string(),
+                caller: field(&fields, "caller")?.to_string(),
+                condition_src: field(&fields, "condition")?.to_string(),
+            }),
+            other => Err(format!("unknown event kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn sample_outcome(rule_id: &str, violated: u64) -> RuleOutcome {
+        RuleOutcome {
+            rule_id: rule_id.to_string(),
+            fingerprint: format!("[verified] a -> b\n[VIOLATED] c -> d\nviolated={violated}"),
+            verified: 1,
+            violated,
+            not_covered: 0,
+            engine_errors: 0,
+            degraded: false,
+            sanity_ok: true,
+            retries: 2,
+        }
+    }
+
+    #[test]
+    fn all_event_kinds_roundtrip() {
+        let events = [
+            GateEvent::RunStarted { run_key: "v1/abcd=ef\t".to_string() },
+            GateEvent::RuleCheckStarted { rule_id: "ZK-1208-r0".to_string() },
+            GateEvent::RuleCheckFinished { outcome: sample_outcome("ZK-1208-r0", 1) },
+            GateEvent::RunFinished { decision: "BLOCK".to_string() },
+            GateEvent::RuleRegistered {
+                id: "R1".to_string(),
+                description: "desc with\nnewline".to_string(),
+                target_kind: "builtin-in-caller".to_string(),
+                callee: "blocking_io".to_string(),
+                caller: "flush".to_string(),
+                condition_src: "$locks.held == 0".to_string(),
+            },
+        ];
+        for e in &events {
+            let back = GateEvent::decode(&e.encode()).expect("decode");
+            assert_eq!(&back, e);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let payload = encode(&[("kind", "mystery")]);
+        assert!(GateEvent::decode(&payload).is_err());
+        assert!(GateEvent::decode(b"garbage").is_err());
+    }
+}

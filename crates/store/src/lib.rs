@@ -1,0 +1,68 @@
+//! # lisa-store
+//!
+//! Durable state for the enforcement gate. The paper's end state is LISA
+//! as a *persistent* regression firewall — rules accumulate forever and
+//! every change is gated on the full set — which only works if the gate's
+//! own state survives crashes, partial writes, and restarts without
+//! silently dropping rules or redoing hours of concolic work.
+//!
+//! - [`journal`] — a checksummed, append-only write-ahead journal with
+//!   torn-tail truncation, per-record quarantine of corrupt frames, and
+//!   atomic (write-temp + fsync + rename) snapshot checkpoints. I/O
+//!   faults are injectable at every seam via [`IoFaults`].
+//! - [`event`] — the gate event vocabulary (rule registered, check
+//!   started/finished, run verdict) and its self-describing text codec.
+//! - [`run`] — per-run recovery: replaying journal + snapshot yields the
+//!   set of already-settled rule verdicts, so a killed gate run resumes
+//!   without re-checking them.
+//! - [`rules`] — the persistent rule store backing `RuleRegistry`:
+//!   replace-in-place registration semantics hold across process
+//!   restarts.
+//! - [`codec`] — the escaped `key=value` field codec all records share.
+//!
+//! The crate is deliberately independent of the pipeline: it stores
+//! opaque verdict fingerprints, not reports, so corruption in the store
+//! can never fabricate a gate decision — at worst a rule is re-checked.
+
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod event;
+pub mod journal;
+pub mod run;
+pub mod rules;
+
+pub use event::{GateEvent, RuleOutcome};
+pub use journal::{
+    read_atomic, scan, write_atomic, IoFault, IoFaults, Journal, OpenReport, Scan,
+};
+pub use run::{RunState, RunStore};
+pub use rules::RuleStore;
+
+use std::fmt;
+
+/// Errors from the durable store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// A record decoded to something the event vocabulary rejects.
+    Codec(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o: {e}"),
+            StoreError::Codec(d) => write!(f, "store codec: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}

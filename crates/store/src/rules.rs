@@ -1,0 +1,245 @@
+//! The persistent rule store.
+//!
+//! The paper's contract store ("every failure, once fixed, automatically
+//! becomes an executable contract") must outlive any single process: a
+//! rule registered today is enforced on every change, forever. This
+//! module journals registrations and checkpoints the registry, with the
+//! in-memory replace-in-place semantics of `RuleRegistry::register`
+//! reproduced on replay — re-registering an updated rule keeps registry
+//! (and report) order stable across restarts, not just within one
+//! process.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use lisa_analysis::TargetSpec;
+use lisa_oracle::SemanticRule;
+
+use crate::event::GateEvent;
+use crate::journal::{read_atomic, scan, write_atomic, IoFaults, Journal};
+use crate::StoreError;
+
+/// Encode a rule as a registration event.
+fn rule_event(rule: &SemanticRule) -> GateEvent {
+    let (target_kind, callee, caller) = match &rule.target {
+        TargetSpec::Call { callee } => ("call", callee.clone(), String::new()),
+        TargetSpec::Builtin { name } => ("builtin", name.clone(), String::new()),
+        TargetSpec::BuiltinInSync { name } => ("builtin-in-sync", name.clone(), String::new()),
+        TargetSpec::BuiltinInCaller { name, caller } => {
+            ("builtin-in-caller", name.clone(), caller.clone())
+        }
+    };
+    GateEvent::RuleRegistered {
+        id: rule.id.clone(),
+        description: rule.description.clone(),
+        target_kind: target_kind.to_string(),
+        callee,
+        caller,
+        condition_src: rule.condition_src.clone(),
+    }
+}
+
+/// Rebuild a rule from a registration event.
+fn rule_of_event(event: &GateEvent) -> Result<SemanticRule, String> {
+    let GateEvent::RuleRegistered { id, description, target_kind, callee, caller, condition_src } =
+        event
+    else {
+        return Err("not a rule-registered event".to_string());
+    };
+    let target = match target_kind.as_str() {
+        "call" => TargetSpec::Call { callee: callee.clone() },
+        "builtin" => TargetSpec::Builtin { name: callee.clone() },
+        "builtin-in-sync" => TargetSpec::BuiltinInSync { name: callee.clone() },
+        "builtin-in-caller" => {
+            TargetSpec::BuiltinInCaller { name: callee.clone(), caller: caller.clone() }
+        }
+        other => return Err(format!("unknown target kind {other:?}")),
+    };
+    SemanticRule::new(id.clone(), description.clone(), target, condition_src.clone())
+        .map_err(|e| format!("rule {id}: stored condition no longer parses: {e}"))
+}
+
+/// A durable registry of semantic rules.
+pub struct RuleStore {
+    dir: PathBuf,
+    journal: Journal,
+    rules: Vec<SemanticRule>,
+    pub warnings: Vec<String>,
+}
+
+impl RuleStore {
+    const SNAPSHOT: &'static str = "rules.snap";
+    const JOURNAL: &'static str = "rules.log";
+
+    /// Open (creating if absent) and replay snapshot + journal.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<dyn IoFaults>>,
+    ) -> Result<RuleStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut warnings = Vec::new();
+        let mut rules: Vec<SemanticRule> = Vec::new();
+        let mut apply = |payload: &[u8], warnings: &mut Vec<String>| {
+            match GateEvent::decode(payload).and_then(|e| rule_of_event(&e)) {
+                Ok(rule) => match rules.iter_mut().find(|r| r.id == rule.id) {
+                    Some(slot) => *slot = rule,
+                    None => rules.push(rule),
+                },
+                Err(e) => warnings.push(format!("skipped unreadable rule record: {e}")),
+            }
+        };
+        if let Some(snapshot) = read_atomic(&dir.join(Self::SNAPSHOT)) {
+            for record in scan(&snapshot).records {
+                apply(&record, &mut warnings);
+            }
+        }
+        let (journal, report) = Journal::open(dir.join(Self::JOURNAL), faults)?;
+        for record in &report.records {
+            apply(record, &mut warnings);
+        }
+        if report.quarantined > 0 {
+            warnings.push(format!("rules journal: {} record(s) quarantined", report.quarantined));
+        }
+        Ok(RuleStore { dir, journal, rules, warnings })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Register a rule durably; replaces any rule with the same id *in
+    /// place* (same contract as `RuleRegistry::register`, but across
+    /// processes).
+    pub fn register(&mut self, rule: SemanticRule) -> Result<(), StoreError> {
+        self.journal
+            .append(&rule_event(&rule).encode())
+            .map_err(StoreError::Io)?;
+        match self.rules.iter_mut().find(|r| r.id == rule.id) {
+            Some(slot) => *slot = rule,
+            None => self.rules.push(rule),
+        }
+        Ok(())
+    }
+
+    pub fn rules(&self) -> &[SemanticRule] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Checkpoint the registry into the snapshot and truncate the journal.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let mut payload = Vec::new();
+        for rule in &self.rules {
+            payload.extend_from_slice(&crate::journal::frame(&rule_event(rule).encode()));
+        }
+        write_atomic(&self.dir.join(Self::SNAPSHOT), &payload)?;
+        self.journal.reset()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lisa-rules-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn rule(id: &str, desc: &str, cond: &str) -> SemanticRule {
+        SemanticRule::new(id, desc, TargetSpec::Call { callee: "create_ephemeral".into() }, cond)
+            .expect("rule")
+    }
+
+    #[test]
+    fn registry_survives_restart() {
+        let dir = tmpdir("restart");
+        {
+            let mut store = RuleStore::open(&dir, None).expect("open");
+            store.register(rule("A", "first", "s != null")).expect("register");
+            store.register(rule("B", "second", "s != null && s.closing == false")).expect("register");
+        }
+        let store = RuleStore::open(&dir, None).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.rules()[0].id, "A");
+        assert_eq!(store.rules()[1].condition_src, "s != null && s.closing == false");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replace_in_place_holds_across_processes() {
+        let dir = tmpdir("replace");
+        {
+            let mut store = RuleStore::open(&dir, None).expect("open");
+            for id in ["A", "B", "C"] {
+                store.register(rule(id, id, "s != null")).expect("register");
+            }
+        }
+        {
+            // A second "process" re-registers B with an updated condition.
+            let mut store = RuleStore::open(&dir, None).expect("reopen");
+            store.register(rule("B", "B updated", "s != null && s.closing == false"))
+                .expect("register");
+        }
+        let store = RuleStore::open(&dir, None).expect("re-reopen");
+        let ids: Vec<&str> = store.rules().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["A", "B", "C"], "replacement must not reorder across restarts");
+        assert_eq!(store.rules()[1].description, "B updated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_without_losing_rules() {
+        let dir = tmpdir("ckpt");
+        {
+            let mut store = RuleStore::open(&dir, None).expect("open");
+            for i in 0..5 {
+                store.register(rule(&format!("R{i}"), "r", "s != null")).expect("register");
+            }
+            // Many replacements bloat the journal; checkpoint absorbs them.
+            for _ in 0..10 {
+                store.register(rule("R0", "updated", "s != null")).expect("register");
+            }
+            store.checkpoint().expect("checkpoint");
+        }
+        let store = RuleStore::open(&dir, None).expect("reopen");
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.rules()[0].description, "updated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_target_kinds_roundtrip() {
+        let dir = tmpdir("targets");
+        let specs = [
+            TargetSpec::Call { callee: "f".into() },
+            TargetSpec::Builtin { name: "blocking_io".into() },
+            TargetSpec::BuiltinInSync { name: "blocking_io".into() },
+            TargetSpec::BuiltinInCaller { name: "blocking_io".into(), caller: "flush".into() },
+        ];
+        {
+            let mut store = RuleStore::open(&dir, None).expect("open");
+            for (i, spec) in specs.iter().enumerate() {
+                let r = SemanticRule::new(format!("T{i}"), "t", spec.clone(), "$locks.held == 0")
+                    .expect("rule");
+                store.register(r).expect("register");
+            }
+        }
+        let store = RuleStore::open(&dir, None).expect("reopen");
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(&store.rules()[i].target, spec);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

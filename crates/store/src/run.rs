@@ -1,0 +1,357 @@
+//! Per-run recovery state: journal + snapshot → the set of settled
+//! verdicts a resumed gate run does not need to recompute.
+//!
+//! Invariants (DESIGN.md §10):
+//!
+//! 1. **Prefix durability** — after a crash, the recovered state equals
+//!    replaying some prefix of the events the run emitted (torn tails
+//!    only ever drop a suffix; quarantine only drops individual records,
+//!    which at worst re-checks a rule).
+//! 2. **Replay idempotence** — applying a journal twice yields the same
+//!    state as once (`RuleCheckFinished` replaces by rule id).
+//! 3. **Checkpoint equivalence** — snapshot + tail replay ≡ full-journal
+//!    replay (the snapshot *is* an encoded event sequence).
+//! 4. **Key isolation** — a journal written under a different
+//!    `run_key` (other version or rule set) is archived, never replayed.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::event::{GateEvent, RuleOutcome};
+use crate::journal::{read_atomic, scan, write_atomic, IoFaults, Journal};
+use crate::StoreError;
+
+/// Recovered state of one gate run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunState {
+    pub run_key: Option<String>,
+    /// Rules whose check began (a Started without a Finished marks work
+    /// lost to the crash).
+    pub started: Vec<String>,
+    /// Settled outcomes in completion order, replace-in-place by rule id.
+    pub finished: Vec<RuleOutcome>,
+    /// Final decision, if the run completed.
+    pub decision: Option<String>,
+}
+
+impl RunState {
+    /// Apply one event. Idempotent: applying the same event again leaves
+    /// the state unchanged.
+    pub fn apply(&mut self, event: &GateEvent) {
+        match event {
+            GateEvent::RunStarted { run_key } => {
+                if self.run_key.as_deref() != Some(run_key.as_str()) {
+                    // A new run supersedes any previous state.
+                    *self = RunState::default();
+                    self.run_key = Some(run_key.clone());
+                }
+            }
+            GateEvent::RuleCheckStarted { rule_id } => {
+                if !self.started.contains(rule_id) {
+                    self.started.push(rule_id.clone());
+                }
+            }
+            GateEvent::RuleCheckFinished { outcome } => {
+                match self.finished.iter_mut().find(|o| o.rule_id == outcome.rule_id) {
+                    Some(slot) => *slot = outcome.clone(),
+                    None => self.finished.push(outcome.clone()),
+                }
+            }
+            GateEvent::RunFinished { decision } => {
+                self.decision = Some(decision.clone());
+            }
+            // Rule registrations belong to the rule store, not a run.
+            GateEvent::RuleRegistered { .. } => {}
+        }
+    }
+
+    /// Replay a sequence of raw record payloads; undecodable records are
+    /// skipped (they can only force a re-check, never invent a verdict).
+    pub fn replay<'a>(records: impl IntoIterator<Item = &'a [u8]>) -> RunState {
+        let mut state = RunState::default();
+        for payload in records {
+            if let Ok(event) = GateEvent::decode(payload) {
+                state.apply(&event);
+            }
+        }
+        state
+    }
+
+    /// The settled outcome for `rule_id`, if its verdict was journaled.
+    pub fn finished_outcome(&self, rule_id: &str) -> Option<&RuleOutcome> {
+        self.finished.iter().find(|o| o.rule_id == rule_id)
+    }
+
+    /// Encode the state as a snapshot payload: a framed event sequence,
+    /// so snapshot decoding *is* journal replay (invariant 3 by
+    /// construction).
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut events = Vec::new();
+        if let Some(key) = &self.run_key {
+            events.push(GateEvent::RunStarted { run_key: key.clone() });
+        }
+        for id in &self.started {
+            events.push(GateEvent::RuleCheckStarted { rule_id: id.clone() });
+        }
+        for o in &self.finished {
+            events.push(GateEvent::RuleCheckFinished { outcome: o.clone() });
+        }
+        if let Some(d) = &self.decision {
+            events.push(GateEvent::RunFinished { decision: d.clone() });
+        }
+        let mut bytes = Vec::new();
+        for e in &events {
+            bytes.extend_from_slice(&crate::journal::frame(&e.encode()));
+        }
+        bytes
+    }
+
+    /// Decode a snapshot payload produced by [`RunState::to_snapshot`].
+    pub fn from_snapshot(payload: &[u8]) -> RunState {
+        let scanned = scan(payload);
+        RunState::replay(scanned.records.iter().map(|r| r.as_slice()))
+    }
+}
+
+/// Durable store for one gate run: a write-ahead journal plus an atomic
+/// snapshot checkpoint, rooted at a directory.
+pub struct RunStore {
+    dir: PathBuf,
+    journal: Journal,
+    /// Set false after the first append failure: the run continues in
+    /// memory (availability over durability) and the caller is warned.
+    journaling: bool,
+    pub state: RunState,
+    pub warnings: Vec<String>,
+    /// Records recovered from disk on open (journal tail only, excluding
+    /// the snapshot).
+    pub recovered_records: usize,
+}
+
+impl RunStore {
+    const SNAPSHOT: &'static str = "state.snap";
+    const JOURNAL: &'static str = "wal.log";
+
+    /// Open the store for `run_key`, replaying snapshot + journal. State
+    /// journaled under a *different* key is archived (`*.stale`) and a
+    /// fresh run is started.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        run_key: &str,
+        faults: Option<Arc<dyn IoFaults>>,
+    ) -> Result<RunStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let snap_path = dir.join(Self::SNAPSHOT);
+        let wal_path = dir.join(Self::JOURNAL);
+
+        let mut state = match read_atomic(&snap_path) {
+            Some(payload) => RunState::from_snapshot(&payload),
+            None => RunState::default(),
+        };
+        let (journal, report) = Journal::open(&wal_path, faults.clone())?;
+        for record in &report.records {
+            if let Ok(event) = GateEvent::decode(record) {
+                state.apply(&event);
+            }
+        }
+        let mut store = RunStore {
+            dir,
+            journal,
+            journaling: true,
+            state,
+            warnings: Vec::new(),
+            recovered_records: report.records.len(),
+        };
+        if report.quarantined > 0 {
+            store
+                .warnings
+                .push(format!("journal: {} corrupt record(s) quarantined", report.quarantined));
+        }
+        if report.truncated_bytes > 0 {
+            store
+                .warnings
+                .push(format!("journal: torn tail of {} byte(s) truncated", report.truncated_bytes));
+        }
+
+        if store.state.run_key.as_deref() != Some(run_key) {
+            if store.state.run_key.is_some() {
+                store.archive_stale()?;
+                store.warnings.push(
+                    "journal belonged to a different (version, rules) run; archived as .stale"
+                        .to_string(),
+                );
+            }
+            store.state = RunState::default();
+            store.recovered_records = 0;
+            store.append(&GateEvent::RunStarted { run_key: run_key.to_string() });
+        }
+        Ok(store)
+    }
+
+    fn archive_stale(&mut self) -> Result<(), StoreError> {
+        let wal = self.dir.join(Self::JOURNAL);
+        if let Ok(bytes) = std::fs::read(&wal) {
+            if !bytes.is_empty() {
+                let _ = std::fs::write(self.dir.join("wal.log.stale"), &bytes);
+            }
+        }
+        self.journal.reset()?;
+        let snap = self.dir.join(Self::SNAPSHOT);
+        if snap.exists() {
+            let _ = std::fs::rename(&snap, self.dir.join("state.snap.stale"));
+        }
+        Ok(())
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(Self::JOURNAL)
+    }
+
+    /// True while appends are still reaching disk.
+    pub fn durable(&self) -> bool {
+        self.journaling
+    }
+
+    /// Apply an event to the in-memory state and journal it. An append
+    /// failure downgrades the run to in-memory (warned, never fatal) —
+    /// a gate that cannot journal must still return a decision.
+    pub fn append(&mut self, event: &GateEvent) {
+        self.state.apply(event);
+        if !self.journaling {
+            return;
+        }
+        if let Err(e) = self.journal.append(&event.encode()) {
+            self.journaling = false;
+            self.warnings.push(format!(
+                "journal append failed ({e}); continuing without durability"
+            ));
+        }
+    }
+
+    pub fn record_started(&mut self, rule_id: &str) {
+        self.append(&GateEvent::RuleCheckStarted { rule_id: rule_id.to_string() });
+    }
+
+    pub fn record_finished(&mut self, outcome: RuleOutcome) {
+        self.append(&GateEvent::RuleCheckFinished { outcome });
+    }
+
+    pub fn record_run_finished(&mut self, decision: &str) {
+        self.append(&GateEvent::RunFinished { decision: decision.to_string() });
+    }
+
+    /// Checkpoint: write the current state as an atomic snapshot and
+    /// truncate the journal it absorbs. Crash-safe at every point — the
+    /// rename is atomic and the journal is only reset after the snapshot
+    /// is durable.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        write_atomic(&self.dir.join(Self::SNAPSHOT), &self.state.to_snapshot())?;
+        self.journal.reset()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lisa-run-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn outcome(id: &str, violated: u64) -> RuleOutcome {
+        RuleOutcome {
+            rule_id: id.to_string(),
+            fingerprint: format!("[label] chain for {id}\nviolated={violated}"),
+            verified: 1,
+            violated,
+            not_covered: 0,
+            engine_errors: 0,
+            degraded: false,
+            sanity_ok: true,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn resume_sees_settled_outcomes() {
+        let dir = tmpdir("resume");
+        {
+            let mut store = RunStore::open(&dir, "key-1", None).expect("open");
+            store.record_started("A");
+            store.record_finished(outcome("A", 1));
+            store.record_started("B");
+            // Crash here: B started but never finished.
+        }
+        let store = RunStore::open(&dir, "key-1", None).expect("reopen");
+        assert_eq!(store.state.finished_outcome("A"), Some(&outcome("A", 1)));
+        assert_eq!(store.state.finished_outcome("B"), None);
+        assert!(store.state.started.contains(&"B".to_string()));
+        assert!(store.state.decision.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_run_key_archives_stale_state() {
+        let dir = tmpdir("stale");
+        {
+            let mut store = RunStore::open(&dir, "key-old", None).expect("open");
+            store.record_finished(outcome("A", 1));
+        }
+        let store = RunStore::open(&dir, "key-new", None).expect("reopen");
+        assert_eq!(store.state.finished.len(), 0, "stale verdicts must not leak");
+        assert_eq!(store.state.run_key.as_deref(), Some("key-new"));
+        assert!(store.warnings.iter().any(|w| w.contains("different")), "{:?}", store.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_then_tail_equals_full_history() {
+        let dir = tmpdir("ckpt");
+        {
+            let mut store = RunStore::open(&dir, "k", None).expect("open");
+            store.record_finished(outcome("A", 0));
+            store.record_finished(outcome("B", 1));
+            store.checkpoint().expect("checkpoint");
+            // Journal now empty; tail events follow the snapshot.
+            store.record_finished(outcome("B", 0)); // replaced in place
+            store.record_finished(outcome("C", 2));
+            store.record_run_finished("BLOCK");
+        }
+        let store = RunStore::open(&dir, "k", None).expect("reopen");
+        assert_eq!(store.state.finished_outcome("A"), Some(&outcome("A", 0)));
+        assert_eq!(store.state.finished_outcome("B"), Some(&outcome("B", 0)));
+        assert_eq!(store.state.finished_outcome("C"), Some(&outcome("C", 2)));
+        assert_eq!(store.state.decision.as_deref(), Some("BLOCK"));
+        let ids: Vec<&str> = store.state.finished.iter().map(|o| o.rule_id.as_str()).collect();
+        assert_eq!(ids, vec!["A", "B", "C"], "replace-in-place keeps order");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_failure_degrades_but_never_aborts() {
+        struct NoSpace;
+        impl IoFaults for NoSpace {
+            fn on_append(&self, _len: usize) -> Option<crate::IoFault> {
+                Some(crate::IoFault::Enospc)
+            }
+        }
+        let dir = tmpdir("enospc");
+        let mut store =
+            RunStore::open(&dir, "k", Some(Arc::new(NoSpace))).expect("open");
+        store.record_finished(outcome("A", 1));
+        assert!(!store.durable());
+        assert!(store.warnings.iter().any(|w| w.contains("without durability")));
+        // In-memory state is intact: the gate can still decide.
+        assert!(store.state.finished_outcome("A").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,4 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy -- -D warnings
+cargo clippy --workspace -- -D warnings
+
+# Crash-recovery e2e: kill-at-every-boundary matrix, seeded disk faults,
+# and the supervised `lisa serve` daemon.
+cargo test -q -p lisa --test e2e_recovery
+
+# E11 smoke: the durability invariant end to end (asserts internally).
+cargo run -q --release -p lisa-experiments --bin e11_recovery > /dev/null
+echo "e11 recovery smoke: ok"
