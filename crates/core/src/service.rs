@@ -12,14 +12,19 @@
 //!   a byte-identical final verdict artifact ([`DurableGateReport::verdicts_text`]).
 //! - [`serve`] — a daemon accepting gate jobs as newline-delimited JSON
 //!   over a unix socket, processed by a supervised worker pool: panicked
-//!   workers are reaped and respawned, stalled workers abandoned, their
-//!   jobs retried with backoff and dead-lettered after `max_attempts`,
-//!   with bounded-queue backpressure and graceful drain on shutdown.
+//!   workers are reaped and respawned, stalled workers (no heartbeat for
+//!   `job_timeout`) abandoned, their jobs retried with backoff and
+//!   dead-lettered after `max_attempts`, with bounded-queue backpressure
+//!   and graceful drain on shutdown. Two isolation rules keep recovery
+//!   honest: every respawned worker gets a **fresh slot** (an abandoned
+//!   thread can never take — or answer — a job it does not own), and
+//!   jobs sharing a state directory are **serialized** (a retry never
+//!   races its abandoned predecessor on the same journal).
 //!
 //! Parallel throughput comes from the worker pool across jobs; within a
 //! durable run, determinism wins over parallelism.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -170,6 +175,15 @@ pub struct DurableOptions {
     /// Checkpoint (snapshot + journal truncate) after every N fresh
     /// verdicts; 0 = never checkpoint.
     pub checkpoint_every: usize,
+    /// Liveness heartbeat: called after every rule settles (reused or
+    /// fresh). The serve supervisor uses it to tell a slow-but-
+    /// progressing job from a wedged one.
+    pub progress: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Cooperative cancellation, checked at every rule boundary. When it
+    /// fires the run returns [`StoreError::Cancelled`] without touching
+    /// the store further; the journal written so far stays valid for
+    /// resume.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Result of a durable (journaled, resumable) gate run.
@@ -263,8 +277,14 @@ pub fn gate_durable(
     let mut reused = 0usize;
     let mut fresh = 0usize;
     for rule in registry.rules() {
+        if durable.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst)) {
+            return Err(StoreError::Cancelled);
+        }
         if store.state.finished_outcome(&rule.id).is_some() {
             reused += 1;
+            if let Some(beat) = &durable.progress {
+                beat();
+            }
             continue;
         }
         store.record_started(&rule.id);
@@ -276,11 +296,17 @@ pub fn gate_durable(
         warnings.extend(report.warnings.iter().cloned());
         store.record_finished(outcome_of(&report.reports[0]));
         fresh += 1;
+        if let Some(beat) = &durable.progress {
+            beat();
+        }
         if durable.checkpoint_every > 0 && fresh.is_multiple_of(durable.checkpoint_every) {
             if let Err(e) = store.checkpoint() {
                 warnings.push(format!("checkpoint failed ({e}); journal left as-is"));
             }
         }
+    }
+    if durable.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst)) {
+        return Err(StoreError::Cancelled);
     }
 
     let outcomes: Vec<RuleOutcome> = registry
@@ -328,8 +354,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Queue capacity; submissions beyond it get an `overloaded` reply.
     pub queue_cap: usize,
-    /// A worker holding one job longer than this is considered stalled:
-    /// abandoned, its job recovered and retried.
+    /// A worker making no progress on its job for this long is
+    /// considered stalled: abandoned, its job recovered and retried.
+    /// Progress is a per-rule heartbeat from the durable run, so this
+    /// bounds one rule check, not the whole job — a slow but advancing
+    /// gate is left alone.
     pub job_timeout: Duration,
     /// Attempts per job before it is dead-lettered.
     pub max_attempts: u32,
@@ -376,15 +405,54 @@ struct Job {
 }
 
 /// A worker's in-flight job: parked here while processing so the
-/// supervisor can recover it from a panicked or stalled thread.
+/// supervisor can recover it from a panicked or stalled thread. The
+/// `Instant` is the job's last heartbeat, refreshed per settled rule.
+///
+/// A slot is owned by exactly one live worker: when the supervisor
+/// abandons a stalled worker it replaces the slot (and the worker) in
+/// the pool, so the abandoned thread's `take()` can only ever see its
+/// own job or `None` — never a job a replacement worker parked later.
 type Slot = Arc<Mutex<Option<(Job, Instant)>>>;
 
+/// One pool entry: the worker thread, the slot it parks jobs in, and the
+/// cancellation flag the supervisor raises when abandoning it.
+struct Worker {
+    handle: Option<JoinHandle<()>>,
+    slot: Slot,
+    cancel: Arc<AtomicBool>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// State-dir keys currently owned by a live attempt (including an
+    /// abandoned thread that has not yet reached a cancellation point).
+    /// Workers skip queued jobs whose key is busy, so two attempts can
+    /// never hold a `RunStore` on the same directory at once.
+    busy_dirs: HashSet<String>,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<QueueState>,
     available: Condvar,
     shutdown: AtomicBool,
     jobs_done: AtomicU64,
     state_root: PathBuf,
+}
+
+/// Holds a job's state-dir key in `busy_dirs` for the duration of one
+/// attempt. Dropped on every exit path — normal completion, chaos panic
+/// unwind, or cancelled abandonment — so the key is always released.
+struct DirGuard {
+    shared: Arc<Shared>,
+    key: String,
+}
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).busy_dirs.remove(&self.key);
+        // A waiting worker may only have been blocked on this dir.
+        self.shared.available.notify_all();
+    }
 }
 
 fn respond(stream: &mut UnixStream, line: &str) {
@@ -429,17 +497,34 @@ fn error_response(job_id: &str, status: &str, error: &str) -> String {
     )
 }
 
+/// Map a client-supplied job id to its state-directory name. Ids that
+/// are already filesystem-safe map to themselves; anything else gets a
+/// hash of the raw id appended so distinct ids can never collide after
+/// character replacement (`a/b` vs `a_b`), and an empty id can never
+/// alias the state root itself.
 fn sanitize(id: &str) -> String {
-    id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' }).collect()
+    let safe: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if safe == id && !safe.is_empty() {
+        safe
+    } else {
+        format!("{safe}-{:08x}", fnv1a(id.as_bytes()) as u32)
+    }
 }
 
 /// Process one gate job end to end (load, durable gate, response text).
+/// `cancel` stops the run at the next rule boundary once the supervisor
+/// abandons this attempt; `progress` is the per-rule liveness heartbeat.
 fn process_job(
     system: &str,
     rules_path: &str,
     fail_mode: FailMode,
     state_root: &Path,
     job_id: &str,
+    cancel: Arc<AtomicBool>,
+    progress: Arc<dyn Fn() + Send + Sync>,
 ) -> Result<DurableGateReport, String> {
     let version = load_system(system, "test_")?;
     let rules = load_rules(rules_path)?;
@@ -451,18 +536,35 @@ fn process_job(
     let gate = GateOptions { fail_mode, ..GateOptions::default() };
     let durable = DurableOptions {
         state_dir: state_root.join(sanitize(job_id)),
+        progress: Some(progress),
+        cancel: Some(cancel),
         ..DurableOptions::default()
     };
     gate_durable(&registry, &version, &config, &gate, &durable).map_err(|e| e.to_string())
 }
 
-fn worker_loop(shared: Arc<Shared>, slot: Slot) {
+fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
     loop {
-        let job = {
+        // An abandoned worker must never pull another job: its slot is no
+        // longer supervised, so any job it took would be invisible.
+        if cancel.load(Ordering::SeqCst) {
+            return;
+        }
+        let popped = {
             let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
-                if let Some(j) = q.pop_front() {
-                    break Some(j);
+                if cancel.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // Skip jobs whose state dir another attempt still owns —
+                // a retry must never race its abandoned predecessor on
+                // the same journal, and duplicate job ids serialize.
+                let pos = q.jobs.iter().position(|j| !q.busy_dirs.contains(&sanitize(&j.id)));
+                if let Some(pos) = pos {
+                    let job = q.jobs.remove(pos).expect("indexed job");
+                    let key = sanitize(&job.id);
+                    q.busy_dirs.insert(key.clone());
+                    break Some((job, key));
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -474,7 +576,10 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot) {
                 q = guard;
             }
         };
-        let Some(job) = job else { return };
+        let Some((job, key)) = popped else { return };
+        // Released on every exit from this iteration — completion, chaos
+        // panic unwind, or cancelled abandonment.
+        let _dir = DirGuard { shared: Arc::clone(&shared), key };
         let (id, system, rules, fail_mode, chaos, attempts) = (
             job.id.clone(),
             job.system.clone(),
@@ -493,13 +598,35 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot) {
                 panic!("{FAULT_PANIC_PREFIX} chaos first-attempt panic for job {id}")
             }
             Some("stall") => {
-                // Outlive any plausible job timeout; the supervisor will
-                // abandon this thread and retry the job elsewhere.
-                std::thread::sleep(Duration::from_secs(600));
+                // A wedged job: never heartbeats, outlives any plausible
+                // job timeout. Cancellation-aware only so the abandoned
+                // attempt releases its state dir promptly for the retry.
+                let wedged = Instant::now();
+                while !cancel.load(Ordering::SeqCst)
+                    && wedged.elapsed() < Duration::from_secs(600)
+                {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
             }
             _ => {}
         }
-        let result = process_job(&system, &rules, fail_mode, &shared.state_root, &id);
+        let beat_slot = Arc::clone(&slot);
+        let progress: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            if let Some((_, beat)) =
+                beat_slot.lock().unwrap_or_else(|p| p.into_inner()).as_mut()
+            {
+                *beat = Instant::now();
+            }
+        });
+        let result = process_job(
+            &system,
+            &rules,
+            fail_mode,
+            &shared.state_root,
+            &id,
+            Arc::clone(&cancel),
+            progress,
+        );
         // Take the job back; if the supervisor already recovered it (it
         // judged us stalled), it owns the reply — do not double-respond.
         let taken = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
@@ -531,20 +658,14 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         .map_err(|e| format!("mkdir {}: {e}", config.state_root.display()))?;
 
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(QueueState { jobs: VecDeque::new(), busy_dirs: HashSet::new() }),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         jobs_done: AtomicU64::new(0),
         state_root: config.state_root.clone(),
     });
     let workers = config.workers.max(1);
-    let mut pool: Vec<(Option<JoinHandle<()>>, Slot)> = (0..workers)
-        .map(|_| {
-            let slot: Slot = Arc::new(Mutex::new(None));
-            let handle = spawn_worker(&shared, &slot);
-            (Some(handle), slot)
-        })
-        .collect();
+    let mut pool: Vec<Worker> = (0..workers).map(|_| spawn_worker(&shared)).collect();
 
     let mut stats = ServeStats::default();
     let mut pending_retries: Vec<(Job, Instant)> = Vec::new();
@@ -572,18 +693,22 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         }
 
         // 2. Reap panicked workers, abandon stalled ones; recover jobs.
-        for (handle_cell, slot) in pool.iter_mut() {
-            let panicked = handle_cell.as_ref().is_some_and(|h| h.is_finished())
+        for worker in pool.iter_mut() {
+            let panicked = worker.handle.as_ref().is_some_and(|h| h.is_finished())
                 && !shared.shutdown.load(Ordering::SeqCst);
-            let stalled = slot
+            let stalled = worker
+                .slot
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .as_ref()
-                .is_some_and(|(_, started)| started.elapsed() > config.job_timeout);
+                .is_some_and(|(_, beat)| beat.elapsed() > config.job_timeout);
             if !panicked && !stalled {
                 continue;
             }
-            let recovered = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+            // Abandon first: a live thread stops at its next cancellation
+            // point (rule boundary) and never pulls another job.
+            worker.cancel.store(true, Ordering::SeqCst);
+            let recovered = worker.slot.lock().unwrap_or_else(|p| p.into_inner()).take();
             if let Some((mut job, _)) = recovered {
                 job.attempts += 1;
                 if job.attempts >= config.max_attempts {
@@ -605,16 +730,16 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
             }
             if panicked {
                 // Collect the dead thread; a panic result is expected.
-                if let Some(h) = handle_cell.take() {
+                if let Some(h) = worker.handle.take() {
                     let _ = h.join();
                 }
-            } else {
-                // Stalled: the thread cannot be killed — abandon it (it
-                // will find its slot empty and skip responding) and hand
-                // its slot to a fresh worker.
-                let _ = handle_cell.take();
             }
-            *handle_cell = Some(spawn_worker(&shared, slot));
+            // The replacement gets a FRESH slot and cancel flag. An
+            // abandoned (stalled, unkillable) thread still holds the old
+            // slot Arc, so its eventual `take()` sees only `None` — it
+            // can never grab a job the replacement parked, nor answer one
+            // job's client with another job's verdict.
+            *worker = spawn_worker(&shared);
             stats.respawned_workers += 1;
         }
 
@@ -624,7 +749,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         while i < pending_retries.len() {
             if pending_retries[i].1 <= now {
                 let (job, _) = pending_retries.swap_remove(i);
-                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).push_back(job);
+                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.push_back(job);
                 shared.available.notify_one();
             } else {
                 i += 1;
@@ -633,10 +758,11 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
 
         // 4. Drain: queue empty, no in-flight jobs, no pending retries.
         if draining {
-            let queue_empty = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty();
+            let queue_empty =
+                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.is_empty();
             let idle = pool
                 .iter()
-                .all(|(_, slot)| slot.lock().unwrap_or_else(|p| p.into_inner()).is_none());
+                .all(|w| w.slot.lock().unwrap_or_else(|p| p.into_inner()).is_none());
             if queue_empty && idle && pending_retries.is_empty() {
                 break;
             }
@@ -647,8 +773,8 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
 
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.available.notify_all();
-    for (handle_cell, _) in pool.iter_mut() {
-        if let Some(h) = handle_cell.take() {
+    for worker in pool.iter_mut() {
+        if let Some(h) = worker.handle.take() {
             let _ = h.join();
         }
     }
@@ -657,10 +783,16 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
     Ok(stats)
 }
 
-fn spawn_worker(shared: &Arc<Shared>, slot: &Slot) -> JoinHandle<()> {
-    let shared = Arc::clone(shared);
-    let slot = Arc::clone(slot);
-    std::thread::spawn(move || worker_loop(shared, slot))
+fn spawn_worker(shared: &Arc<Shared>) -> Worker {
+    let slot: Slot = Arc::new(Mutex::new(None));
+    let cancel = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let shared = Arc::clone(shared);
+        let slot = Arc::clone(&slot);
+        let cancel = Arc::clone(&cancel);
+        std::thread::spawn(move || worker_loop(shared, slot, cancel))
+    };
+    Worker { handle: Some(handle), slot, cancel }
 }
 
 /// Read one NDJSON request from a fresh connection and dispatch it.
@@ -703,7 +835,7 @@ fn handle_connection(
                 stats.dead_letters,
                 stats.respawned_workers,
                 stats.rejected_overload,
-                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len(),
+                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.len(),
             );
             respond(&mut stream, &line);
         }
@@ -741,7 +873,7 @@ fn handle_connection(
                 .map(str::to_string)
                 .unwrap_or_else(|| format!("job-{next_job}"));
             let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
-            if queue.len() >= config.queue_cap {
+            if queue.jobs.len() >= config.queue_cap {
                 stats.rejected_overload += 1;
                 drop(queue);
                 respond(
@@ -752,7 +884,7 @@ fn handle_connection(
             }
             // From here the stream belongs to the job; the reply comes
             // when the job settles.
-            queue.push_back(Job {
+            queue.jobs.push_back(Job {
                 id,
                 system: system.to_string(),
                 rules: rules.to_string(),
@@ -912,5 +1044,76 @@ mod tests {
         assert_eq!(resumed.verdicts_text(), a.verdicts_text());
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn cancel_stops_at_rule_boundary_and_preserves_resume() {
+        let dir = tmpdir("cancel");
+        let reg = registry();
+        let v = version(false);
+        let gate = GateOptions::default();
+        // Cancel fires after the first rule settles: the run aborts at
+        // the next boundary instead of finishing.
+        let flag = Arc::new(AtomicBool::new(false));
+        let trip = Arc::clone(&flag);
+        let durable = DurableOptions {
+            state_dir: dir.clone(),
+            progress: Some(Arc::new(move || trip.store(true, Ordering::SeqCst))),
+            cancel: Some(Arc::clone(&flag)),
+            ..DurableOptions::default()
+        };
+        match gate_durable(&reg, &v, &config(), &gate, &durable) {
+            Err(StoreError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The journal the cancelled attempt wrote stays valid: a clean
+        // retry reuses the settled verdict.
+        let resumed = gate_durable(
+            &reg,
+            &v,
+            &config(),
+            &gate,
+            &DurableOptions { state_dir: dir.clone(), ..DurableOptions::default() },
+        )
+        .expect("resume after cancel");
+        assert_eq!(resumed.reused, 1);
+        assert_eq!(resumed.fresh, 1);
+        assert_eq!(resumed.decision, GateDecision::Block);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_heartbeats_once_per_rule_including_reused() {
+        let dir = tmpdir("heartbeat");
+        let reg = registry();
+        let v = version(false);
+        let gate = GateOptions::default();
+        let beats = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&beats);
+        let durable = DurableOptions {
+            state_dir: dir.clone(),
+            progress: Some(Arc::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })),
+            ..DurableOptions::default()
+        };
+        gate_durable(&reg, &v, &config(), &gate, &durable).expect("run");
+        assert_eq!(beats.load(Ordering::SeqCst), 2, "one heartbeat per fresh rule");
+        gate_durable(&reg, &v, &config(), &gate, &durable).expect("rerun");
+        assert_eq!(beats.load(Ordering::SeqCst), 4, "reused rules heartbeat too");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_cannot_collide_or_alias_the_state_root() {
+        assert_eq!(sanitize("clean-id_1"), "clean-id_1");
+        // Distinct raw ids must map to distinct state dirs even when
+        // character replacement would merge them.
+        assert_ne!(sanitize("a/b"), sanitize("a_b"));
+        assert_ne!(sanitize("a/b"), sanitize("a.b"));
+        // An empty id must not resolve to the state root itself.
+        assert!(!sanitize("").is_empty());
+        // Deterministic: retries land in the same dir.
+        assert_eq!(sanitize("a/b"), sanitize("a/b"));
     }
 }

@@ -19,6 +19,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Frame header size: u32 length + u64 checksum.
@@ -269,6 +270,18 @@ impl Journal {
         self.good_end
     }
 
+    /// Truncate the file back to the last good frame boundary, discarding
+    /// any torn bytes a failed [`Journal::append`] left behind. Callers
+    /// that keep appending after a failed append must repair first:
+    /// records written after a torn frame are unreachable to `scan` (it
+    /// stops at the tear), so they would be acknowledged and then
+    /// silently lost on the next open.
+    pub fn repair_tail(&mut self) -> io::Result<()> {
+        self.file.set_len(self.good_end)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
     /// Discard all records (used after a checkpoint has absorbed them).
     pub fn reset(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;
@@ -286,13 +299,27 @@ pub fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
 }
 
 fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
+    // Unique temp name per write: `rules.snap` and `rules.log` live in
+    // the same directory, and another process may be checkpointing the
+    // same store — a shared `.tmp` name would let one writer clobber the
+    // other's half-written frame and rename garbage into place.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("store");
+    let tmp = path.with_file_name(format!(
+        "{file_name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let written = (|| {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
-    std::fs::rename(&tmp, path)?;
+    written?;
     // Make the rename itself durable where the platform allows opening
     // directories; failure to sync the directory is not fatal.
     if let Some(dir) = path.parent() {
@@ -431,6 +458,55 @@ mod tests {
         fn on_append(&self, len: usize) -> Option<IoFault> {
             Some(IoFault::Torn { keep: len / 2 })
         }
+    }
+
+    struct TornOnce(std::sync::atomic::AtomicUsize);
+    impl IoFaults for TornOnce {
+        fn on_append(&self, len: usize) -> Option<IoFault> {
+            if self.0.fetch_add(1, Ordering::Relaxed) == 0 {
+                Some(IoFault::Torn { keep: len / 2 })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn repair_tail_makes_post_failure_appends_reachable() {
+        let dir = tmpdir("repair");
+        let path = dir.join("wal");
+        {
+            let (mut j, _) = Journal::open(&path, Some(Arc::new(TornOnce(Default::default()))))
+                .expect("open");
+            assert!(j.append(b"torn").is_err());
+            // Without the repair, this record would sit behind the torn
+            // frame and be dropped by the next open's scan.
+            j.repair_tail().expect("repair");
+            j.append(b"kept").expect("append after repair");
+        }
+        let (_, report) = Journal::open(&path, None).expect("reopen");
+        assert_eq!(report.records, vec![b"kept".to_vec()]);
+        assert_eq!(report.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writes_use_unique_temp_names_and_clean_up() {
+        let dir = tmpdir("tmpnames");
+        // Same-directory snapshot + journal targets must never share a
+        // temp file name (they used to both map to `rules.tmp`).
+        write_atomic(&dir.join("rules.snap"), b"snapshot").expect("snap");
+        write_atomic(&dir.join("rules.log"), b"compacted").expect("log");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read_dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        assert_eq!(read_atomic(&dir.join("rules.snap")).as_deref(), Some(b"snapshot".as_slice()));
+        assert_eq!(read_atomic(&dir.join("rules.log")).as_deref(), Some(b"compacted".as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

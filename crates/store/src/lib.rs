@@ -48,6 +48,9 @@ pub enum StoreError {
     Io(std::io::Error),
     /// A record decoded to something the event vocabulary rejects.
     Codec(String),
+    /// The caller's cancellation token fired; the run stopped at a rule
+    /// boundary and its partial journal remains valid for resume.
+    Cancelled,
 }
 
 impl fmt::Display for StoreError {
@@ -55,6 +58,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store i/o: {e}"),
             StoreError::Codec(d) => write!(f, "store codec: {d}"),
+            StoreError::Cancelled => write!(f, "run cancelled at a rule boundary"),
         }
     }
 }

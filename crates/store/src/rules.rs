@@ -64,6 +64,10 @@ pub struct RuleStore {
     dir: PathBuf,
     journal: Journal,
     rules: Vec<SemanticRule>,
+    /// Set when a failed append left a torn frame that could not be
+    /// truncated away: further registrations are refused rather than
+    /// acknowledged and silently lost behind the tear on the next open.
+    poisoned: bool,
     pub warnings: Vec<String>,
 }
 
@@ -101,7 +105,7 @@ impl RuleStore {
         if report.quarantined > 0 {
             warnings.push(format!("rules journal: {} record(s) quarantined", report.quarantined));
         }
-        Ok(RuleStore { dir, journal, rules, warnings })
+        Ok(RuleStore { dir, journal, rules, poisoned: false, warnings })
     }
 
     pub fn dir(&self) -> &Path {
@@ -111,10 +115,27 @@ impl RuleStore {
     /// Register a rule durably; replaces any rule with the same id *in
     /// place* (same contract as `RuleRegistry::register`, but across
     /// processes).
+    ///
+    /// A failed append repairs the journal tail before returning, so a
+    /// torn frame cannot sit mid-file and swallow every later
+    /// registration on the next open. If even the repair fails the store
+    /// is poisoned: further `register` calls error out instead of
+    /// acknowledging rules that replay would silently discard.
     pub fn register(&mut self, rule: SemanticRule) -> Result<(), StoreError> {
-        self.journal
-            .append(&rule_event(&rule).encode())
-            .map_err(StoreError::Io)?;
+        if self.poisoned {
+            return Err(StoreError::Io(std::io::Error::other(
+                "rule store poisoned by an unrepaired append failure; reopen to recover",
+            )));
+        }
+        if let Err(e) = self.journal.append(&rule_event(&rule).encode()) {
+            if let Err(repair) = self.journal.repair_tail() {
+                self.poisoned = true;
+                self.warnings.push(format!(
+                    "journal tail unrepairable after failed append ({repair}); refusing further registrations"
+                ));
+            }
+            return Err(StoreError::Io(e));
+        }
         match self.rules.iter_mut().find(|r| r.id == rule.id) {
             Some(slot) => *slot = rule,
             None => self.rules.push(rule),
@@ -216,6 +237,41 @@ mod tests {
         let store = RuleStore::open(&dir, None).expect("reopen");
         assert_eq!(store.len(), 5);
         assert_eq!(store.rules()[0].description, "updated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_does_not_swallow_later_registrations() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        use crate::journal::{IoFault, IoFaults};
+
+        // Torn write on the second append only.
+        struct TornSecond(AtomicUsize);
+        impl IoFaults for TornSecond {
+            fn on_append(&self, len: usize) -> Option<IoFault> {
+                if self.0.fetch_add(1, Ordering::Relaxed) == 1 {
+                    Some(IoFault::Torn { keep: len / 2 })
+                } else {
+                    None
+                }
+            }
+        }
+
+        let dir = tmpdir("torn-register");
+        {
+            let mut store = RuleStore::open(&dir, Some(Arc::new(TornSecond(AtomicUsize::new(0)))))
+                .expect("open");
+            store.register(rule("A", "first", "s != null")).expect("register A");
+            assert!(store.register(rule("B", "torn", "s != null")).is_err());
+            // The failed append repaired the tail, so this acknowledged
+            // registration must survive the next open.
+            store.register(rule("C", "third", "s != null")).expect("register C");
+        }
+        let store = RuleStore::open(&dir, None).expect("reopen");
+        let ids: Vec<&str> = store.rules().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["A", "C"], "C was acknowledged and must replay");
+        assert!(store.warnings.is_empty(), "{:?}", store.warnings);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

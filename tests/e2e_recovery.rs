@@ -68,9 +68,9 @@ fn tmpdir(tag: &str) -> PathBuf {
     dir
 }
 
-fn run_durable(dir: &PathBuf, faults: Option<Arc<DiskFaultInjector>>) -> DurableGateReport {
+fn run_durable(dir: &std::path::Path, faults: Option<Arc<DiskFaultInjector>>) -> DurableGateReport {
     let durable = DurableOptions {
-        state_dir: dir.clone(),
+        state_dir: dir.to_path_buf(),
         disk_faults: faults.map(|f| f as Arc<dyn lisa_store::IoFaults>),
         ..DurableOptions::default()
     };
