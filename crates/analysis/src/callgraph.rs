@@ -47,6 +47,7 @@ pub struct CallGraph {
 impl CallGraph {
     /// Build the exact call graph.
     pub fn build(program: &Program) -> CallGraph {
+        let mut span = lisa_telemetry::span("analysis.callgraph");
         let mut g = CallGraph::default();
         for f in program.functions() {
             g.fn_names.push(f.name.clone());
@@ -57,6 +58,9 @@ impl CallGraph {
             g.callers_of.entry(site.callee.clone()).or_default().push(i);
             g.sites_in.entry(site.caller.clone()).or_default().push(i);
         }
+        span.arg("functions", g.fn_names.len() as u64);
+        span.arg("sites", g.sites.len() as u64);
+        lisa_telemetry::counter_add("analysis.callgraph_builds", 1);
         g
     }
 

@@ -82,6 +82,7 @@ pub fn execution_tree_filtered(
     limits: TreeLimits,
     exclude: &dyn Fn(&str) -> bool,
 ) -> ExecutionTree {
+    let mut span = lisa_telemetry::span("analysis.tree");
     let mut chains = Vec::new();
     let mut truncated = false;
     for site_id in target.sites(graph) {
@@ -126,6 +127,16 @@ pub fn execution_tree_filtered(
     chains.sort_by(|a, b| {
         (&a.entry, a.target_site, &a.sites).cmp(&(&b.entry, b.target_site, &b.sites))
     });
+    span.arg("chains", chains.len() as u64);
+    span.arg("truncated", u64::from(truncated));
+    lisa_telemetry::counter_add("analysis.chains", chains.len() as u64);
+    if truncated {
+        lisa_telemetry::counter_add("analysis.trees_truncated", 1);
+        lisa_telemetry::event("analysis.tree_truncated", format!(
+            "chain enumeration capped at {} (depth {})",
+            limits.max_chains, limits.max_depth
+        ));
+    }
     ExecutionTree { target: target.clone(), chains, truncated }
 }
 

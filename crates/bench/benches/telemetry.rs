@@ -1,0 +1,73 @@
+//! Per-stage latency breakdown from the telemetry histograms: gate every
+//! corpus case with metrics collection on, then write
+//! `BENCH_telemetry.json` (per-stage count / mean / p50 / p95, in µs)
+//! at the workspace root next to the human-readable lines this prints.
+//!
+//! Unlike the wall-clock benches, this measures *where* pipeline time
+//! goes rather than how fast one closure spins — the numbers come from
+//! the same `stage.*` histograms `lisa gate --metrics-out` exports.
+
+use std::fmt::Write as _;
+
+use lisa::{enforce, PipelineConfig, RuleRegistry, TestSelection};
+use lisa_corpus::all_cases;
+use lisa_oracle::infer_rules;
+
+/// Stages reported, in pipeline order.
+const STAGES: [&str; 9] = [
+    "stage.callgraph_us",
+    "stage.tree_us",
+    "stage.aliases_us",
+    "stage.select_us",
+    "stage.concolic_us",
+    "stage.judge_us",
+    "pipeline.rule_us",
+    "smt.query_us",
+    "concolic.test_us",
+];
+
+fn main() {
+    lisa_telemetry::init(lisa_telemetry::TelemetryConfig::MetricsOnly);
+
+    // Populate the stage histograms: mine each corpus case's rules and
+    // gate its regressed version, the same work the pipeline bench times.
+    let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
+    let mut gated = 0usize;
+    for case in all_cases() {
+        let Ok(out) = infer_rules(case.original_ticket()) else { continue };
+        let mut registry = RuleRegistry::new();
+        for r in out.rules {
+            registry.register(r);
+        }
+        let _ = enforce(&registry, &case.versions.regressed, &config, 2);
+        gated += 1;
+    }
+
+    let hists = lisa_telemetry::histograms_snapshot();
+    println!("\n== telemetry/stage_breakdown ({gated} corpus cases gated) ==");
+    let mut json = String::from("{\"stages\":{");
+    let mut first = true;
+    for name in STAGES {
+        let Some(h) = hists.get(name) else { continue };
+        let mean = h.sum.checked_div(h.count).unwrap_or(0);
+        let (p50, p95) = (h.percentile(0.50), h.percentile(0.95));
+        println!(
+            "{name:<24} count {:>6}  mean {:>8} µs  p50 {:>8} µs  p95 {:>8} µs",
+            h.count, mean, p50, p95,
+        );
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "\"{name}\":{{\"count\":{},\"mean_us\":{mean},\"p50_us\":{p50},\"p95_us\":{p95}}}",
+            h.count,
+        );
+    }
+    json.push_str("}}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    std::fs::write(out, &json).expect("write BENCH_telemetry.json");
+    println!("\nwrote {out}");
+}

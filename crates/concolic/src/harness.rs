@@ -114,14 +114,22 @@ pub fn run_tests_budgeted(
     policy: &Policy,
     budget: &HarnessBudget,
 ) -> HarnessOutcome {
+    let mut batch_span = lisa_telemetry::span("concolic.run");
     let started = Instant::now();
     let mut runs = Vec::with_capacity(tests.len());
     let mut truncated = false;
     for t in tests {
         if budget.wall.is_some_and(|w| started.elapsed() >= w) {
             truncated = true;
+            lisa_telemetry::counter_add("concolic.tests_truncated", (tests.len() - runs.len()) as u64);
+            lisa_telemetry::event(
+                "concolic.wall_budget_exhausted",
+                format!("{} of {} tests skipped", tests.len() - runs.len(), tests.len()),
+            );
             break;
         }
+        let mut test_span = lisa_telemetry::span_with("concolic.test", t.name.clone());
+        let test_started = Instant::now();
         let mut interp = match budget.max_steps_per_test {
             Some(max_steps) => {
                 Interp::with_config(program, RunConfig { max_steps, ..RunConfig::default() })
@@ -130,14 +138,38 @@ pub fn run_tests_budgeted(
         };
         let mut tracer = ConcolicTracer::new(target.clone(), aliases.clone(), policy.clone());
         let result = interp.call(&t.entry, Vec::<Value>::new(), &mut tracer);
+        let stats = tracer.stats;
+        test_span.arg("steps", interp.stats.steps);
+        test_span.arg("branches_seen", stats.branches_seen);
+        test_span.arg("branches_recorded", stats.branches_recorded);
+        test_span.arg("hits", tracer.hits.len() as u64);
+        test_span.arg("errored", u64::from(result.is_err()));
+        if lisa_telemetry::metrics_enabled() {
+            lisa_telemetry::counter_add("concolic.tests_executed", 1);
+            lisa_telemetry::counter_add("concolic.steps", interp.stats.steps);
+            lisa_telemetry::counter_add("concolic.branches_seen", stats.branches_seen);
+            lisa_telemetry::counter_add("concolic.branches_recorded", stats.branches_recorded);
+            lisa_telemetry::counter_add(
+                "concolic.constraints_invalidated",
+                stats.constraints_invalidated,
+            );
+            lisa_telemetry::counter_add("concolic.target_hits", tracer.hits.len() as u64);
+            lisa_telemetry::histogram_record(
+                "concolic.test_us",
+                test_started.elapsed().as_micros() as u64,
+            );
+        }
         runs.push(TestRun {
             test: t.name.clone(),
             hits: tracer.hits,
             error: result.err(),
-            stats: tracer.stats,
+            stats,
             steps: interp.stats.steps,
         });
     }
+    batch_span.arg("tests", tests.len() as u64);
+    batch_span.arg("executed", runs.len() as u64);
+    batch_span.arg("truncated", u64::from(truncated));
     HarnessOutcome { runs, truncated }
 }
 

@@ -5,6 +5,7 @@
 //! lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
 //!              [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
 //!              [--fault-seed N] [--fault-rate F] [--state <dir>]
+//!              [--trace-out <file>] [--metrics-out <file>]
 //! lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
 //! lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
 //!              [--job-timeout-ms N] [--max-attempts N]
@@ -13,6 +14,12 @@
 //! lisa suggest --system <dir> --target <fn>
 //! lisa paths   --system <dir> --target <fn>
 //! ```
+//!
+//! Every subcommand also accepts `--verbose` (progress notes on stderr;
+//! stdout artifacts stay machine-clean). `--trace-out <file>` writes a
+//! Chrome trace-event JSON of the whole run — load it at
+//! `ui.perfetto.dev` — and `--metrics-out <file>` writes a counters +
+//! latency-histogram snapshot; both work on any subcommand.
 //!
 //! `--system` points at a directory of `.sir` modules (tests included,
 //! discovered by prefix). `--rules` is a text file of authoring-template
@@ -82,20 +89,37 @@ const USAGE: &str = "usage:
   lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
                [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
                [--fault-seed N] [--fault-rate F] [--state <dir>]
+               [--trace-out <file>] [--metrics-out <file>]
   lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
   lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
                [--job-timeout-ms N] [--max-attempts N]
   lisa submit  --socket <path> [--op gate|ping|stats|shutdown] [--system <dir>]
                [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
   lisa suggest --system <dir> --target <fn>
-  lisa paths   --system <dir> --target <fn>";
+  lisa paths   --system <dir> --target <fn>
+flags accepted everywhere:
+  --verbose                progress notes on stderr (stdout stays machine-clean)
+  --trace-out <file>       write a Chrome trace (Perfetto-loadable) of the run
+  --metrics-out <file>     write a counters + latency-histogram JSON snapshot";
 
 fn run(args: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     let flags = parse_flags(&args[1..])?;
-    match cmd.as_str() {
+    // Telemetry is configured before any work starts: --trace-out needs
+    // full spans, --metrics-out alone needs only counters/histograms.
+    // Telemetry never feeds a verdict, so enabling it cannot change any
+    // artifact written to stdout.
+    if flags.contains_key("trace-out") {
+        lisa_telemetry::init(lisa_telemetry::TelemetryConfig::Full);
+    } else if flags.contains_key("metrics-out") {
+        lisa_telemetry::init(lisa_telemetry::TelemetryConfig::MetricsOnly);
+    }
+    if flags.contains_key("verbose") {
+        lisa_telemetry::set_verbose(true);
+    }
+    let result = match cmd.as_str() {
         "check" => cmd_check(&flags, false),
         "gate" => cmd_check(&flags, true),
         "resume" => cmd_resume(&flags),
@@ -104,7 +128,18 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         "suggest" => cmd_suggest(&flags),
         "paths" => cmd_paths(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
+    };
+    // Export on the way out even when the gate blocks — a blocked run's
+    // trace is exactly the one worth looking at.
+    if let Some(path) = flags.get("trace-out") {
+        std::fs::write(path, lisa_telemetry::chrome_trace_json())
+            .map_err(|e| format!("write {path}: {e}"))?;
     }
+    if let Some(path) = flags.get("metrics-out") {
+        std::fs::write(path, lisa_telemetry::metrics_json())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    result
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -114,6 +149,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, found {flag:?}"));
         };
+        // The one valueless flag; everything else is a --name value pair.
+        if name == "verbose" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("flag --{name} needs a value"));
         };
@@ -153,15 +193,15 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
     };
     let config = PipelineConfig { selection, ..PipelineConfig::default() };
     let json = matches!(flags.get("format").map(String::as_str), Some("json"));
-    if !json {
-        println!(
+    lisa_telemetry::note("load", || {
+        format!(
             "system `{}`: {} function(s), {} test(s), {} rule(s)",
             version.label,
             version.program.functions().count(),
             version.tests.len(),
             rules.len()
-        );
-    }
+        )
+    });
     if gate {
         let workers: usize = parse_num(flags, "workers")?.unwrap_or(4);
         let fail_mode = flags
@@ -319,12 +359,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
             default_hook(info);
         }
     }));
-    eprintln!("lisa serve: listening on {}", config.socket.display());
+    lisa_telemetry::note("serve", || format!("listening on {}", config.socket.display()));
     let stats = serve(&config)?;
-    eprintln!(
-        "lisa serve: drained — {} job(s) done, {} retried, {} dead-lettered, {} worker(s) respawned",
-        stats.jobs_done, stats.retries, stats.dead_letters, stats.respawned_workers
-    );
+    lisa_telemetry::note("serve", || {
+        format!(
+            "drained — {} job(s) done, {} retried, {} dead-lettered, {} worker(s) respawned",
+            stats.jobs_done, stats.retries, stats.dead_letters, stats.respawned_workers
+        )
+    });
     Ok(Outcome::Clean)
 }
 

@@ -191,6 +191,7 @@ pub fn enforce_with(
     options: &GateOptions,
 ) -> EnforcementReport {
     let started = Instant::now();
+    let mut gate_span = lisa_telemetry::span_with("gate.enforce", version.label.clone());
     let reports = Mutex::new(Vec::<(usize, RuleReport)>::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let total_retries = AtomicU64::new(0);
@@ -218,8 +219,15 @@ pub fn enforce_with(
                     let Some(rule) = registry.rules().get(i) else { break };
                     let past_deadline =
                         options.deadline.is_some_and(|d| started.elapsed() >= d);
-                    if past_deadline {
-                        deadline_hit.store(true, Ordering::Relaxed);
+                    if past_deadline && !deadline_hit.swap(true, Ordering::Relaxed) {
+                        lisa_telemetry::event(
+                            "gate.deadline_expired",
+                            format!(
+                                "degrading remaining rules to fixed-path sanity checks \
+                                 (from rule {})",
+                                rule.id
+                            ),
+                        );
                     }
                     let (report, retries) =
                         check_one_rule(&pipeline, version, rule, options, past_deadline);
@@ -275,6 +283,24 @@ pub fn enforce_with(
     if options.fail_mode == FailMode::Closed {
         // Engine-errored rules need a human verdict too.
         review_needed += engine_errors;
+    }
+    gate_span.arg("rules", reports.len() as u64);
+    gate_span.arg("engine_errors", engine_errors as u64);
+    gate_span.arg("degraded_rules", degraded_rules as u64);
+    gate_span.arg("retries", total_retries.load(Ordering::Relaxed));
+    gate_span.set_detail(format!("{} -> {decision}", version.label));
+    if lisa_telemetry::metrics_enabled() {
+        lisa_telemetry::counter_add("gate.runs", 1);
+        lisa_telemetry::counter_add(
+            match decision {
+                GateDecision::Pass => "gate.pass",
+                GateDecision::Block => "gate.block",
+            },
+            1,
+        );
+        lisa_telemetry::counter_add("gate.engine_errors", engine_errors as u64);
+        lisa_telemetry::counter_add("gate.degraded_rules", degraded_rules as u64);
+        lisa_telemetry::counter_add("gate.retries", total_retries.load(Ordering::Relaxed));
     }
     EnforcementReport {
         version: version.label.clone(),

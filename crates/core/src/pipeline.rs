@@ -149,6 +149,9 @@ impl Pipeline {
         degraded_mode: bool,
     ) -> RuleReport {
         let started = Instant::now();
+        let mut rule_span = lisa_telemetry::span_with("pipeline.rule", rule.id.clone());
+        rule_span.arg("degraded_mode", u64::from(degraded_mode));
+        let metrics_on = lisa_telemetry::metrics_enabled();
         let budgets = if degraded_mode {
             self.config.budgets.degraded()
         } else {
@@ -156,7 +159,9 @@ impl Pipeline {
         };
         let mut stats = PipelineStats::default();
         let program = &version.program;
+        let t_callgraph = Instant::now();
         let graph = CallGraph::build(program);
+        let t_tree = Instant::now();
         let prefix = self.config.test_prefix.clone();
         let tree = execution_tree_filtered(&graph, &rule.target, self.config.tree_limits, &|f| {
             f.starts_with(&prefix)
@@ -165,32 +170,41 @@ impl Pipeline {
 
         // Placeholder aliases, unioned across chains (constraint renaming
         // is (function, path)-keyed, so the union is chain-safe).
+        let t_aliases = Instant::now();
         let mut aliases = AliasMap::default();
-        for chain in &tree.chains {
-            aliases.merge(&chain_aliases(
-                program,
-                &graph,
-                chain,
-                rule.target.callee(),
-                &rule.placeholder_roots,
-            ));
-        }
-        // Builtin rules have no parameter aliases; globals still resolve.
-        for root in &rule.placeholder_roots {
-            if program.global(root).is_some() {
-                aliases.insert("*", root, root);
+        {
+            let _s = lisa_telemetry::span("pipeline.aliases");
+            for chain in &tree.chains {
+                aliases.merge(&chain_aliases(
+                    program,
+                    &graph,
+                    chain,
+                    rule.target.callee(),
+                    &rule.placeholder_roots,
+                ));
+            }
+            // Builtin rules have no parameter aliases; globals still resolve.
+            for root in &rule.placeholder_roots {
+                if program.global(root).is_some() {
+                    aliases.insert("*", root, root);
+                }
             }
         }
 
         // Test selection; degraded mode keeps only the best-ranked test
         // (the fixed-path sanity check).
-        let mut selected = self.select_tests(version, &tree, &graph, rule);
+        let t_select = Instant::now();
+        let mut selected = {
+            let _s = lisa_telemetry::span("pipeline.select");
+            self.select_tests(version, &tree, &graph, rule)
+        };
         if degraded_mode {
             selected.truncate(1);
         }
         stats.tests_selected = selected.len() as u64;
 
         // Concolic execution under the harness budget.
+        let t_concolic = Instant::now();
         let outcome = run_tests_budgeted(
             program,
             &selected,
@@ -206,6 +220,8 @@ impl Pipeline {
         stats.tests_executed = runs.len() as u64;
 
         // Judge every arrival; fold onto static chains.
+        let t_judge = Instant::now();
+        let judge_span = lisa_telemetry::span("pipeline.judge");
         let mut chain_reports: Vec<ChainReport> = tree
             .chains
             .iter()
@@ -293,10 +309,76 @@ impl Pipeline {
             }
         }
 
+        drop(judge_span);
         let sanity_ok = chain_reports
             .iter()
             .any(|c| matches!(c.verdict, ChainVerdict::Verified));
         stats.wall = started.elapsed();
+        if metrics_on {
+            let t_end = Instant::now();
+            lisa_telemetry::histogram_record(
+                "stage.callgraph_us",
+                t_tree.duration_since(t_callgraph).as_micros() as u64,
+            );
+            lisa_telemetry::histogram_record(
+                "stage.tree_us",
+                t_aliases.duration_since(t_tree).as_micros() as u64,
+            );
+            lisa_telemetry::histogram_record(
+                "stage.aliases_us",
+                t_select.duration_since(t_aliases).as_micros() as u64,
+            );
+            lisa_telemetry::histogram_record(
+                "stage.select_us",
+                t_concolic.duration_since(t_select).as_micros() as u64,
+            );
+            lisa_telemetry::histogram_record(
+                "stage.concolic_us",
+                t_judge.duration_since(t_concolic).as_micros() as u64,
+            );
+            lisa_telemetry::histogram_record(
+                "stage.judge_us",
+                t_end.duration_since(t_judge).as_micros() as u64,
+            );
+            lisa_telemetry::histogram_record("pipeline.rule_us", stats.wall.as_micros() as u64);
+            lisa_telemetry::counter_add("pipeline.rules_checked", 1);
+            if degraded_mode || outcome.truncated {
+                lisa_telemetry::counter_add("pipeline.rules_degraded", 1);
+            }
+            for c in &chain_reports {
+                lisa_telemetry::counter_add(
+                    match c.verdict {
+                        ChainVerdict::Verified => "verdict.verified",
+                        ChainVerdict::Violated(_) => "verdict.violated",
+                        ChainVerdict::NotCovered => "verdict.not_covered",
+                        ChainVerdict::EngineError { .. } => "verdict.engine_error",
+                    },
+                    1,
+                );
+            }
+            lisa_telemetry::counter_add(
+                "verdict.off_tree_violations",
+                off_tree_violations.len() as u64,
+            );
+        }
+        if degraded_mode {
+            lisa_telemetry::event(
+                "pipeline.degraded",
+                format!("rule {}: deadline-degraded sanity pass", rule.id),
+            );
+        } else if outcome.truncated {
+            lisa_telemetry::event(
+                "pipeline.degraded",
+                format!("rule {}: concolic wall budget truncated the test batch", rule.id),
+            );
+        }
+        rule_span.arg("static_chains", stats.static_chains);
+        rule_span.arg("tests_selected", stats.tests_selected);
+        rule_span.arg("tests_executed", stats.tests_executed);
+        rule_span.arg("target_hits", stats.target_hits);
+        rule_span.arg("solver_calls", stats.solver_calls);
+        rule_span.arg("solver_unknowns", stats.solver_unknowns);
+        rule_span.arg("interp_steps", stats.interp_steps);
         RuleReport {
             rule_id: rule.id.clone(),
             rule_description: rule.description.clone(),

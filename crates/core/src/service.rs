@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use lisa_concolic::{discover_tests, SystemVersion};
 use lisa_lang::Program;
 use lisa_oracle::{author_rule, SemanticRule};
-use lisa_store::journal::fnv1a;
+use lisa_store::journal::{fnv1a, Journal};
 use lisa_store::{IoFaults, RuleOutcome, RunStore, StoreError};
 use lisa_util::RetryPolicy;
 
@@ -270,6 +270,7 @@ pub fn gate_durable(
     durable: &DurableOptions,
 ) -> Result<DurableGateReport, StoreError> {
     let key = run_key(version, registry.rules());
+    let mut run_span = lisa_telemetry::span_with("service.durable_run", key.clone());
     let mut store = RunStore::open(&durable.state_dir, &key, durable.disk_faults.clone())?;
     let mut warnings = std::mem::take(&mut store.warnings);
     let recovered_records = store.recovered_records;
@@ -324,6 +325,16 @@ pub fn gate_durable(
     };
     store.record_run_finished(&decision.to_string());
     warnings.extend(store.warnings.iter().cloned());
+
+    run_span.arg("rules", registry.rules().len() as u64);
+    run_span.arg("reused", reused as u64);
+    run_span.arg("fresh", fresh as u64);
+    run_span.arg("recovered_records", recovered_records as u64);
+    if lisa_telemetry::metrics_enabled() {
+        lisa_telemetry::counter_add("service.verdicts_reused", reused as u64);
+        lisa_telemetry::counter_add("service.verdicts_fresh", fresh as u64);
+        lisa_telemetry::counter_add("service.durable_runs", 1);
+    }
 
     Ok(DurableGateReport {
         version: version.label.clone(),
@@ -437,6 +448,11 @@ struct Shared {
     shutdown: AtomicBool,
     jobs_done: AtomicU64,
     state_root: PathBuf,
+    /// Worker slots by pool position, read by the `stats` op. The
+    /// supervisor replaces an entry whenever it respawns that worker, so
+    /// the view always reflects the live pool — an abandoned thread's
+    /// stale slot is unreachable from here.
+    worker_slots: Mutex<Vec<Slot>>,
 }
 
 /// Holds a job's state-dir key in `busy_dirs` for the duration of one
@@ -588,6 +604,9 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
             job.chaos.clone(),
             job.attempts,
         );
+        let job_started = Instant::now();
+        let mut job_span = lisa_telemetry::span_with("serve.job", id.clone());
+        job_span.arg("attempt", attempts as u64);
         // Park the job (with its response stream) in the slot FIRST: from
         // here on, a panic or stall loses nothing — the supervisor
         // recovers the job from the slot.
@@ -637,6 +656,80 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
         };
         respond(&mut job.stream, &line);
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+        job_span.arg("failed", u64::from(result.is_err()));
+        if lisa_telemetry::metrics_enabled() {
+            lisa_telemetry::histogram_record(
+                "serve.job_us",
+                job_started.elapsed().as_micros() as u64,
+            );
+            lisa_telemetry::counter_add("serve.jobs_done", 1);
+            if result.is_err() {
+                lisa_telemetry::counter_add("serve.jobs_failed", 1);
+            }
+        }
+    }
+}
+
+/// How often the daemon journals a metrics snapshot while running.
+const METRICS_SNAPSHOT_INTERVAL: Duration = Duration::from_secs(2);
+
+/// Open the daemon's persisted-metrics journal under the state root and
+/// restore the last snapshot into the live telemetry registry, so
+/// cumulative `stats` counters and timings survive a restart. The journal
+/// holds one snapshot record, rewritten in place (reset + append); a
+/// crash between the two loses at most one snapshot interval.
+fn open_metrics_journal(state_root: &Path) -> Option<Journal> {
+    let path = state_root.join("metrics.journal");
+    match Journal::open(&path, None) {
+        Ok((journal, report)) => {
+            if let Some(last) = report.records.last() {
+                restore_metrics(last);
+            }
+            Some(journal)
+        }
+        Err(e) => {
+            lisa_telemetry::note("serve", || format!("metrics journal unavailable: {e}"));
+            None
+        }
+    }
+}
+
+/// Replay one persisted metrics snapshot (the `metrics_json` format) into
+/// the live registry. Malformed snapshots are ignored — restoring metrics
+/// is never worth failing the daemon over.
+fn restore_metrics(bytes: &[u8]) {
+    let Ok(text) = std::str::from_utf8(bytes) else { return };
+    let Ok(snap) = Json::parse(text) else { return };
+    if let Some(Json::Obj(counters)) = snap.get("counters") {
+        for (name, value) in counters {
+            if let Some(v) = value.as_u64() {
+                lisa_telemetry::counter_add(name, v);
+            }
+        }
+    }
+    if let Some(Json::Obj(histograms)) = snap.get("histograms") {
+        for (name, h) in histograms {
+            let Some(Json::Arr(buckets)) = h.get("buckets") else { continue };
+            let mut restored = lisa_telemetry::Histogram::new();
+            for (i, b) in buckets.iter().take(restored.buckets.len()).enumerate() {
+                restored.buckets[i] = b.as_u64().unwrap_or(0);
+            }
+            restored.count = h.u64_of("count").unwrap_or(0);
+            restored.sum = h.u64_of("sum").unwrap_or(0);
+            lisa_telemetry::histogram_merge(name, &restored);
+        }
+    }
+}
+
+/// Journal the current metrics snapshot, replacing the previous one. On
+/// any I/O failure the journal is dropped for the rest of the run —
+/// best-effort persistence must not wedge the supervisor.
+fn snapshot_metrics(journal: &mut Option<Journal>) {
+    let Some(j) = journal else { return };
+    let payload = lisa_telemetry::metrics_json();
+    if j.reset().is_err() || j.append(payload.as_bytes()).is_err() {
+        lisa_telemetry::note("serve", || "metrics snapshot failed; persistence disabled".into());
+        *journal = None;
     }
 }
 
@@ -657,15 +750,26 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
     std::fs::create_dir_all(&config.state_root)
         .map_err(|e| format!("mkdir {}: {e}", config.state_root.display()))?;
 
+    // The daemon always collects metrics: the `stats` op and the
+    // journaled snapshots depend on them. Spans stay off unless the
+    // caller opted into them — an unbounded span registry would leak in
+    // a long-running process.
+    if lisa_telemetry::config() == lisa_telemetry::TelemetryConfig::Off {
+        lisa_telemetry::init(lisa_telemetry::TelemetryConfig::MetricsOnly);
+    }
+    let mut metrics_journal = open_metrics_journal(&config.state_root);
+    let mut last_snapshot = Instant::now();
+
     let shared = Arc::new(Shared {
         queue: Mutex::new(QueueState { jobs: VecDeque::new(), busy_dirs: HashSet::new() }),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         jobs_done: AtomicU64::new(0),
         state_root: config.state_root.clone(),
+        worker_slots: Mutex::new(Vec::new()),
     });
     let workers = config.workers.max(1);
-    let mut pool: Vec<Worker> = (0..workers).map(|_| spawn_worker(&shared)).collect();
+    let mut pool: Vec<Worker> = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
 
     let mut stats = ServeStats::default();
     let mut pending_retries: Vec<(Job, Instant)> = Vec::new();
@@ -686,14 +790,14 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
                 ),
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) => {
-                    eprintln!("lisa serve: accept failed: {e}");
+                    lisa_telemetry::note("serve", || format!("accept failed: {e}"));
                     break;
                 }
             }
         }
 
         // 2. Reap panicked workers, abandon stalled ones; recover jobs.
-        for worker in pool.iter_mut() {
+        for (widx, worker) in pool.iter_mut().enumerate() {
             let panicked = worker.handle.as_ref().is_some_and(|h| h.is_finished())
                 && !shared.shutdown.load(Ordering::SeqCst);
             let stalled = worker
@@ -739,8 +843,16 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
             // slot Arc, so its eventual `take()` sees only `None` — it
             // can never grab a job the replacement parked, nor answer one
             // job's client with another job's verdict.
-            *worker = spawn_worker(&shared);
+            *worker = spawn_worker(&shared, widx);
             stats.respawned_workers += 1;
+            lisa_telemetry::counter_add("serve.respawned_workers", 1);
+            lisa_telemetry::event(
+                "serve.worker_respawned",
+                format!(
+                    "worker {widx} {}",
+                    if stalled { "stalled; abandoned" } else { "panicked; reaped" }
+                ),
+            );
         }
 
         // 3. Requeue retries that are due.
@@ -756,7 +868,14 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
             }
         }
 
-        // 4. Drain: queue empty, no in-flight jobs, no pending retries.
+        // 4. Periodically journal a metrics snapshot so cumulative stats
+        // survive a daemon restart.
+        if last_snapshot.elapsed() >= METRICS_SNAPSHOT_INTERVAL {
+            snapshot_metrics(&mut metrics_journal);
+            last_snapshot = Instant::now();
+        }
+
+        // 5. Drain: queue empty, no in-flight jobs, no pending retries.
         if draining {
             let queue_empty =
                 shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.is_empty();
@@ -779,12 +898,20 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         }
     }
     stats.jobs_done = shared.jobs_done.load(Ordering::Relaxed);
+    snapshot_metrics(&mut metrics_journal);
     let _ = std::fs::remove_file(&config.socket);
     Ok(stats)
 }
 
-fn spawn_worker(shared: &Arc<Shared>) -> Worker {
+fn spawn_worker(shared: &Arc<Shared>, index: usize) -> Worker {
     let slot: Slot = Arc::new(Mutex::new(None));
+    {
+        let mut slots = shared.worker_slots.lock().unwrap_or_else(|p| p.into_inner());
+        if index >= slots.len() {
+            slots.resize_with(index + 1, || Arc::new(Mutex::new(None)));
+        }
+        slots[index] = Arc::clone(&slot);
+    }
     let cancel = Arc::new(AtomicBool::new(false));
     let handle = {
         let shared = Arc::clone(shared);
@@ -793,6 +920,78 @@ fn spawn_worker(shared: &Arc<Shared>) -> Worker {
         std::thread::spawn(move || worker_loop(shared, slot, cancel))
     };
     Worker { handle: Some(handle), slot, cancel }
+}
+
+/// Timing histograms surfaced (as p50/p95 summaries) in the `stats`
+/// reply. Everything else is still in the full `counters` object.
+const STATS_TIMINGS: [&str; 8] = [
+    "serve.job_us",
+    "pipeline.rule_us",
+    "stage.callgraph_us",
+    "stage.tree_us",
+    "stage.select_us",
+    "stage.concolic_us",
+    "stage.judge_us",
+    "smt.query_us",
+];
+
+/// Build the one-line `stats` reply: queue depth, per-worker states,
+/// cumulative telemetry counters (restored across restarts via the
+/// metrics journal), and per-stage timing summaries.
+fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
+    let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.len();
+    let mut workers = String::from("[");
+    {
+        let slots = shared.worker_slots.lock().unwrap_or_else(|p| p.into_inner());
+        for (i, slot) in slots.iter().enumerate() {
+            if i > 0 {
+                workers.push(',');
+            }
+            match slot.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
+                Some((job, beat)) => workers.push_str(&format!(
+                    "{{\"worker\":{i},\"state\":\"busy\",\"job_id\":\"{}\",\"attempt\":{},\"since_heartbeat_ms\":{}}}",
+                    escape(&job.id),
+                    job.attempts,
+                    beat.elapsed().as_millis(),
+                )),
+                None => workers.push_str(&format!("{{\"worker\":{i},\"state\":\"idle\"}}")),
+            }
+        }
+    }
+    workers.push(']');
+    let mut counters = String::from("{");
+    for (i, (name, value)) in lisa_telemetry::counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        counters.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    counters.push('}');
+    let mut timings = String::from("{");
+    let hists = lisa_telemetry::histograms_snapshot();
+    let mut first = true;
+    for name in STATS_TIMINGS {
+        let Some(h) = hists.get(name) else { continue };
+        if !first {
+            timings.push(',');
+        }
+        first = false;
+        timings.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{}}}",
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.95),
+        ));
+    }
+    timings.push('}');
+    format!(
+        "{{\"status\":\"ok\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"queued\":{queued},\"workers\":{workers},\"counters\":{counters},\"timings\":{timings}}}",
+        shared.jobs_done.load(Ordering::Relaxed),
+        stats.retries,
+        stats.dead_letters,
+        stats.respawned_workers,
+        stats.rejected_overload,
+    )
 }
 
 /// Read one NDJSON request from a fresh connection and dispatch it.
@@ -828,16 +1027,7 @@ fn handle_connection(
     match request.str_of("op").unwrap_or("gate") {
         "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
         "stats" => {
-            let line = format!(
-                "{{\"status\":\"ok\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"queued\":{}}}",
-                shared.jobs_done.load(Ordering::Relaxed),
-                stats.retries,
-                stats.dead_letters,
-                stats.respawned_workers,
-                stats.rejected_overload,
-                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.len(),
-            );
-            respond(&mut stream, &line);
+            respond(&mut stream, &stats_response(shared, stats));
         }
         "shutdown" => {
             *draining = true;

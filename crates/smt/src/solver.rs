@@ -44,6 +44,12 @@ pub struct SolverStats {
     pub sat_decisions: u64,
     pub sat_conflicts: u64,
     pub sat_propagations: u64,
+    pub sat_restarts: u64,
+    pub sat_learned: u64,
+    /// Tseitin clause count of the query (0 if preprocessing decided it).
+    pub cnf_clauses: u64,
+    /// Variable count of the CNF encoding.
+    pub cnf_vars: u64,
 }
 
 /// The solver. Stateless between `check` calls; construct once and reuse,
@@ -79,7 +85,50 @@ impl Solver {
 
     /// Decide satisfiability of `term` modulo the equality + difference
     /// theory.
+    ///
+    /// Per-query introspection (conflicts, decisions, propagations,
+    /// restarts, CNF size, outcome) is published through `lisa-telemetry`
+    /// when collection is on; the verdict itself never depends on it.
     pub fn check(&mut self, term: &Term) -> SatResult {
+        if !lisa_telemetry::metrics_enabled() && !lisa_telemetry::spans_enabled() {
+            return self.check_inner(term);
+        }
+        let mut span = lisa_telemetry::span("smt.check");
+        let start = std::time::Instant::now();
+        let result = self.check_inner(term);
+        let outcome = match &result {
+            SatResult::Sat(_) => "sat",
+            SatResult::Unsat => "unsat",
+            SatResult::Unknown { .. } => "unknown",
+        };
+        lisa_telemetry::counter_add("smt.queries", 1);
+        lisa_telemetry::counter_add(
+            match &result {
+                SatResult::Sat(_) => "smt.outcome.sat",
+                SatResult::Unsat => "smt.outcome.unsat",
+                SatResult::Unknown { .. } => "smt.outcome.unknown",
+            },
+            1,
+        );
+        lisa_telemetry::counter_add("smt.conflicts", self.stats.sat_conflicts);
+        lisa_telemetry::counter_add("smt.decisions", self.stats.sat_decisions);
+        lisa_telemetry::counter_add("smt.propagations", self.stats.sat_propagations);
+        lisa_telemetry::counter_add("smt.restarts", self.stats.sat_restarts);
+        lisa_telemetry::counter_add("smt.clauses", self.stats.cnf_clauses);
+        lisa_telemetry::histogram_record("smt.query_us", start.elapsed().as_micros() as u64);
+        span.set_detail(outcome);
+        span.arg("rounds", self.stats.theory_rounds);
+        span.arg("conflicts", self.stats.sat_conflicts);
+        span.arg("decisions", self.stats.sat_decisions);
+        span.arg("propagations", self.stats.sat_propagations);
+        span.arg("restarts", self.stats.sat_restarts);
+        span.arg("learned", self.stats.sat_learned);
+        span.arg("clauses", self.stats.cnf_clauses);
+        span.arg("vars", self.stats.cnf_vars);
+        result
+    }
+
+    fn check_inner(&mut self, term: &Term) -> SatResult {
         self.stats = SolverStats::default();
         let pre = preprocess(term);
         match &pre {
@@ -96,6 +145,8 @@ impl Solver {
         if cnf.assert_term(&pre).is_err() {
             return SatResult::Unsat;
         }
+        self.stats.cnf_clauses = cnf.clauses.len() as u64;
+        self.stats.cnf_vars = cnf.num_vars() as u64;
         let mut sat = SatSolver::new(cnf.num_vars());
         sat.max_conflicts = self.max_conflicts;
         sat.max_decisions = self.max_decisions;
@@ -210,6 +261,8 @@ impl Solver {
         self.stats.sat_decisions = sat.stats.decisions;
         self.stats.sat_conflicts = sat.stats.conflicts;
         self.stats.sat_propagations = sat.stats.propagations;
+        self.stats.sat_restarts = sat.stats.restarts;
+        self.stats.sat_learned = sat.stats.learned_clauses;
     }
 }
 

@@ -170,6 +170,10 @@ impl Journal {
         faults: Option<Arc<dyn IoFaults>>,
     ) -> io::Result<(Journal, OpenReport)> {
         let path = path.into();
+        let mut span = lisa_telemetry::span_with(
+            "store.recover",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string(),
+        );
         let mut bytes = Vec::new();
         match File::open(&path) {
             Ok(mut f) => {
@@ -207,6 +211,18 @@ impl Journal {
         }
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         let good_end = file.seek(SeekFrom::End(0))?;
+        span.arg("records", scanned.records.len() as u64);
+        span.arg("quarantined", quarantined as u64);
+        span.arg("torn_bytes", scanned.torn_bytes as u64);
+        span.arg("compacted", u64::from(damaged));
+        if lisa_telemetry::metrics_enabled() {
+            lisa_telemetry::counter_add("store.recovered_records", scanned.records.len() as u64);
+            lisa_telemetry::counter_add("store.quarantined_records", quarantined as u64);
+            lisa_telemetry::counter_add("store.torn_bytes_truncated", scanned.torn_bytes as u64);
+            if damaged {
+                lisa_telemetry::counter_add("store.compactions", 1);
+            }
+        }
         let journal = Journal { path, file, good_end, faults };
         Ok((
             journal,
@@ -226,6 +242,24 @@ impl Journal {
     /// tries to restore itself to the last good frame boundary; if even
     /// that fails, the torn tail is repaired on the next open.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if !lisa_telemetry::metrics_enabled() {
+            return self.append_inner(payload);
+        }
+        let start = std::time::Instant::now();
+        let result = self.append_inner(payload);
+        lisa_telemetry::counter_add("store.appends", 1);
+        lisa_telemetry::histogram_record("store.append_us", start.elapsed().as_micros() as u64);
+        match &result {
+            Ok(()) => lisa_telemetry::counter_add(
+                "store.bytes_appended",
+                (FRAME_HEADER + payload.len()) as u64,
+            ),
+            Err(_) => lisa_telemetry::counter_add("store.append_failures", 1),
+        }
+        result
+    }
+
+    fn append_inner(&mut self, payload: &[u8]) -> io::Result<()> {
         let frame = frame(payload);
         if let Some(inj) = &self.faults {
             match inj.on_append(frame.len()) {
@@ -260,7 +294,17 @@ impl Journal {
                 return Err(io::Error::other("fsync failed (injected)"));
             }
         }
-        self.file.sync_data()?;
+        if lisa_telemetry::metrics_enabled() {
+            let sync_start = std::time::Instant::now();
+            self.file.sync_data()?;
+            lisa_telemetry::counter_add("store.fsyncs", 1);
+            lisa_telemetry::histogram_record(
+                "store.fsync_us",
+                sync_start.elapsed().as_micros() as u64,
+            );
+        } else {
+            self.file.sync_data()?;
+        }
         self.good_end += frame.len() as u64;
         Ok(())
     }
@@ -295,7 +339,23 @@ impl Journal {
 /// write-temp + fsync + rename, so readers observe either the old
 /// snapshot or the new one, never a partial write.
 pub fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
-    write_bytes_atomic(path, &frame(payload))
+    let mut span = lisa_telemetry::span_with(
+        "store.snapshot",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string(),
+    );
+    span.arg("bytes", payload.len() as u64);
+    if lisa_telemetry::metrics_enabled() {
+        let start = std::time::Instant::now();
+        let result = write_bytes_atomic(path, &frame(payload));
+        lisa_telemetry::counter_add("store.snapshots", 1);
+        lisa_telemetry::histogram_record(
+            "store.snapshot_us",
+            start.elapsed().as_micros() as u64,
+        );
+        result
+    } else {
+        write_bytes_atomic(path, &frame(payload))
+    }
 }
 
 fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {

@@ -1,0 +1,222 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable), NDJSON event
+//! stream, and a metrics snapshot JSON.
+//!
+//! All output is hand-serialized (the workspace is std-only); strings go
+//! through a conservative escaper and every number is an integer, so the
+//! output parses under strict JSON readers including `core::json`.
+
+use crate::metrics::{counters_snapshot, histograms_snapshot};
+use crate::span::{self, SpanRecord};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_args_json(s: &SpanRecord, self_us: u64) -> String {
+    let mut args = String::new();
+    let _ = write!(args, "{{\"id\":{},\"parent\":{},\"self_us\":{}", s.id, s.parent, self_us);
+    if !s.detail.is_empty() {
+        let _ = write!(args, ",\"detail\":\"{}\"", escape(&s.detail));
+    }
+    for (k, v) in &s.args {
+        let _ = write!(args, ",\"{}\":{}", escape(k), v);
+    }
+    args.push('}');
+    args
+}
+
+/// A Chrome trace-event file: `{"traceEvents":[...]}` with complete (`"X"`)
+/// events for spans and instant (`"i"`) events for point events. Load it at
+/// `ui.perfetto.dev` or `chrome://tracing`.
+pub fn chrome_trace_json() -> String {
+    let (spans, events) = span::snapshot();
+    let selfs = span::self_times(&spans);
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let self_us = selfs.get(&s.id).copied().unwrap_or(s.dur_us);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"lisa\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{}}}",
+            escape(s.name),
+            s.tid,
+            s.start_us,
+            s.dur_us,
+            span_args_json(s, self_us),
+        );
+    }
+    for e in &events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"lisa\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"parent\":{},\"detail\":\"{}\"}}}}",
+            escape(e.name),
+            e.tid,
+            e.ts_us,
+            e.parent,
+            escape(&e.detail),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One JSON object per line: every span (`"type":"span"`) and event
+/// (`"type":"event"`) in start-time order.
+pub fn ndjson() -> String {
+    let (spans, events) = span::snapshot();
+    let selfs = span::self_times(&spans);
+    let mut out = String::new();
+    for s in &spans {
+        let self_us = selfs.get(&s.id).copied().unwrap_or(s.dur_us);
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"tid\":{},\"ts_us\":{},\"dur_us\":{},\"args\":{}}}",
+            escape(s.name),
+            s.tid,
+            s.start_us,
+            s.dur_us,
+            span_args_json(s, self_us),
+        );
+    }
+    for e in &events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"name\":\"{}\",\"tid\":{},\"ts_us\":{},\"parent\":{},\"detail\":\"{}\"}}",
+            escape(e.name),
+            e.tid,
+            e.ts_us,
+            e.parent,
+            escape(&e.detail),
+        );
+    }
+    out
+}
+
+fn histogram_json(h: &crate::Histogram) -> String {
+    let mut buckets = String::from("[");
+    // Emit up to the last nonempty bucket to keep snapshots compact while
+    // staying restorable (missing tail buckets are zero).
+    let last = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+    for (i, &n) in h.buckets[..last].iter().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        let _ = write!(buckets, "{n}");
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"buckets\":{}}}",
+        h.count,
+        h.sum,
+        h.percentile(0.50),
+        h.percentile(0.95),
+        buckets,
+    )
+}
+
+/// Snapshot of all counters and histograms:
+/// `{"counters":{..},"histograms":{name:{count,sum,p50,p95,buckets}}}`.
+pub fn metrics_json() -> String {
+    let counters = counters_snapshot();
+    let histograms = histograms_snapshot();
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (k, v) in &counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", escape(k), v);
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (k, h) in &histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", escape(k), histogram_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryConfig;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn exporters_round_trip_collected_data() {
+        let _guard = crate::test_lock();
+        crate::init(TelemetryConfig::Full);
+        crate::reset();
+        {
+            let mut s = crate::span_with("export.root", "det\"ail");
+            s.arg("n", 42);
+            crate::event("export.evt", "note");
+        }
+        crate::counter_add("export.counter", 7);
+        crate::histogram_record("export.hist", 1000);
+
+        let trace = chrome_trace_json();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"export.root\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("det\\\"ail"));
+        assert!(trace.contains("\"n\":42"));
+
+        let nd = ndjson();
+        assert!(nd.lines().count() >= 2);
+        assert!(nd.contains("\"type\":\"span\""));
+        assert!(nd.contains("\"type\":\"event\""));
+
+        let metrics = metrics_json();
+        assert!(metrics.contains("\"export.counter\":7"));
+        assert!(metrics.contains("\"export.hist\""));
+        assert!(metrics.contains("\"count\":1"));
+        crate::init(TelemetryConfig::Off);
+    }
+
+    #[test]
+    fn empty_registry_exports_valid_shells() {
+        let _guard = crate::test_lock();
+        crate::init(TelemetryConfig::Off);
+        crate::reset();
+        assert_eq!(chrome_trace_json(), "{\"traceEvents\":[]}");
+        assert_eq!(ndjson(), "");
+        assert_eq!(metrics_json(), "{\"counters\":{},\"histograms\":{}}");
+    }
+}

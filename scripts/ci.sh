@@ -15,3 +15,10 @@ cargo test -q -p lisa --test e2e_recovery
 # E11 smoke: the durability invariant end to end (asserts internally).
 cargo run -q --release -p lisa-experiments --bin e11_recovery > /dev/null
 echo "e11 recovery smoke: ok"
+
+# Telemetry smoke: `lisa gate --trace-out/--metrics-out` on the ZooKeeper
+# corpus emits valid trace/metrics JSON (validated via core::json, with
+# the expected top-level spans and live solver counters) and telemetry
+# never perturbs the verdict artifact.
+cargo test -q -p lisa --test e2e_telemetry
+echo "telemetry smoke: ok"

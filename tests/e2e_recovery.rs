@@ -403,3 +403,128 @@ fn serve_daemon_recovers_stalled_workers() {
     let status = daemon.child.wait().expect("daemon exit");
     assert_eq!(status.code(), Some(0));
 }
+
+#[test]
+fn serve_replies_structured_error_to_malformed_request() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    let fx = CliFixture::new("badjson");
+    let mut daemon = Daemon::start(&fx);
+
+    // Raw garbage on the wire: the daemon must answer with a structured
+    // error object — never drop the connection, never die.
+    let mut stream = UnixStream::connect(&daemon.socket).expect("connect");
+    stream.write_all(b"this is not json\n").expect("write");
+    stream.flush().expect("flush");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("read reply");
+    let parsed = lisa::Json::parse(reply.trim()).expect("reply is valid JSON");
+    assert_eq!(parsed.str_of("status"), Some("bad-request"), "{reply}");
+    assert!(parsed.str_of("error").is_some(), "{reply}");
+    assert_eq!(parsed.u64_of("exit"), Some(2), "{reply}");
+
+    // Truncated JSON, an unknown op, and a gate without its required
+    // fields get the same structured treatment.
+    for bad in ["{\"op\":\"gate\",", "{\"op\":\"no-such-op\"}", "{\"op\":\"gate\"}"] {
+        let mut stream = UnixStream::connect(&daemon.socket).expect("connect");
+        stream.write_all(bad.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("newline");
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).expect("read reply");
+        let parsed = lisa::Json::parse(reply.trim())
+            .unwrap_or_else(|e| panic!("{bad}: reply not JSON ({e}): {reply}"));
+        assert_eq!(parsed.str_of("status"), Some("bad-request"), "{bad} -> {reply}");
+    }
+
+    // The daemon is unharmed: ping still answers, drain still clean.
+    let (code, out) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "ping"]);
+    assert_eq!(code, 0, "{out}");
+    let (code, _) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "shutdown"]);
+    assert_eq!(code, 0);
+    let status = daemon.child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn serve_stats_reports_queue_workers_and_counters() {
+    let fx = CliFixture::new("stats");
+    let mut daemon = Daemon::start(&fx);
+    let sys = fx.path("sys");
+    let lax = fx.path("lax.txt");
+
+    // Settle one clean job so cumulative counters are nonzero.
+    let (code, out) = fx.run(&[
+        "submit", "--socket", &daemon.socket, "--system", &sys, "--rules", &lax,
+        "--job-id", "one",
+    ]);
+    assert_eq!(code, 0, "{out}");
+
+    let (code, out) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "stats"]);
+    assert_eq!(code, 0, "{out}");
+    let line = out.lines().find(|l| l.trim_start().starts_with('{')).expect("stats line");
+    let parsed = lisa::Json::parse(line.trim()).expect("stats is valid JSON");
+    assert_eq!(parsed.u64_of("jobs_done"), Some(1), "{out}");
+    assert_eq!(parsed.u64_of("queued"), Some(0), "{out}");
+
+    // Worker states: the whole pool is visible and idle after the job.
+    let Some(lisa::Json::Arr(workers)) = parsed.get("workers") else {
+        panic!("workers array missing: {out}")
+    };
+    assert_eq!(workers.len(), 2, "{out}");
+    assert!(workers.iter().all(|w| w.str_of("state") == Some("idle")), "{out}");
+
+    // Cumulative per-stage counters flowed up from the pipeline layers.
+    let counters = parsed.get("counters").expect("counters object");
+    assert_eq!(counters.u64_of("serve.jobs_done"), Some(1), "{out}");
+    assert!(counters.u64_of("pipeline.rules_checked").unwrap_or(0) >= 1, "{out}");
+    assert!(counters.u64_of("smt.queries").unwrap_or(0) >= 1, "{out}");
+    assert!(counters.u64_of("store.appends").unwrap_or(0) >= 1, "{out}");
+
+    // Timing summaries carry per-job latency.
+    let timings = parsed.get("timings").expect("timings object");
+    let job_us = timings.get("serve.job_us").expect("serve.job_us summary");
+    assert!(job_us.u64_of("count").unwrap_or(0) >= 1, "{out}");
+
+    let (code, _) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "shutdown"]);
+    assert_eq!(code, 0);
+    let status = daemon.child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn serve_metrics_snapshots_survive_restart() {
+    let fx = CliFixture::new("metrics-persist");
+    let sys = fx.path("sys");
+    let lax = fx.path("lax.txt");
+
+    let mut daemon = Daemon::start(&fx);
+    let (code, out) = fx.run(&[
+        "submit", "--socket", &daemon.socket, "--system", &sys, "--rules", &lax,
+        "--job-id", "m1",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let (code, _) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "shutdown"]);
+    assert_eq!(code, 0);
+    let status = daemon.child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0), "first daemon drains cleanly");
+
+    // Restart over the same state root: the journaled metrics snapshot is
+    // restored, so cumulative counters survive even though this process
+    // has settled no jobs yet.
+    let mut daemon = Daemon::start(&fx);
+    let (code, out) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "stats"]);
+    assert_eq!(code, 0, "{out}");
+    let line = out.lines().find(|l| l.trim_start().starts_with('{')).expect("stats line");
+    let parsed = lisa::Json::parse(line.trim()).expect("stats is valid JSON");
+    assert_eq!(parsed.u64_of("jobs_done"), Some(0), "fresh process, no jobs yet: {out}");
+    let counters = parsed.get("counters").expect("counters object");
+    assert!(
+        counters.u64_of("serve.jobs_done").unwrap_or(0) >= 1,
+        "cumulative counters restored from the metrics journal: {out}"
+    );
+
+    let (code, _) = fx.run(&["submit", "--socket", &daemon.socket, "--op", "shutdown"]);
+    assert_eq!(code, 0);
+    let status = daemon.child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+}
