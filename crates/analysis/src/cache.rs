@@ -1,0 +1,194 @@
+//! Memoized static-analysis artifacts, shared across rules and versions.
+//!
+//! One gate run checks many rules against the same program, and
+//! successive versions usually share most of their code — yet the call
+//! graph and each target's execution tree are pure functions of (program,
+//! target, limits). The cache keys them by the program's content-hash
+//! fingerprint (see `lisa_lang::fingerprint`), so entries from a previous
+//! version are reused verbatim when the source is unchanged and are
+//! simply never looked up (no invalidation protocol needed) when it is
+//! not.
+//!
+//! Artifacts are returned as `Arc` clones: rules running on parallel
+//! workers share one materialized graph/tree instead of cloning it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::callgraph::CallGraph;
+use crate::target::TargetSpec;
+use crate::tree::{ExecutionTree, TreeLimits};
+
+/// Thread-safe cache of call graphs and execution trees. Cheap to share
+/// behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    graphs: Mutex<HashMap<u64, Arc<CallGraph>>>,
+    trees: Mutex<HashMap<TreeKey, Arc<ExecutionTree>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// (program fingerprint, rendered target, limits, exclude-prefix).
+type TreeKey = (u64, String, usize, usize, String);
+
+impl AnalysisCache {
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// The call graph for the program fingerprinted `fp`, building it
+    /// with `build` on first use.
+    pub fn callgraph(&self, fp: u64, build: impl FnOnce() -> CallGraph) -> Arc<CallGraph> {
+        {
+            let graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(g) = graphs.get(&fp) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(g);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(graphs.entry(fp).or_insert(built))
+    }
+
+    /// The execution tree for `target` under `limits` with test functions
+    /// excluded by `test_prefix`, in the program fingerprinted `fp`.
+    pub fn tree(
+        &self,
+        fp: u64,
+        target: &TargetSpec,
+        limits: TreeLimits,
+        test_prefix: &str,
+        build: impl FnOnce() -> ExecutionTree,
+    ) -> Arc<ExecutionTree> {
+        let key: TreeKey =
+            (fp, target.to_string(), limits.max_chains, limits.max_depth, test_prefix.to_string());
+        {
+            let trees = self.trees.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = trees.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(t);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut trees = self.trees.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(trees.entry(key).or_insert(built))
+    }
+
+    /// Drop every entry whose program fingerprint is not in `keep`. A
+    /// gate run calls this after switching versions so only the current
+    /// (and journaled previous) version's artifacts stay resident.
+    pub fn retain_versions(&self, keep: &[u64]) {
+        let mut graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
+        graphs.retain(|fp, _| keep.contains(fp));
+        let mut trees = self.trees.lock().unwrap_or_else(|e| e.into_inner());
+        trees.retain(|(fp, ..), _| keep.contains(fp));
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Live entry count across both maps (for tests and introspection).
+    pub fn len(&self) -> usize {
+        let g = self.graphs.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let t = self.trees.lock().unwrap_or_else(|e| e.into_inner()).len();
+        g + t
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::execution_tree_filtered;
+    use lisa_lang::Program;
+
+    fn program() -> Program {
+        Program::parse_single(
+            "demo",
+            "struct S { ok: bool }\n\
+             fn act(s: S) {}\n\
+             fn path_a(s: S) { act(s); }\n\
+             fn test_drive(s: S) { path_a(s); }",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn callgraph_is_built_once_per_fingerprint() {
+        let p = program();
+        let cache = AnalysisCache::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let g = cache.callgraph(1, || {
+                builds += 1;
+                CallGraph::build(&p)
+            });
+            assert!(g.functions().iter().any(|f| f == "act"));
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        // A different fingerprint is a different program: rebuild.
+        cache.callgraph(2, || CallGraph::build(&p));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn tree_key_includes_target_limits_and_prefix() {
+        let p = program();
+        let graph = CallGraph::build(&p);
+        let cache = AnalysisCache::new();
+        let target = TargetSpec::Call { callee: "act".into() };
+        let build = |limits: TreeLimits, prefix: &str| {
+            let prefix = prefix.to_string();
+            execution_tree_filtered(&graph, &target, limits, &move |f| f.starts_with(&prefix))
+        };
+        let t1 = cache.tree(1, &target, TreeLimits::default(), "test_", || {
+            build(TreeLimits::default(), "test_")
+        });
+        assert_eq!(t1.chains[0].render(&graph), "path_a [act]", "test_drive excluded");
+        // Same key hits.
+        cache.tree(1, &target, TreeLimits::default(), "test_", || unreachable!());
+        assert_eq!(cache.hits(), 1);
+        // Different prefix, limits, or fingerprint miss.
+        let t2 = cache.tree(1, &target, TreeLimits::default(), "nope_", || {
+            build(TreeLimits::default(), "nope_")
+        });
+        assert_eq!(t2.chains[0].render(&graph), "test_drive -> path_a [act]");
+        let tight = TreeLimits { max_chains: 1, max_depth: 2 };
+        cache.tree(1, &target, tight, "test_", || build(tight, "test_"));
+        cache.tree(9, &target, TreeLimits::default(), "test_", || {
+            build(TreeLimits::default(), "test_")
+        });
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn retain_versions_drops_stale_fingerprints() {
+        let p = program();
+        let cache = AnalysisCache::new();
+        cache.callgraph(1, || CallGraph::build(&p));
+        cache.callgraph(2, || CallGraph::build(&p));
+        let target = TargetSpec::Call { callee: "act".into() };
+        let graph = CallGraph::build(&p);
+        cache.tree(1, &target, TreeLimits::default(), "test_", || {
+            execution_tree_filtered(&graph, &target, TreeLimits::default(), &|_| false)
+        });
+        assert_eq!(cache.len(), 3);
+        cache.retain_versions(&[2]);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Repeated-version gating with the version-scoped cache: run the full
+//! gate twice against the same `SystemVersion`, once with a cold
+//! `GateCache` and once re-using the warm one, and write
+//! `BENCH_cache.json` (cold / warm wall-clock, speedup, hit counters)
+//! at the workspace root.
+//!
+//! This is the CI-loop scenario the cache exists for — the same version
+//! gated repeatedly — so the bench asserts the warm run is at least 2x
+//! faster and that its report renders byte-identically to the cold one.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use lisa::report::render_enforcement;
+use lisa::{Gate, GateCache, PipelineConfig, RuleRegistry, TestSelection};
+use lisa_corpus::{all_cases, case};
+use lisa_oracle::infer_rules;
+
+/// Timed repetitions per variant; the minimum is reported, matching the
+/// harness's use of min as the noise-resistant statistic.
+const SAMPLES: usize = 5;
+
+fn main() {
+    // One mined rule set per corpus case, gating the ZooKeeper regressed
+    // version — the same workload as the pipeline gate bench, but with
+    // `TestSelection::All` so the concolic stage dominates and the
+    // repeated-version speedup reflects real re-execution cost.
+    let zk = case("zk-ephemeral").expect("case");
+    let mut registry = RuleRegistry::new();
+    for case in all_cases() {
+        if let Ok(out) = infer_rules(case.original_ticket()) {
+            for r in out.rules {
+                registry.register(r);
+            }
+        }
+    }
+    let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
+    let version = &zk.versions.regressed;
+
+    println!("\n== cache/repeated_version_gate ==");
+
+    // Cold: a fresh cache every run, so each run pays full analysis,
+    // concolic, and solver cost (plus cache population overhead).
+    let mut cold_ms = f64::INFINITY;
+    let mut cold_render = String::new();
+    for _ in 0..SAMPLES {
+        let cache = Arc::new(GateCache::new());
+        let gate = Gate::new(&registry).config(config.clone()).workers(1).cache(&cache);
+        let t0 = Instant::now();
+        let report = gate.run(version);
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        cold_render = render_enforcement(&report);
+    }
+
+    // Warm: one shared cache, populated by a first untimed run, then the
+    // same gate repeated — the second-run-of-an-unchanged-version case.
+    let cache = Arc::new(GateCache::new());
+    let gate = Gate::new(&registry).config(config).workers(1).cache(&cache);
+    let _ = gate.run(version);
+    let (seed_hits, seed_misses) = (cache.hits(), cache.misses());
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_render = String::new();
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let report = gate.run(version);
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        warm_render = render_enforcement(&report);
+    }
+    let (hits, misses) = (cache.hits() - seed_hits, cache.misses() - seed_misses);
+
+    assert_eq!(cold_render, warm_render, "cached report must render byte-identical");
+    let speedup = cold_ms / warm_ms;
+    println!("cache/repeated_version_gate/cold    min {cold_ms:>9.2} ms/run  ({SAMPLES} samples)");
+    println!("cache/repeated_version_gate/warm    min {warm_ms:>9.2} ms/run  ({SAMPLES} samples)");
+    println!(
+        "cache/repeated_version_gate/speedup {speedup:>9.2} x  \
+         ({hits} hits, {misses} misses across warm samples)"
+    );
+    assert!(
+        speedup >= 2.0,
+        "warm repeat of an unchanged version must be at least 2x faster \
+         (cold {cold_ms:.2} ms, warm {warm_ms:.2} ms)"
+    );
+
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"bench\":\"repeated_version_gate\",\"samples\":{SAMPLES},\
+         \"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\"speedup\":{speedup:.2},\
+         \"warm_hits\":{hits},\"warm_misses\":{misses}"
+    );
+    json.push('}');
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(out, &json).expect("write BENCH_cache.json");
+    println!("\nwrote {out}");
+}

@@ -4,7 +4,7 @@
 
 use lisa_bench::harness::{bench, group};
 
-use lisa::{enforce, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{Gate, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::{all_cases, case};
 use lisa_oracle::infer_rules;
 
@@ -60,9 +60,9 @@ fn bench_gate() {
     let config =
         PipelineConfig { selection: TestSelection::Rag { k: 3 }, ..PipelineConfig::default() };
     for workers in [1usize, 4] {
+        let gate = Gate::new(&registry).config(config.clone()).workers(workers);
         bench(&format!("pipeline/gate_full_registry/{workers}"), || {
-            let report = enforce(&registry, &zk.versions.regressed, &config, workers);
-            report.decision
+            gate.run(&zk.versions.regressed).decision
         });
     }
 }

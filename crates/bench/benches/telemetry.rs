@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use lisa::{enforce, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{Gate, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::all_cases;
 use lisa_oracle::infer_rules;
 
@@ -39,7 +39,7 @@ fn main() {
         for r in out.rules {
             registry.register(r);
         }
-        let _ = enforce(&registry, &case.versions.regressed, &config, 2);
+        let _ = Gate::new(&registry).config(config.clone()).workers(2).run(&case.versions.regressed);
         gated += 1;
     }
 

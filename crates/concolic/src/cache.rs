@@ -1,0 +1,209 @@
+//! Memoized concolic trace batches.
+//!
+//! Running the test suite against a target is by far the most expensive
+//! stage of a rule check, and it is a pure function of (program, tests,
+//! target, aliases, policy, step budget). The cache keys a batch by the
+//! content fingerprints of all of those, so two rules sharing a target —
+//! or the same rule re-checked against an unchanged version — replay the
+//! recorded traces instead of re-executing.
+//!
+//! One deliberate hole: batches run under a *wall-clock* budget are never
+//! cached. Their truncation point depends on machine timing, so caching
+//! them could make a cached gate render different output than an uncached
+//! one, breaking the byte-identical transparency invariant.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lisa_analysis::{AliasMap, TargetSpec};
+use lisa_lang::Program;
+use lisa_util::Fnv1a;
+
+use crate::engine::Policy;
+use crate::harness::{run_tests_budgeted, HarnessBudget, HarnessOutcome, TestCase};
+
+/// Thread-safe cache of harness batch outcomes, shared behind an `Arc`.
+/// Outcomes are stored as `Arc<HarnessOutcome>` (trace batches can be
+/// large, and `TestRun` is not `Clone`).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    inner: Mutex<HashMap<u64, Arc<HarnessOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Batches that bypassed the cache because a wall budget was set.
+    uncacheable: AtomicU64,
+}
+
+impl TraceCache {
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    fn key(
+        program_fp: u64,
+        tests: &[TestCase],
+        target: &TargetSpec,
+        aliases: &AliasMap,
+        policy: &Policy,
+        budget: &HarnessBudget,
+    ) -> u64 {
+        let mut h = Fnv1a::new();
+        h.part_u64(program_fp);
+        for t in tests {
+            h.part(t.name.as_bytes());
+            h.part(t.entry.as_bytes());
+        }
+        h.part(target.to_string().as_bytes());
+        // AliasMap iterates in hash order, which differs between
+        // instances; sort for a content-stable key.
+        let mut entries: Vec<_> = aliases.iter().collect();
+        entries.sort();
+        for ((f, placeholder), concrete) in entries {
+            h.part(f.as_bytes());
+            h.part(placeholder.as_bytes());
+            h.part(concrete.as_bytes());
+        }
+        h.part(match policy {
+            Policy::RecordAll => b"record-all",
+            Policy::RelevantOnly => b"relevant-only",
+        });
+        h.part_u64(budget.max_steps_per_test.map_or(u64::MAX, |s| s));
+        h.finish()
+    }
+
+    /// Memoized [`run_tests_budgeted`]. `program_fp` must be the content
+    /// fingerprint of `program` (the caller already has it; recomputing
+    /// per batch would cost a full pretty-print).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_tests_budgeted(
+        &self,
+        program_fp: u64,
+        program: &Program,
+        tests: &[TestCase],
+        target: &TargetSpec,
+        aliases: &AliasMap,
+        policy: &Policy,
+        budget: &HarnessBudget,
+    ) -> Arc<HarnessOutcome> {
+        if budget.wall.is_some() {
+            // Wall-budget truncation is timing-dependent: not a pure
+            // function of the key, so never cached.
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(run_tests_budgeted(program, tests, target, aliases, policy, budget));
+        }
+        let key = Self::key(program_fp, tests, target, aliases, policy, budget);
+        {
+            let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(outcome) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(outcome);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome =
+            Arc::new(run_tests_budgeted(program, tests, target, aliases, policy, budget));
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key).or_insert(outcome))
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn uncacheable(&self) -> u64 {
+        self.uncacheable.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fixture() -> (Program, Vec<TestCase>, TargetSpec) {
+        let p = Program::parse_single(
+            "demo",
+            "struct S { ok: bool }\n\
+             fn act(s: S) {}\n\
+             fn drive(s: S) { if (s != null) { act(s); } }\n\
+             fn test_drive(s: S) { drive(s); }",
+        )
+        .expect("parse");
+        let tests = vec![TestCase::new("test_drive", "drives")];
+        (p, tests, TargetSpec::Call { callee: "act".into() })
+    }
+
+    #[test]
+    fn identical_batches_share_one_execution() {
+        let (p, tests, target) = fixture();
+        let fp = lisa_lang::fingerprint_program(&p);
+        let cache = TraceCache::new();
+        let aliases = AliasMap::default();
+        let budget = HarnessBudget::default();
+        let a = cache.run_tests_budgeted(
+            fp,
+            &p,
+            &tests,
+            &target,
+            &aliases,
+            &Policy::RelevantOnly,
+            &budget,
+        );
+        let b = cache.run_tests_budgeted(
+            fp,
+            &p,
+            &tests,
+            &target,
+            &aliases,
+            &Policy::RelevantOnly,
+            &budget,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same batch");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different policy is a different batch.
+        cache.run_tests_budgeted(
+            fp,
+            &p,
+            &tests,
+            &target,
+            &aliases,
+            &Policy::RecordAll,
+            &budget,
+        );
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn wall_budget_bypasses_the_cache() {
+        let (p, tests, target) = fixture();
+        let fp = lisa_lang::fingerprint_program(&p);
+        let cache = TraceCache::new();
+        let budget = HarnessBudget { wall: Some(Duration::from_secs(60)), ..Default::default() };
+        for _ in 0..2 {
+            cache.run_tests_budgeted(
+                fp,
+                &p,
+                &tests,
+                &target,
+                &AliasMap::default(),
+                &Policy::RelevantOnly,
+                &budget,
+            );
+        }
+        assert_eq!((cache.hits(), cache.misses(), cache.uncacheable()), (0, 0, 2));
+        assert!(cache.is_empty());
+    }
+}

@@ -35,6 +35,29 @@ impl SystemVersion {
     pub fn test_summaries(&self) -> Vec<(String, String)> {
         self.tests.iter().map(|t| (t.name.clone(), t.summary.clone())).collect()
     }
+
+    /// Content-hash fingerprint of this version: the program's canonical
+    /// form plus the test suite (name, summary, entry). The label is
+    /// deliberately excluded — two versions with identical content hash
+    /// identically no matter what they are called, which is what lets a
+    /// gate recognize an unchanged resubmission.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = lisa_util::Fnv1a::new();
+        h.part_u64(lisa_lang::fingerprint_program(&self.program));
+        for t in &self.tests {
+            h.part(t.name.as_bytes());
+            h.part(t.summary.as_bytes());
+            h.part(t.entry.as_bytes());
+        }
+        h.finish()
+    }
+
+    /// Per-function content fingerprints of the program (see
+    /// [`lisa_lang::fn_fingerprints`]); diffing two versions' maps yields
+    /// the set of dirty functions.
+    pub fn fn_fingerprints(&self) -> std::collections::BTreeMap<String, u64> {
+        lisa_lang::fn_fingerprints(&self.program)
+    }
 }
 
 /// A test case: an executable entry in the program plus the natural-

@@ -3,8 +3,10 @@
 //! ```text
 //! lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
 //! lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+//!              [--test-prefix test_] [--rag <k>]
 //!              [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
 //!              [--fault-seed N] [--fault-rate F] [--state <dir>]
+//!              [--cache on|off] [--cache-queries N]
 //!              [--trace-out <file>] [--metrics-out <file>]
 //! lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
 //! lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
@@ -37,6 +39,14 @@
 //! durable gate as a daemon behind a unix socket with a supervised
 //! worker pool; `lisa submit` is its client.
 //!
+//! Every gate-relevant flag is parsed once by [`lisa::GateConfig`], the
+//! same struct the library's `Gate` builder and the serve daemon use.
+//! `--cache on|off` (default on) controls the version-scoped analysis,
+//! trace, and SMT-query caches; caches are transparent — every stdout
+//! byte, JSON artifact, and journal entry is identical with caching off.
+//! `--cache-queries N` bounds the SMT query cache (LRU, default 4096
+//! entries; 0 disables just the query tier).
+//!
 //! Exit status: 0 = pass, 1 = violations found (gate blocks), 2 = a true
 //! engine error — usage/load failure, or (under fail-closed) a rule check
 //! the gate itself could not complete. Directly usable as a CI step.
@@ -50,9 +60,8 @@ use lisa::faults::FAULT_PANIC_PREFIX;
 use lisa::report::{render_enforcement, render_rule_report};
 use lisa::service::request;
 use lisa::{
-    enforce_with, gate_durable, load_rules, load_system, serve, DurableOptions, FailMode,
-    FaultInjector, FaultPlan, GateDecision, GateOptions, Json, Pipeline, PipelineConfig,
-    ResourceBudgets, RuleRegistry, ServeConfig, TestSelection,
+    gate_durable, load_rules, load_system, serve, DurableOptions, FailMode, Gate, GateConfig,
+    GateDecision, GateOptions, Json, Pipeline, RuleRegistry, ServeConfig,
 };
 use lisa_analysis::{execution_tree_filtered, CallGraph, TargetSpec, TreeLimits};
 use lisa_oracle::suggest_conditions;
@@ -87,8 +96,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
   lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+               [--test-prefix test_] [--rag <k>]
                [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
                [--fault-seed N] [--fault-rate F] [--state <dir>]
+               [--cache on|off] [--cache-queries N]
                [--trace-out <file>] [--metrics-out <file>]
   lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
   lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
@@ -180,18 +191,12 @@ fn parse_num<T: std::str::FromStr>(
 }
 
 fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, String> {
-    let version = load_system(
-        required(flags, "system")?,
-        flags.get("test-prefix").map(String::as_str).unwrap_or("test_"),
-    )?;
+    // Every gate-relevant flag is parsed in one place; check mode and the
+    // serve daemon consume the same struct.
+    let cfg = GateConfig::from_args(flags)?;
+    let version = load_system(required(flags, "system")?, &cfg.pipeline.test_prefix)?;
     let rules = load_rules(required(flags, "rules")?)?;
-    let selection = match flags.get("rag") {
-        Some(k) => TestSelection::Rag {
-            k: k.parse().map_err(|_| format!("--rag {k}: not a number"))?,
-        },
-        None => TestSelection::All,
-    };
-    let config = PipelineConfig { selection, ..PipelineConfig::default() };
+    let config = cfg.pipeline.clone();
     let json = matches!(flags.get("format").map(String::as_str), Some("json"));
     lisa_telemetry::note("load", || {
         format!(
@@ -203,29 +208,8 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
         )
     });
     if gate {
-        let workers: usize = parse_num(flags, "workers")?.unwrap_or(4);
-        let fail_mode = flags
-            .get("fail-mode")
-            .map(|m| m.parse::<FailMode>())
-            .transpose()?
-            .unwrap_or_default();
-        let deadline = parse_num::<u64>(flags, "deadline-ms")?.map(Duration::from_millis);
-        let max_solver_conflicts = parse_num::<u64>(flags, "max-solver-conflicts")?;
-        // Resilience drill: seed a deterministic fault plan over the
-        // loaded rules (chaos-testing the gate itself in CI).
-        let fault_seed = parse_num::<u64>(flags, "fault-seed")?;
-        let fault_rate = parse_num::<f64>(flags, "fault-rate")?.unwrap_or(1.0);
-        let faults = fault_seed.map(|seed| {
-            let ids: Vec<String> = rules.iter().map(|r| r.id.clone()).collect();
-            FaultInjector::new(FaultPlan::random(seed, fault_rate, &ids))
-        });
-        let options = GateOptions {
-            fail_mode,
-            deadline,
-            budgets: ResourceBudgets { max_solver_conflicts, ..ResourceBudgets::default() },
-            faults,
-            ..GateOptions::default()
-        };
+        let ids: Vec<String> = rules.iter().map(|r| r.id.clone()).collect();
+        let options = cfg.gate_options(&ids);
         let mut registry = RuleRegistry::new();
         for r in rules {
             registry.register(r);
@@ -233,9 +217,13 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
         // `--state <dir>`: journal the run so a crash can be resumed
         // without re-checking already-settled rules.
         if let Some(state) = flags.get("state") {
-            return run_durable(&registry, &version, &config, &options, state, json);
+            return run_durable(&registry, &version, &cfg, &options, state, json);
         }
-        let report = enforce_with(&registry, &version, &config, workers, &options);
+        let mut gate = Gate::new(&registry).config(config).workers(cfg.workers).options(options);
+        if let Some(cache) = cfg.gate_cache() {
+            gate = gate.cache(&cache);
+        }
+        let report = gate.run(&version);
         if json {
             println!("{}", lisa::json::enforcement_json(&report));
         } else {
@@ -246,7 +234,7 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
         // the block. Genuine violations stay exit 1.
         if report.reports.iter().any(|r| r.has_violation()) {
             Ok(Outcome::Violations)
-        } else if report.has_engine_errors() && fail_mode == FailMode::Closed {
+        } else if report.has_engine_errors() && cfg.fail_mode == FailMode::Closed {
             Ok(Outcome::EngineFailure)
         } else if report.decision == GateDecision::Pass {
             Ok(Outcome::Clean)
@@ -277,39 +265,33 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
 /// `gate --state <dir>`: the journal itself knows which verdicts are
 /// already settled, so "start" and "resume" are the same operation.
 fn cmd_resume(flags: &HashMap<String, String>) -> Result<Outcome, String> {
-    let version = load_system(
-        required(flags, "system")?,
-        flags.get("test-prefix").map(String::as_str).unwrap_or("test_"),
-    )?;
+    let cfg = GateConfig::from_args(flags)?;
+    let version = load_system(required(flags, "system")?, &cfg.pipeline.test_prefix)?;
     let rules = load_rules(required(flags, "rules")?)?;
     let state = required(flags, "state")?;
-    let fail_mode = flags
-        .get("fail-mode")
-        .map(|m| m.parse::<FailMode>())
-        .transpose()?
-        .unwrap_or_default();
-    let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
-    let options = GateOptions { fail_mode, ..GateOptions::default() };
+    let ids: Vec<String> = rules.iter().map(|r| r.id.clone()).collect();
+    let options = cfg.gate_options(&ids);
     let mut registry = RuleRegistry::new();
     for r in rules {
         registry.register(r);
     }
-    run_durable(&registry, &version, &config, &options, state, false)
+    run_durable(&registry, &version, &cfg, &options, state, false)
 }
 
 fn run_durable(
     registry: &RuleRegistry,
     version: &lisa_concolic::SystemVersion,
-    config: &PipelineConfig,
+    cfg: &GateConfig,
     options: &GateOptions,
     state: &str,
     json: bool,
 ) -> Result<Outcome, String> {
     let durable = DurableOptions {
         state_dir: PathBuf::from(state),
+        cache: cfg.gate_cache(),
         ..DurableOptions::default()
     };
-    let report = gate_durable(registry, version, config, options, &durable)
+    let report = gate_durable(registry, version, &cfg.pipeline, options, &durable)
         .map_err(|e| format!("durable state {state}: {e}"))?;
     if json {
         println!(
@@ -378,8 +360,11 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
         "gate" => {
             let system = required(flags, "system")?;
             let rules = required(flags, "rules")?;
+            // The protocol is versioned; the daemon rejects numbers it
+            // does not speak with a structured bad-request reply.
             let mut line = format!(
-                "{{\"op\":\"gate\",\"system\":\"{}\",\"rules\":\"{}\"",
+                "{{\"v\":{},\"op\":\"gate\",\"system\":\"{}\",\"rules\":\"{}\"",
+                lisa::service::PROTOCOL_VERSION,
                 lisa::json::escape(system),
                 lisa::json::escape(rules),
             );

@@ -19,7 +19,7 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lisa_concolic::SystemVersion;
@@ -170,25 +170,42 @@ impl EnforcementReport {
 
 /// Check every registered rule against `version`, in parallel, with the
 /// default resilience options (fail-closed, no deadline, no budgets).
+#[deprecated(since = "0.1.0", note = "use the `lisa::Gate` builder instead")]
 pub fn enforce(
     registry: &RuleRegistry,
     version: &SystemVersion,
     config: &PipelineConfig,
     workers: usize,
 ) -> EnforcementReport {
-    enforce_with(registry, version, config, workers, &GateOptions::default())
+    enforce_impl(registry, version, config, workers, &GateOptions::default(), None)
 }
 
 /// Check every registered rule against `version` under explicit
-/// resilience options. The gate never propagates a panic: every rule
-/// yields a report, and the worst a faulty rule can do is mark itself as
-/// an engine error.
+/// resilience options.
+#[deprecated(since = "0.1.0", note = "use the `lisa::Gate` builder instead")]
 pub fn enforce_with(
     registry: &RuleRegistry,
     version: &SystemVersion,
     config: &PipelineConfig,
     workers: usize,
     options: &GateOptions,
+) -> EnforcementReport {
+    enforce_impl(registry, version, config, workers, options, None)
+}
+
+/// The gate engine behind [`crate::Gate`] (and the deprecated free
+/// functions). The gate never propagates a panic: every rule yields a
+/// report, and the worst a faulty rule can do is mark itself as an
+/// engine error. When `cache` is given, workers share its memoized
+/// analysis/trace/query artifacts; its counters are published to
+/// telemetry on the way out.
+pub(crate) fn enforce_impl(
+    registry: &RuleRegistry,
+    version: &SystemVersion,
+    config: &PipelineConfig,
+    workers: usize,
+    options: &GateOptions,
+    cache: Option<&Arc<crate::gate::GateCache>>,
 ) -> EnforcementReport {
     let started = Instant::now();
     let mut gate_span = lisa_telemetry::span_with("gate.enforce", version.label.clone());
@@ -213,7 +230,10 @@ pub fn enforce_with(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let pipeline = Pipeline::new(gate_config.clone());
+                let pipeline = match cache {
+                    Some(c) => Pipeline::with_cache(gate_config.clone(), Arc::clone(c)),
+                    None => Pipeline::new(gate_config.clone()),
+                };
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(rule) = registry.rules().get(i) else { break };
@@ -302,6 +322,9 @@ pub fn enforce_with(
         lisa_telemetry::counter_add("gate.degraded_rules", degraded_rules as u64);
         lisa_telemetry::counter_add("gate.retries", total_retries.load(Ordering::Relaxed));
     }
+    if let Some(c) = cache {
+        c.publish_metrics();
+    }
     EnforcementReport {
         version: version.label.clone(),
         reports,
@@ -372,7 +395,10 @@ fn run_attempt(
         Some(FaultKind::SolverExhaustion) => {
             let mut config = pipeline.config.clone();
             config.budgets.max_solver_conflicts = Some(0);
-            effective_pipeline = Some(Pipeline::new(config));
+            // Keep the cache: queries are keyed by conflict budget, so a
+            // zero-budget attempt can never surface a cached full-budget
+            // verdict.
+            effective_pipeline = Some(pipeline.reconfigured(config));
         }
         Some(FaultKind::Stall) => {
             if let Some(inj) = options.faults.as_ref() {
@@ -421,6 +447,7 @@ fn panic_isolated<T>(f: impl FnOnce() -> T) -> Result<T, LisaError> {
 mod tests {
     use super::*;
     use crate::faults::FaultPlan;
+    use crate::gate::Gate;
     use crate::pipeline::TestSelection;
     use lisa_analysis::TargetSpec;
     use lisa_lang::Program;
@@ -466,7 +493,7 @@ mod tests {
 
     #[test]
     fn fixed_version_passes_the_gate() {
-        let report = enforce(&registry(), &version(true), &config(), 2);
+        let report = Gate::new(&registry()).config(config()).workers(2).run(&version(true));
         assert_eq!(report.decision, GateDecision::Pass);
         assert!(report.violated_rules().is_empty());
         assert_eq!(report.engine_errors, 0);
@@ -475,7 +502,7 @@ mod tests {
 
     #[test]
     fn regressed_version_is_blocked() {
-        let report = enforce(&registry(), &version(false), &config(), 2);
+        let report = Gate::new(&registry()).config(config()).workers(2).run(&version(false));
         assert_eq!(report.decision, GateDecision::Block);
         assert_eq!(report.violated_rules().len(), 1);
     }
@@ -541,8 +568,8 @@ mod tests {
             r
         };
         let v = version(false);
-        let seq = enforce(&reg, &v, &config(), 1);
-        let par = enforce(&reg, &v, &config(), 4);
+        let seq = Gate::new(&reg).config(config()).workers(1).run(&v);
+        let par = Gate::new(&reg).config(config()).workers(4).run(&v);
         assert_eq!(seq.decision, par.decision);
         assert_eq!(seq.reports.len(), par.reports.len());
         for (a, b) in seq.reports.iter().zip(par.reports.iter()) {
@@ -560,7 +587,7 @@ mod tests {
             retry: RetryPolicy::none(),
             ..GateOptions::default()
         };
-        let report = enforce_with(&registry(), &version(true), &config(), 2, &options);
+        let report = Gate::new(&registry()).config(config()).workers(2).options(options).run(&version(true));
         assert_eq!(report.decision, GateDecision::Block);
         assert_eq!(report.engine_errors, 1);
         assert!(report.review_needed >= 1);
@@ -577,7 +604,7 @@ mod tests {
             retry: RetryPolicy::none(),
             ..GateOptions::default()
         };
-        let report = enforce_with(&registry(), &version(true), &config(), 2, &options);
+        let report = Gate::new(&registry()).config(config()).workers(2).options(options).run(&version(true));
         assert_eq!(report.decision, GateDecision::Pass);
         assert_eq!(report.engine_errors, 1);
         assert!(report.warnings.iter().any(|w| w.contains("engine error")));
@@ -596,7 +623,7 @@ mod tests {
             },
             ..GateOptions::default()
         };
-        let report = enforce_with(&registry(), &version(true), &config(), 1, &options);
+        let report = Gate::new(&registry()).config(config()).workers(1).options(options).run(&version(true));
         assert_eq!(report.decision, GateDecision::Pass, "{:?}", report.warnings);
         assert_eq!(report.engine_errors, 0);
         assert_eq!(report.retries, 1, "one retry should clear the blip");
@@ -611,7 +638,7 @@ mod tests {
             retry: RetryPolicy::none(),
             ..GateOptions::default()
         };
-        let report = enforce_with(&registry(), &version(true), &config(), 1, &options);
+        let report = Gate::new(&registry()).config(config()).workers(1).options(options).run(&version(true));
         assert_eq!(report.engine_errors, 1);
         assert!(report.warnings.iter().any(|w| w.contains("malformed")));
     }
@@ -622,7 +649,7 @@ mod tests {
             deadline: Some(Duration::ZERO),
             ..GateOptions::default()
         };
-        let report = enforce_with(&registry(), &version(false), &config(), 1, &options);
+        let report = Gate::new(&registry()).config(config()).workers(1).options(options).run(&version(false));
         assert_eq!(report.degraded_rules, 1);
         assert!(report.reports[0].degraded);
         assert!(report.warnings.iter().any(|w| w.contains("deadline")));
@@ -643,7 +670,7 @@ mod tests {
             )
             .expect("rule"),
         );
-        let clean = enforce(&reg, &version(false), &config(), 2);
+        let clean = Gate::new(&reg).config(config()).workers(2).run(&version(false));
         let options = GateOptions {
             faults: Some(FaultInjector::new(
                 FaultPlan::new().inject("EXTRA-r0", FaultKind::Panic),
@@ -651,7 +678,7 @@ mod tests {
             retry: RetryPolicy::none(),
             ..GateOptions::default()
         };
-        let faulted = enforce_with(&reg, &version(false), &config(), 2, &options);
+        let faulted = Gate::new(&reg).config(config()).workers(2).options(options).run(&version(false));
         let clean_zk = &clean.reports[0];
         let faulted_zk = &faulted.reports[0];
         assert_eq!(clean_zk.rule_id, faulted_zk.rule_id);

@@ -1,0 +1,362 @@
+//! The `Gate` facade: one builder for every way of running the gate.
+//!
+//! Historically the gate grew a free function per concern —
+//! `enforce(registry, version, config, workers)`, then
+//! `enforce_with(..., options)` — and every new capability (caching,
+//! here) would have meant another positional parameter on every call
+//! site. [`Gate`] replaces that with a builder:
+//!
+//! ```text
+//! Gate::new(&registry)
+//!     .config(cfg)
+//!     .workers(4)
+//!     .options(opts)
+//!     .cache(&cache)
+//!     .run(&version)
+//! ```
+//!
+//! The old functions survive as `#[deprecated]` thin wrappers.
+//!
+//! This module also holds the two supporting pieces of the facade:
+//!
+//! - [`GateCache`] — the version-scoped cache bundle (static analysis,
+//!   concolic trace batches, SMT queries) a `Gate` can be handed. One
+//!   `GateCache` shared across runs is what makes re-gating an unchanged
+//!   version cheap; dropping it is the only invalidation anyone needs.
+//! - [`GateConfig`] — the CLI-facing configuration: every knob the
+//!   `lisa` binary exposes, parsed from flags in exactly one place
+//!   ([`GateConfig::from_args`]) and consumed by `lisa gate`,
+//!   `lisa serve`, and the durable gate alike.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lisa_analysis::AnalysisCache;
+use lisa_concolic::{SystemVersion, TraceCache};
+use lisa_smt::QueryCache;
+
+use crate::enforce::{enforce_impl, EnforcementReport, FailMode, GateOptions, RuleRegistry};
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::pipeline::{PipelineConfig, ResourceBudgets, TestSelection};
+
+/// Default LRU capacity for the SMT query cache.
+pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 4096;
+
+/// The version-scoped cache bundle threaded through a gate run: static
+/// analysis artifacts, concolic trace batches, and SMT query verdicts,
+/// all keyed by content fingerprints. Share one instance (behind `Arc`)
+/// across runs to get cross-version reuse; every layer is transparent by
+/// construction, so a cached gate renders byte-identical output to an
+/// uncached one.
+#[derive(Debug)]
+pub struct GateCache {
+    analysis: AnalysisCache,
+    traces: TraceCache,
+    queries: QueryCache,
+    /// Counter values already published to telemetry, so repeated
+    /// publishes add deltas instead of re-adding totals.
+    published: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl Default for GateCache {
+    fn default() -> Self {
+        GateCache::new()
+    }
+}
+
+impl GateCache {
+    pub fn new() -> GateCache {
+        GateCache::with_query_capacity(DEFAULT_QUERY_CACHE_CAPACITY)
+    }
+
+    /// A cache whose SMT query LRU holds at most `capacity` verdicts.
+    pub fn with_query_capacity(capacity: usize) -> GateCache {
+        GateCache {
+            analysis: AnalysisCache::new(),
+            traces: TraceCache::new(),
+            queries: QueryCache::new(capacity),
+            published: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn analysis(&self) -> &AnalysisCache {
+        &self.analysis
+    }
+
+    pub fn traces(&self) -> &TraceCache {
+        &self.traces
+    }
+
+    pub fn queries(&self) -> &QueryCache {
+        &self.queries
+    }
+
+    /// Total hits across all three layers (introspection / smoke tests).
+    pub fn hits(&self) -> u64 {
+        self.analysis.hits() + self.traces.hits() + self.queries.hits()
+    }
+
+    /// Total misses across all three layers.
+    pub fn misses(&self) -> u64 {
+        self.analysis.misses() + self.traces.misses() + self.queries.misses()
+    }
+
+    /// Push cache counters into the telemetry registry (no-op unless
+    /// metrics are enabled). Publishes deltas since the previous call, so
+    /// the telemetry counters track cumulative totals no matter how many
+    /// gate runs share this cache.
+    pub fn publish_metrics(&self) {
+        if !lisa_telemetry::metrics_enabled() {
+            return;
+        }
+        let totals: [(&'static str, u64); 8] = [
+            ("cache.analysis.hits", self.analysis.hits()),
+            ("cache.analysis.misses", self.analysis.misses()),
+            ("cache.trace.hits", self.traces.hits()),
+            ("cache.trace.misses", self.traces.misses()),
+            ("cache.trace.uncacheable", self.traces.uncacheable()),
+            ("cache.smt.hits", self.queries.hits()),
+            ("cache.smt.misses", self.queries.misses()),
+            ("cache.smt.evictions", self.queries.evictions()),
+        ];
+        let mut published = self.published.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, total) in totals {
+            let prev = published.get(name).copied().unwrap_or(0);
+            if total > prev {
+                lisa_telemetry::counter_add(name, total - prev);
+                published.insert(name, total);
+            }
+        }
+    }
+}
+
+/// Builder facade over the enforcement gate. `Gate::new(&registry)` with
+/// no further configuration is equivalent to the old
+/// `enforce(registry, version, &PipelineConfig::default(), 1)`.
+#[derive(Debug)]
+pub struct Gate<'r> {
+    registry: &'r RuleRegistry,
+    config: PipelineConfig,
+    workers: usize,
+    options: GateOptions,
+    cache: Option<Arc<GateCache>>,
+}
+
+impl<'r> Gate<'r> {
+    pub fn new(registry: &'r RuleRegistry) -> Gate<'r> {
+        Gate {
+            registry,
+            config: PipelineConfig::default(),
+            workers: 1,
+            options: GateOptions::default(),
+            cache: None,
+        }
+    }
+
+    /// Pipeline configuration (test selection, tree limits, budgets).
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Worker threads for the rule fan-out (clamped to the rule count).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Resilience options (fail mode, deadline, budgets, retry, faults).
+    pub fn options(mut self, options: GateOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach a shared cache. The same `GateCache` can back many gates;
+    /// reuse across versions is keyed by content fingerprints.
+    pub fn cache(mut self, cache: &Arc<GateCache>) -> Self {
+        self.cache = Some(Arc::clone(cache));
+        self
+    }
+
+    /// Check every registered rule against `version`. Takes `&self` so
+    /// one configured gate can judge a whole sequence of versions.
+    pub fn run(&self, version: &SystemVersion) -> EnforcementReport {
+        enforce_impl(
+            self.registry,
+            version,
+            &self.config,
+            self.workers,
+            &self.options,
+            self.cache.as_ref(),
+        )
+    }
+}
+
+/// Everything the `lisa` CLI can configure about a gate run, parsed from
+/// flags in one place instead of being re-threaded per subcommand.
+#[derive(Debug)]
+pub struct GateConfig {
+    pub pipeline: PipelineConfig,
+    pub workers: usize,
+    pub fail_mode: FailMode,
+    pub deadline: Option<Duration>,
+    pub fault_seed: Option<u64>,
+    pub fault_rate: f64,
+    /// Whether the run gets a [`GateCache`].
+    pub cache: bool,
+    /// SMT query LRU capacity when the cache is on.
+    pub cache_queries: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            pipeline: PipelineConfig::default(),
+            workers: 4,
+            fail_mode: FailMode::default(),
+            deadline: None,
+            fault_seed: None,
+            fault_rate: 1.0,
+            cache: true,
+            cache_queries: DEFAULT_QUERY_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl GateConfig {
+    /// Parse the gate-relevant CLI flags (as produced by the `lisa`
+    /// binary's flag parser: `--name value` pairs in a map). Flags:
+    ///
+    /// - `--rag <k>` — RAG top-k test selection (default: all tests)
+    /// - `--test-prefix <p>` — test entry-point prefix (default `test_`)
+    /// - `--workers <n>` — rule fan-out width (default 4)
+    /// - `--fail-mode closed|open`
+    /// - `--deadline-ms <n>` — gate deadline
+    /// - `--max-solver-conflicts <n>` — SAT conflict budget per query
+    /// - `--fault-seed <n>` / `--fault-rate <f>` — chaos drill
+    /// - `--cache on|off` — version-scoped caching (default on)
+    /// - `--cache-queries <n>` — SMT query LRU capacity
+    pub fn from_args(flags: &HashMap<String, String>) -> Result<GateConfig, String> {
+        fn num<T: std::str::FromStr>(
+            flags: &HashMap<String, String>,
+            name: &str,
+        ) -> Result<Option<T>, String> {
+            flags
+                .get(name)
+                .map(|v| v.parse::<T>().map_err(|_| format!("--{name} {v}: not a number")))
+                .transpose()
+        }
+        let defaults = GateConfig::default();
+        let selection = match num::<usize>(flags, "rag")? {
+            Some(k) => TestSelection::Rag { k },
+            None => TestSelection::All,
+        };
+        let test_prefix =
+            flags.get("test-prefix").cloned().unwrap_or_else(|| "test_".to_string());
+        let pipeline = PipelineConfig {
+            selection,
+            test_prefix,
+            budgets: ResourceBudgets {
+                max_solver_conflicts: num(flags, "max-solver-conflicts")?,
+                ..ResourceBudgets::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let cache = match flags.get("cache").map(String::as_str) {
+            None | Some("on") => true,
+            Some("off") => false,
+            Some(other) => return Err(format!("--cache {other}: expected on|off")),
+        };
+        Ok(GateConfig {
+            pipeline,
+            workers: num(flags, "workers")?.unwrap_or(defaults.workers),
+            fail_mode: flags
+                .get("fail-mode")
+                .map(|m| m.parse::<FailMode>())
+                .transpose()?
+                .unwrap_or_default(),
+            deadline: num::<u64>(flags, "deadline-ms")?.map(Duration::from_millis),
+            fault_seed: num(flags, "fault-seed")?,
+            fault_rate: num::<f64>(flags, "fault-rate")?.unwrap_or(defaults.fault_rate),
+            cache,
+            cache_queries: num(flags, "cache-queries")?.unwrap_or(defaults.cache_queries),
+        })
+    }
+
+    /// Build the [`GateOptions`] this configuration implies. `rule_ids`
+    /// seeds the chaos fault plan when `--fault-seed` was given.
+    pub fn gate_options(&self, rule_ids: &[String]) -> GateOptions {
+        GateOptions {
+            fail_mode: self.fail_mode,
+            deadline: self.deadline,
+            budgets: self.pipeline.budgets,
+            faults: self
+                .fault_seed
+                .map(|seed| FaultInjector::new(FaultPlan::random(seed, self.fault_rate, rule_ids))),
+            ..GateOptions::default()
+        }
+    }
+
+    /// The cache this configuration implies (`None` when `--cache off`).
+    pub fn gate_cache(&self) -> Option<Arc<GateCache>> {
+        self.cache.then(|| Arc::new(GateCache::with_query_capacity(self.cache_queries)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn from_args_defaults() {
+        let cfg = GateConfig::from_args(&HashMap::new()).expect("defaults");
+        assert!(matches!(cfg.pipeline.selection, TestSelection::All));
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.fail_mode, FailMode::Closed);
+        assert!(cfg.deadline.is_none());
+        assert!(cfg.cache);
+        assert_eq!(cfg.cache_queries, DEFAULT_QUERY_CACHE_CAPACITY);
+        assert!(cfg.gate_cache().is_some());
+    }
+
+    #[test]
+    fn from_args_parses_every_knob() {
+        let cfg = GateConfig::from_args(&flags(&[
+            ("rag", "3"),
+            ("test-prefix", "spec_"),
+            ("workers", "8"),
+            ("fail-mode", "open"),
+            ("deadline-ms", "250"),
+            ("max-solver-conflicts", "64"),
+            ("fault-seed", "7"),
+            ("fault-rate", "0.5"),
+            ("cache", "off"),
+            ("cache-queries", "16"),
+        ]))
+        .expect("parse");
+        assert!(matches!(cfg.pipeline.selection, TestSelection::Rag { k: 3 }));
+        assert_eq!(cfg.pipeline.test_prefix, "spec_");
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.fail_mode, FailMode::Open);
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.pipeline.budgets.max_solver_conflicts, Some(64));
+        assert_eq!(cfg.fault_seed, Some(7));
+        assert!(cfg.gate_cache().is_none(), "--cache off");
+        let opts = cfg.gate_options(&["R1".to_string()]);
+        assert_eq!(opts.fail_mode, FailMode::Open);
+        assert!(opts.faults.is_some());
+        assert_eq!(opts.budgets.max_solver_conflicts, Some(64));
+    }
+
+    #[test]
+    fn from_args_rejects_bad_values() {
+        assert!(GateConfig::from_args(&flags(&[("workers", "many")])).is_err());
+        assert!(GateConfig::from_args(&flags(&[("cache", "maybe")])).is_err());
+        assert!(GateConfig::from_args(&flags(&[("fail-mode", "ajar")])).is_err());
+    }
+}

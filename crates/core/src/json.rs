@@ -11,6 +11,11 @@ use std::fmt::Write as _;
 use crate::enforce::EnforcementReport;
 use crate::verdict::{ChainVerdict, RuleReport};
 
+/// Version of the machine-readable gate report schema. Bumped whenever a
+/// field is removed or its meaning changes; additive fields do not bump
+/// it. CI consumers should pin on this, not on incidental key order.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// Escape a string per RFC 8259.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -102,6 +107,7 @@ pub fn rule_report_json(r: &RuleReport) -> String {
 /// Render a full enforcement (gate) report.
 pub fn enforcement_json(e: &EnforcementReport) -> String {
     let mut out = String::from("{");
+    num_field(&mut out, "schema_version", SCHEMA_VERSION, true);
     str_field(&mut out, "version", &e.version, true);
     str_field(&mut out, "decision", &e.decision.to_string(), true);
     str_field(&mut out, "fail_mode", &e.fail_mode.to_string(), true);

@@ -79,6 +79,7 @@ pub mod crosscheck;
 pub mod enforce;
 pub mod error;
 pub mod faults;
+pub mod gate;
 pub mod json;
 pub mod pipeline;
 pub mod report;
@@ -87,6 +88,7 @@ pub mod verdict;
 
 pub use compose::{compose, CompositionResult, HighLevelProperty, Obligation};
 pub use crosscheck::{cross_check, CrossCheck};
+#[allow(deprecated)]
 pub use enforce::{
     enforce, enforce_with, EnforcementReport, FailMode, GateDecision, GateOptions, RuleRegistry,
 };
@@ -94,6 +96,7 @@ pub use error::LisaError;
 pub use faults::{
     DiskFaultInjector, DiskFaultKind, FaultInjector, FaultKind, FaultPlan,
 };
+pub use gate::{Gate, GateCache, GateConfig};
 pub use json::Json;
 pub use pipeline::{Pipeline, PipelineConfig, ResourceBudgets, TestSelection};
 pub use service::{

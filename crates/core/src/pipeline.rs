@@ -14,15 +14,21 @@
 //! 6. fold arrivals onto static chains: Verified / Violated / NotCovered,
 //!    with the fixed path expected to verify (sanity check).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lisa_analysis::{chain_aliases, execution_tree_filtered, AliasMap, CallGraph, TreeLimits};
-use lisa_concolic::{run_tests_budgeted, HarnessBudget, Policy, SystemVersion, TargetHit, TestCase};
+use lisa_analysis::{
+    chain_aliases, execution_tree_filtered, AliasMap, CallGraph, ExecutionTree, TreeLimits,
+};
+use lisa_concolic::{
+    run_tests_budgeted, HarnessBudget, HarnessOutcome, Policy, SystemVersion, TargetHit, TestCase,
+};
 use lisa_oracle::rag::{describe_path, TestIndex};
 use lisa_oracle::SemanticRule;
 use lisa_smt::ViolationOutcome;
 
 use crate::error::LisaError;
+use crate::gate::GateCache;
 use crate::verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};
 
 /// How tests are chosen as concolic inputs.
@@ -96,11 +102,27 @@ impl Default for PipelineConfig {
 #[derive(Debug, Default)]
 pub struct Pipeline {
     pub config: PipelineConfig,
+    /// Version-scoped cache shared with other pipelines in the same gate
+    /// run (see [`GateCache`]); `None` = every artifact computed fresh.
+    cache: Option<Arc<GateCache>>,
 }
 
 impl Pipeline {
     pub fn new(config: PipelineConfig) -> Pipeline {
-        Pipeline { config }
+        Pipeline { config, cache: None }
+    }
+
+    /// A pipeline whose analysis/trace/query artifacts are memoized in
+    /// `cache`. Caching is transparent: reports are identical to an
+    /// uncached pipeline's, field for field.
+    pub fn with_cache(config: PipelineConfig, cache: Arc<GateCache>) -> Pipeline {
+        Pipeline { config, cache: Some(cache) }
+    }
+
+    /// Same cache, different configuration (used by fault injection to
+    /// swap budgets without losing memoized artifacts).
+    pub(crate) fn reconfigured(&self, config: PipelineConfig) -> Pipeline {
+        Pipeline { config, cache: self.cache.clone() }
     }
 
     /// Assert `rule` over `version`.
@@ -159,13 +181,31 @@ impl Pipeline {
         };
         let mut stats = PipelineStats::default();
         let program = &version.program;
+        // Fingerprint once per rule check; every cache below keys on it.
+        let cache = self.cache.as_deref();
+        let program_fp = cache.map(|_| lisa_lang::fingerprint_program(program));
         let t_callgraph = Instant::now();
-        let graph = CallGraph::build(program);
+        let graph: Arc<CallGraph> = match (cache, program_fp) {
+            (Some(c), Some(fp)) => c.analysis().callgraph(fp, || CallGraph::build(program)),
+            _ => Arc::new(CallGraph::build(program)),
+        };
         let t_tree = Instant::now();
         let prefix = self.config.test_prefix.clone();
-        let tree = execution_tree_filtered(&graph, &rule.target, self.config.tree_limits, &|f| {
-            f.starts_with(&prefix)
-        });
+        let tree: Arc<ExecutionTree> = match (cache, program_fp) {
+            (Some(c), Some(fp)) => {
+                c.analysis().tree(fp, &rule.target, self.config.tree_limits, &prefix, || {
+                    execution_tree_filtered(&graph, &rule.target, self.config.tree_limits, &|f| {
+                        f.starts_with(&prefix)
+                    })
+                })
+            }
+            _ => Arc::new(execution_tree_filtered(
+                &graph,
+                &rule.target,
+                self.config.tree_limits,
+                &|f| f.starts_with(&prefix),
+            )),
+        };
         stats.static_chains = tree.chains.len() as u64;
 
         // Placeholder aliases, unioned across chains (constraint renaming
@@ -205,18 +245,30 @@ impl Pipeline {
 
         // Concolic execution under the harness budget.
         let t_concolic = Instant::now();
-        let outcome = run_tests_budgeted(
-            program,
-            &selected,
-            &rule.target,
-            &aliases,
-            &self.config.policy,
-            &HarnessBudget {
-                max_steps_per_test: budgets.max_steps_per_test,
-                wall: budgets.rule_wall,
-            },
-        );
-        let runs = outcome.runs;
+        let harness_budget = HarnessBudget {
+            max_steps_per_test: budgets.max_steps_per_test,
+            wall: budgets.rule_wall,
+        };
+        let outcome: Arc<HarnessOutcome> = match (cache, program_fp) {
+            (Some(c), Some(fp)) => c.traces().run_tests_budgeted(
+                fp,
+                program,
+                &selected,
+                &rule.target,
+                &aliases,
+                &self.config.policy,
+                &harness_budget,
+            ),
+            _ => Arc::new(run_tests_budgeted(
+                program,
+                &selected,
+                &rule.target,
+                &aliases,
+                &self.config.policy,
+                &harness_budget,
+            )),
+        };
+        let runs = &outcome.runs;
         stats.tests_executed = runs.len() as u64;
 
         // Judge every arrival; fold onto static chains.
@@ -239,18 +291,26 @@ impl Pipeline {
         // Chains that saw an arrival the solver could not decide; they
         // must not end up Verified no matter the arrival order.
         let mut uncertain = vec![false; chain_reports.len()];
-        for run in &runs {
+        for run in runs {
             stats.branches_seen += run.stats.branches_seen;
             stats.branches_recorded += run.stats.branches_recorded;
             stats.target_hits += run.stats.target_hits;
             stats.interp_steps += run.steps;
             for hit in &run.hits {
                 stats.solver_calls += 1;
-                let violation = match lisa_smt::violates_budgeted(
-                    &hit.pi,
-                    &rule.condition,
-                    budgets.max_solver_conflicts,
-                ) {
+                let query_outcome = match cache {
+                    Some(c) => c.queries().violates_budgeted(
+                        &hit.pi,
+                        &rule.condition,
+                        budgets.max_solver_conflicts,
+                    ),
+                    None => lisa_smt::violates_budgeted(
+                        &hit.pi,
+                        &rule.condition,
+                        budgets.max_solver_conflicts,
+                    ),
+                };
+                let violation = match query_outcome {
                     ViolationOutcome::Violated(witness) => Some(witness),
                     ViolationOutcome::Verified => None,
                     ViolationOutcome::Unknown { .. } => {

@@ -33,18 +33,26 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use lisa_analysis::CallGraph;
 use lisa_concolic::{discover_tests, SystemVersion};
 use lisa_lang::Program;
 use lisa_oracle::{author_rule, SemanticRule};
 use lisa_store::journal::{fnv1a, Journal};
-use lisa_store::{IoFaults, RuleOutcome, RunStore, StoreError};
+use lisa_store::{FingerprintFile, IoFaults, RuleOutcome, RunStore, StoreError};
 use lisa_util::RetryPolicy;
 
-use crate::enforce::{enforce_with, FailMode, GateDecision, GateOptions, RuleRegistry};
+use crate::enforce::{enforce_impl, FailMode, GateDecision, GateOptions, RuleRegistry};
 use crate::faults::FAULT_PANIC_PREFIX;
+use crate::gate::GateCache;
 use crate::json::{escape, Json};
 use crate::pipeline::{PipelineConfig, TestSelection};
 use crate::verdict::RuleReport;
+
+/// NDJSON protocol version the serve daemon speaks. Requests may carry a
+/// `"v"` field; a missing `v` is treated as version 1 (the field
+/// predates nothing — v1 is the first and only version), while any other
+/// value is a structured bad-request.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 // ---------------------------------------------------------------------------
 // System / rules loading (shared by the CLI and serve jobs)
@@ -165,6 +173,112 @@ pub fn outcome_of(r: &RuleReport) -> RuleOutcome {
     }
 }
 
+/// Computes per-rule dependency hashes for cross-version reuse: the hash
+/// of exactly the inputs a rule's verdict is a function of. Sound
+/// over-approximation — a hash that moves only forces a re-check, but a
+/// hash that stays MUST imply an identical verdict, so the relevant set
+/// errs wide:
+///
+/// - the rule itself (id, description, target, condition text),
+/// - struct layouts and globals (interpreter semantics),
+/// - every test's name, summary, and entry (selection inputs),
+/// - the effective pipeline configuration and gate budgets,
+/// - the fingerprint of every *relevant* function, in program order:
+///   functions that can reach the target (they shape chains and
+///   aliases) plus everything executed by tests that can reach it
+///   (their whole trace feeds the recorded path conditions), with
+///   membership itself part of the hash — adding or removing a relevant
+///   function moves it.
+///
+/// Tests that cannot reach the target are deliberately NOT relevant
+/// beyond their hashed name/summary/entry: the journaled outcome is
+/// built from target arrivals and chain structure only (`fingerprint`
+/// above), and a run that never arrives contributes neither — its
+/// interior can change freely without moving any verdict.
+struct DepHasher {
+    graph: CallGraph,
+    fn_fps: std::collections::BTreeMap<String, u64>,
+    /// Hash of everything rule-independent: decls, tests, configuration.
+    base: u64,
+    /// Test entry points (candidates for the per-rule forward walk).
+    test_entries: Vec<String>,
+}
+
+impl DepHasher {
+    fn new(version: &SystemVersion, config: &PipelineConfig, gate: &GateOptions) -> DepHasher {
+        let graph = CallGraph::build(&version.program);
+        let mut base = lisa_util::Fnv1a::new();
+        base.part_u64(lisa_lang::fingerprint_decls(&version.program));
+        for t in &version.tests {
+            base.part(t.name.as_bytes());
+            base.part(t.summary.as_bytes());
+            base.part(t.entry.as_bytes());
+        }
+        // Debug formatting is stable for a given binary; a format change
+        // across releases costs one re-check, never a wrong reuse.
+        base.part(format!("{config:?}").as_bytes());
+        base.part(format!("{:?}", gate.budgets).as_bytes());
+        base.part(format!("{:?}", gate.retry).as_bytes());
+
+        DepHasher {
+            graph,
+            fn_fps: lisa_lang::fn_fingerprints(&version.program),
+            base: base.finish(),
+            test_entries: version.tests.iter().map(|t| t.entry.clone()).collect(),
+        }
+    }
+
+    fn dep_hash(&self, rule: &SemanticRule) -> u64 {
+        // Reverse closure: every function from which the target can be
+        // reached (the functions that form chains and donate aliases).
+        let mut to_target = HashSet::new();
+        let mut work: Vec<String> = rule
+            .target
+            .sites(&self.graph)
+            .into_iter()
+            .map(|sid| self.graph.site(sid).caller.clone())
+            .collect();
+        while let Some(f) = work.pop() {
+            if !to_target.insert(f.clone()) {
+                continue;
+            }
+            for &sid in self.graph.callers_of(&f) {
+                work.push(self.graph.site(sid).caller.clone());
+            }
+        }
+        // Forward closure from the tests that can reach the target: the
+        // whole trace of a reaching run feeds its recorded constraints,
+        // including detours through functions off the target paths.
+        let mut relevant = to_target.clone();
+        let mut work: Vec<String> =
+            self.test_entries.iter().filter(|e| to_target.contains(*e)).cloned().collect();
+        while let Some(f) = work.pop() {
+            for &sid in self.graph.sites_in(&f) {
+                let callee = self.graph.site(sid).callee.clone();
+                if relevant.insert(callee.clone()) {
+                    work.push(callee);
+                }
+            }
+        }
+        let mut h = lisa_util::Fnv1a::new();
+        h.part_u64(self.base);
+        h.part(rule.id.as_bytes());
+        h.part(rule.description.as_bytes());
+        h.part(rule.target.to_string().as_bytes());
+        h.part(rule.condition_src.as_bytes());
+        // Relevant functions in program order, names + fingerprints:
+        // relative order matters (it fixes chain and site enumeration
+        // order in reports).
+        for f in self.graph.functions() {
+            if relevant.contains(f) {
+                h.part(f.as_bytes());
+                h.part_u64(self.fn_fps.get(f).copied().unwrap_or(0));
+            }
+        }
+        h.finish()
+    }
+}
+
 /// Where and how a durable run persists its state.
 #[derive(Default)]
 pub struct DurableOptions {
@@ -184,6 +298,11 @@ pub struct DurableOptions {
     /// the store further; the journal written so far stays valid for
     /// resume.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Version-scoped cache shared with the in-memory gate machinery.
+    /// Also enables cross-version reuse via the persisted fingerprint
+    /// file beside the journal (skipped whenever faults or a deadline
+    /// make verdicts non-reproducible).
+    pub cache: Option<Arc<GateCache>>,
 }
 
 /// Result of a durable (journaled, resumable) gate run.
@@ -197,8 +316,15 @@ pub struct DurableGateReport {
     pub outcomes: Vec<RuleOutcome>,
     /// Verdicts reused from the journal (not re-executed).
     pub reused: usize,
-    /// Verdicts computed by this process.
+    /// Verdicts settled by this process (includes cross-version reuses —
+    /// they journal the same records a re-check would have).
     pub fresh: usize,
+    /// Of `fresh`, how many were reused from the previous version's
+    /// fingerprint file instead of being re-explored. Deliberately not
+    /// part of [`DurableGateReport::render`] or the CLI JSON line: cached
+    /// and uncached runs must stay byte-identical on stdout. Telemetry
+    /// (`service.verdicts_cross_version`) carries it instead.
+    pub cross_version: usize,
     /// False if journaling was disabled mid-run (e.g. ENOSPC).
     pub durable: bool,
     /// Journal records replayed on open.
@@ -275,8 +401,30 @@ pub fn gate_durable(
     let mut warnings = std::mem::take(&mut store.warnings);
     let recovered_records = store.recovered_records;
 
+    // Cross-version reuse: a rule whose dependency hash matches the
+    // persisted fingerprint file (written by the previous run in this
+    // state dir, possibly for a *different* version) gets its recorded
+    // outcome journaled verbatim instead of being re-explored. Off
+    // whenever faults or a deadline could make a verdict depend on
+    // anything but the hashed inputs.
+    // A wall-clock budget makes truncation timing-dependent: such
+    // verdicts are not pure functions of the hashed inputs, so reuse is
+    // off entirely (mirrors the trace cache's wall-budget bypass).
+    let reuse_fingerprints = durable.cache.is_some()
+        && gate.faults.is_none()
+        && gate.deadline.is_none()
+        && gate.budgets.rule_wall.is_none()
+        && config.budgets.rule_wall.is_none();
+    let prior = if reuse_fingerprints {
+        FingerprintFile::load(&durable.state_dir)
+    } else {
+        FingerprintFile::default()
+    };
+    let deps = reuse_fingerprints.then(|| DepHasher::new(version, config, gate));
+
     let mut reused = 0usize;
     let mut fresh = 0usize;
+    let mut cross_version = 0usize;
     for rule in registry.rules() {
         if durable.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst)) {
             return Err(StoreError::Cancelled);
@@ -289,13 +437,26 @@ pub fn gate_durable(
             continue;
         }
         store.record_started(&rule.id);
-        // One rule at a time: the per-rule machinery (panic isolation,
-        // retries, budgets) is enforce_with on a singleton registry.
-        let mut single = RuleRegistry::new();
-        single.register(rule.clone());
-        let report = enforce_with(&single, version, config, 1, gate);
-        warnings.extend(report.warnings.iter().cloned());
-        store.record_finished(outcome_of(&report.reports[0]));
+        let prior_outcome = deps
+            .as_ref()
+            .and_then(|d| prior.reusable(&rule.id, d.dep_hash(rule)))
+            .cloned();
+        if let Some(outcome) = prior_outcome {
+            // Same records a re-check would journal: the wal stays
+            // byte-identical to an uncached run's.
+            store.record_finished(outcome);
+            cross_version += 1;
+        } else {
+            // One rule at a time: the per-rule machinery (panic
+            // isolation, retries, budgets) is the gate engine on a
+            // singleton registry.
+            let mut single = RuleRegistry::new();
+            single.register(rule.clone());
+            let report =
+                enforce_impl(&single, version, config, 1, gate, durable.cache.as_ref());
+            warnings.extend(report.warnings.iter().cloned());
+            store.record_finished(outcome_of(&report.reports[0]));
+        }
         fresh += 1;
         if let Some(beat) = &durable.progress {
             beat();
@@ -308,6 +469,21 @@ pub fn gate_durable(
     }
     if durable.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst)) {
         return Err(StoreError::Cancelled);
+    }
+
+    // Persist this run's fingerprints so the *next* version can reuse
+    // every rule whose dependencies it leaves untouched. Failures warn:
+    // the fingerprint file is an optimization, the journal is the truth.
+    if let Some(d) = &deps {
+        let mut next = FingerprintFile::default();
+        for rule in registry.rules() {
+            if let Some(o) = store.state.finished_outcome(&rule.id) {
+                next.insert(d.dep_hash(rule), o.clone());
+            }
+        }
+        if let Err(e) = next.save(&durable.state_dir) {
+            warnings.push(format!("fingerprint file not saved ({e}); next run re-checks"));
+        }
     }
 
     let outcomes: Vec<RuleOutcome> = registry
@@ -329,10 +505,12 @@ pub fn gate_durable(
     run_span.arg("rules", registry.rules().len() as u64);
     run_span.arg("reused", reused as u64);
     run_span.arg("fresh", fresh as u64);
+    run_span.arg("cross_version", cross_version as u64);
     run_span.arg("recovered_records", recovered_records as u64);
     if lisa_telemetry::metrics_enabled() {
         lisa_telemetry::counter_add("service.verdicts_reused", reused as u64);
         lisa_telemetry::counter_add("service.verdicts_fresh", fresh as u64);
+        lisa_telemetry::counter_add("service.verdicts_cross_version", cross_version as u64);
         lisa_telemetry::counter_add("service.durable_runs", 1);
     }
 
@@ -344,6 +522,7 @@ pub fn gate_durable(
         outcomes,
         reused,
         fresh,
+        cross_version,
         durable: store.durable(),
         recovered_records,
         warnings,
@@ -554,6 +733,7 @@ fn process_job(
         state_dir: state_root.join(sanitize(job_id)),
         progress: Some(progress),
         cancel: Some(cancel),
+        cache: Some(Arc::new(GateCache::new())),
         ..DurableOptions::default()
     };
     gate_durable(&registry, &version, &config, &gate, &durable).map_err(|e| e.to_string())
@@ -1024,6 +1204,26 @@ fn handle_connection(
             return;
         }
     };
+    // Protocol versioning: absent `v` means v1 (pre-versioning clients);
+    // anything else is a request this daemon does not speak.
+    if let Some(v) = request.u64_of("v") {
+        if v != PROTOCOL_VERSION {
+            respond(
+                &mut stream,
+                &error_response(
+                    "",
+                    "bad-request",
+                    &format!("unsupported protocol version {v} (daemon speaks v{PROTOCOL_VERSION})"),
+                ),
+            );
+            return;
+        }
+    } else if request.get("v").is_some() {
+        // `"v"` present but not a number (e.g. a string): reject rather
+        // than silently assuming v1.
+        respond(&mut stream, &error_response("", "bad-request", "field `v` must be a number"));
+        return;
+    }
     match request.str_of("op").unwrap_or("gate") {
         "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
         "stats" => {

@@ -17,7 +17,7 @@
 
 use lisa::report::Table;
 use lisa::{
-    enforce_with, FailMode, FaultInjector, FaultPlan, GateDecision, GateOptions,
+    FailMode, FaultInjector, FaultPlan, Gate, GateDecision, GateOptions,
     PipelineConfig, RuleRegistry, TestSelection,
 };
 use lisa_corpus::all_cases;
@@ -60,13 +60,11 @@ fn run_sweep(rate: f64, seeds: &[u64]) -> Sweep {
                     ))),
                     ..GateOptions::default()
                 };
-                let report = enforce_with(
-                    &registry,
-                    &case.versions.regressed,
-                    &config,
-                    2,
-                    &options,
-                );
+                let report = Gate::new(&registry)
+                    .config(config.clone())
+                    .workers(2)
+                    .options(options)
+                    .run(&case.versions.regressed);
                 out.gates += 1;
                 // The decision is always one of Pass/Block — "decided"
                 // counts runs that produced a complete report.

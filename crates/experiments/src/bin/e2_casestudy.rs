@@ -3,7 +3,7 @@
 //! at the gate a year later.
 
 use lisa::report::{render_enforcement, render_rule_report};
-use lisa::{enforce, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{Gate, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::case;
 use lisa_experiments::section;
 use lisa_oracle::infer_rules;
@@ -47,11 +47,12 @@ fn main() {
     registry.register(rule.clone());
 
     section("E2: gate on the fixed version (must pass)");
-    let fixed = enforce(&registry, &case.versions.fixed, &config, 2);
+    let gate = Gate::new(&registry).config(config).workers(2);
+    let fixed = gate.run(&case.versions.fixed);
     print!("{}", render_enforcement(&fixed));
 
     section("E2: gate on the ZK-1496-class change one year later (must block)");
-    let regressed = enforce(&registry, &case.versions.regressed, &config, 2);
+    let regressed = gate.run(&case.versions.regressed);
     print!("{}", render_enforcement(&regressed));
 
     section("E2: the regression-test blind spot (paper §2.1)");

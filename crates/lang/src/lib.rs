@@ -45,6 +45,7 @@
 
 pub mod ast;
 pub mod diff;
+pub mod fingerprint;
 pub mod interp;
 pub mod parser;
 pub mod pretty;
@@ -55,6 +56,7 @@ pub mod token;
 pub mod types;
 pub mod value;
 
+pub use fingerprint::{fingerprint_decls, fingerprint_fn, fingerprint_program, fn_fingerprints};
 pub use ast::{BinOp, Expr, ExprKind, FnDecl, LValue, Module, Stmt, StmtId, StmtKind, Type, UnOp};
 pub use interp::{Interp, NullTracer, RunConfig, RuntimeError, Tracer};
 pub use parser::{parse_module, ParseError};

@@ -1,0 +1,206 @@
+//! LRU-bounded memoization of violation queries.
+//!
+//! Within one gate run many chains share a path-condition suffix, and
+//! across versions an unchanged function replays the exact same traces —
+//! so the solver sees the same `π ∧ ¬checker` query again and again. The
+//! cache keys queries by the FNV-1a hash of the *canonicalized* formula
+//! (NNF + simplification via [`crate::preprocess`]), so two textually
+//! different but canonically identical queries share an entry. The
+//! conflict budget is part of the key: an `Unknown` verdict is only valid
+//! for the budget it was produced under.
+//!
+//! Transparency is the design invariant: a hit returns a clone of the
+//! exact [`ViolationOutcome`] the solver produced, so cached and uncached
+//! gates render byte-identical verdicts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lisa_util::Fnv1a;
+
+use crate::nnf::preprocess;
+use crate::solver::{violates_budgeted, ViolationOutcome};
+use crate::term::Term;
+
+/// Shared, thread-safe query cache. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Lru {
+    /// key → (outcome, last-touch tick). The map is small (bounded by
+    /// `capacity`), so O(n) eviction scans are fine and keep this
+    /// std-only.
+    map: HashMap<Key, (ViolationOutcome, u64)>,
+    tick: u64,
+}
+
+type Key = (u64, Option<u64>);
+
+impl QueryCache {
+    /// A cache holding at most `capacity` outcomes; 0 disables caching.
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            inner: Mutex::new(Lru::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache key for a violation query: hash of the canonicalized
+    /// `π ∧ ¬checker` plus the conflict budget it will run under.
+    fn key(pi: &Term, checker: &Term, max_conflicts: Option<u64>) -> Key {
+        let query = preprocess(&Term::and([pi.clone(), checker.clone().not()]));
+        let mut h = Fnv1a::new();
+        h.part(query.to_string().as_bytes());
+        (h.finish(), max_conflicts)
+    }
+
+    /// Memoized [`violates_budgeted`]: returns the cached outcome when the
+    /// canonicalized query was already decided under the same budget,
+    /// otherwise solves and records.
+    pub fn violates_budgeted(
+        &self,
+        pi: &Term,
+        checker: &Term,
+        max_conflicts: Option<u64>,
+    ) -> ViolationOutcome {
+        if self.capacity == 0 {
+            return violates_budgeted(pi, checker, max_conflicts);
+        }
+        let key = Self::key(pi, checker, max_conflicts);
+        {
+            let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            lru.tick += 1;
+            let tick = lru.tick;
+            if let Some(entry) = lru.map.get_mut(&key) {
+                entry.1 = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.0.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = violates_budgeted(pi, checker, max_conflicts);
+        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if lru.map.len() >= self.capacity && !lru.map.contains_key(&key) {
+            if let Some(oldest) = lru.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| *k) {
+                lru.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.map.insert(key, (outcome.clone(), tick));
+        outcome
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of live entries (for tests and introspection).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cond;
+
+    fn t(s: &str) -> Term {
+        parse_cond(s).expect("parse")
+    }
+
+    #[test]
+    fn hit_returns_same_verdict_as_solver() {
+        let cache = QueryCache::new(16);
+        let pi = t("s != null && s.isClosing == false");
+        let checker = t("s != null && s.isClosing == false && s.ttl > 0");
+        let fresh = cache.violates_budgeted(&pi, &checker, None);
+        let cached = cache.violates_budgeted(&pi, &checker, None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        match (&fresh, &cached) {
+            (ViolationOutcome::Violated(a), ViolationOutcome::Violated(b)) => {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+            other => panic!("expected Violated twice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonically_equal_queries_share_an_entry() {
+        let cache = QueryCache::new(16);
+        let checker = t("x > 4");
+        // Different spellings of the same bound canonicalize to the same
+        // atom (`canonicalize_atom` moves the constant right).
+        let pi1 = t("x > 3");
+        let pi2 = t("3 < x");
+        cache.violates_budgeted(&pi1, &checker, None);
+        cache.violates_budgeted(&pi2, &checker, None);
+        assert_eq!(cache.hits(), 1, "canonically-equal π should hit");
+    }
+
+    #[test]
+    fn budget_is_part_of_the_key() {
+        let cache = QueryCache::new(16);
+        let pi = t("x > 0");
+        let checker = t("x > 1");
+        cache.violates_budgeted(&pi, &checker, None);
+        cache.violates_budgeted(&pi, &checker, Some(1000));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_entry() {
+        let cache = QueryCache::new(2);
+        let checker = t("x > 0");
+        cache.violates_budgeted(&t("a == true"), &checker, None);
+        cache.violates_budgeted(&t("b == true"), &checker, None);
+        // Touch the first entry so the second becomes LRU.
+        cache.violates_budgeted(&t("a == true"), &checker, None);
+        cache.violates_budgeted(&t("c == true"), &checker, None);
+        assert_eq!(cache.evictions(), 1);
+        // "a" survived; "b" was evicted.
+        cache.violates_budgeted(&t("a == true"), &checker, None);
+        cache.violates_budgeted(&t("b == true"), &checker, None);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        let pi = t("x > 0");
+        cache.violates_budgeted(&pi, &pi, None);
+        cache.violates_budgeted(&pi, &pi, None);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert!(cache.is_empty());
+    }
+}

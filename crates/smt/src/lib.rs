@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cnf;
 pub mod model;
 pub mod nnf;
@@ -47,6 +48,7 @@ pub mod solver;
 pub mod term;
 pub mod theory;
 
+pub use cache::QueryCache;
 pub use model::{Model, Value};
 pub use nnf::{preprocess, to_nnf, Literal};
 pub use parse::{parse_cond, parse_cond_with, ParseError};

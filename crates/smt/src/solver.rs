@@ -302,7 +302,7 @@ pub fn violates(pi: &Term, checker: &Term) -> Option<Model> {
 }
 
 /// Three-valued outcome of a budgeted violation query.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ViolationOutcome {
     /// `pi ∧ ¬checker` is satisfiable; the witness model is attached.
     Violated(Model),

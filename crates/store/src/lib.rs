@@ -28,11 +28,13 @@
 
 pub mod codec;
 pub mod event;
+pub mod fingerprints;
 pub mod journal;
 pub mod run;
 pub mod rules;
 
 pub use event::{GateEvent, RuleOutcome};
+pub use fingerprints::{FingerprintFile, RuleFingerprint};
 pub use journal::{
     read_atomic, scan, write_atomic, IoFault, IoFaults, Journal, OpenReport, Scan,
 };

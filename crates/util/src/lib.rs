@@ -7,8 +7,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod hash;
 pub mod prng;
 pub mod retry;
 
+pub use hash::{fnv1a, Fnv1a};
 pub use prng::Prng;
 pub use retry::{retry_with_backoff, RetryPolicy};

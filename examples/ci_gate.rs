@@ -8,7 +8,7 @@
 //! cargo run --example ci_gate
 //! ```
 
-use lisa::{cross_check, enforce, GateDecision, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{cross_check, Gate, GateDecision, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::all_cases;
 use lisa_oracle::{infer_rules, rescope, Scope};
 
@@ -51,7 +51,7 @@ fn main() {
     let mut passed = 0;
     for (case, (id, registry)) in cases.iter().zip(registries.iter()) {
         for version in [&case.versions.regressed, &case.versions.latest] {
-            let report = enforce(registry, version, &config, 4);
+            let report = Gate::new(registry).config(config.clone()).workers(4).run(version);
             let tag = format!("{id}@{}", version.label);
             match report.decision {
                 GateDecision::Block => {

@@ -7,7 +7,7 @@
 //! ```
 
 use lisa::report::render_enforcement;
-use lisa::{enforce, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{Gate, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::case;
 use lisa_oracle::infer_rules;
 
@@ -44,11 +44,12 @@ fn main() {
         PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
 
     println!("\n== gating the fixed version ==");
-    let fixed = enforce(&registry, &case.versions.fixed, &config, 2);
+    let gate = Gate::new(&registry).config(config).workers(2);
+    let fixed = gate.run(&case.versions.fixed);
     print!("{}", render_enforcement(&fixed));
 
     println!("\n== one year later: the touch-session path lands ==");
-    let regressed = enforce(&registry, &case.versions.regressed, &config, 2);
+    let regressed = gate.run(&case.versions.regressed);
     print!("{}", render_enforcement(&regressed));
     assert_eq!(regressed.decision, lisa::GateDecision::Block);
     println!("\nthe ZK-1496 regression never reaches production.");

@@ -22,3 +22,51 @@ echo "e11 recovery smoke: ok"
 # never perturbs the verdict artifact.
 cargo test -q -p lisa --test e2e_telemetry
 echo "telemetry smoke: ok"
+
+# Cache smoke: the version-scoped caches must be invisible in every
+# artifact and pay off on a repeat. Gate a fixture with the cache off and
+# on (stdout must be byte-identical, and the two same-target rules must
+# share one trace batch), then run the durable gate twice over one state
+# dir — the second run must reuse every journaled verdict.
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/orders.sir" <<'SIR'
+struct Order { id: int, paid: bool, cancelled: bool }
+global orders: map<int, Order>;
+global shipped: map<int, int>;
+
+fn ship_order(o: Order, courier: int) { shipped.put(o.id, courier); }
+
+fn checkout_ship(oid: int, courier: int) {
+    let o: Order = orders.get(oid);
+    if (o == null || o.paid == false || o.cancelled) { return; }
+    ship_order(o, courier);
+}
+
+fn seed(id: int, paid: bool, cancelled: bool) {
+    orders.put(id, new Order { id: id, paid: paid, cancelled: cancelled });
+}
+
+fn test_checkout() { seed(1, true, false); checkout_ship(1, 7); assert(shipped.contains(1), "ok"); }
+SIR
+cat > "$SMOKE/rules.txt" <<'RULES'
+when calling ship_order, require o != null && o.paid == true && o.cancelled == false
+when calling ship_order, require o.cancelled == false
+RULES
+LISA=target/release/lisa
+"$LISA" gate --system "$SMOKE" --rules "$SMOKE/rules.txt" --cache off > "$SMOKE/off.out"
+"$LISA" gate --system "$SMOKE" --rules "$SMOKE/rules.txt" --cache on \
+    --metrics-out "$SMOKE/m1.json" > "$SMOKE/on.out"
+cmp "$SMOKE/off.out" "$SMOKE/on.out"
+grep -Eq '"cache\.trace\.hits":[1-9]' "$SMOKE/m1.json"
+"$LISA" gate --system "$SMOKE" --rules "$SMOKE/rules.txt" --state "$SMOKE/state" > /dev/null
+"$LISA" gate --system "$SMOKE" --rules "$SMOKE/rules.txt" --state "$SMOKE/state" \
+    --metrics-out "$SMOKE/m2.json" > "$SMOKE/d2.out"
+grep -q '2 reused from journal, 0 fresh' "$SMOKE/d2.out"
+grep -Eq '"service\.verdicts_reused":2' "$SMOKE/m2.json"
+echo "cache smoke: ok"
+
+# Repeated-version cache bench: asserts the warm repeat of an unchanged
+# version is >= 2x faster and writes BENCH_cache.json.
+cargo bench -q -p lisa-bench --bench cache > /dev/null
+echo "cache bench: ok"

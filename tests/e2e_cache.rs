@@ -1,0 +1,418 @@
+//! End-to-end cache-transparency suite.
+//!
+//! The contract under test: caching is an optimization, never an input.
+//! A gate run with the version-scoped caches enabled must produce
+//! byte-identical artifacts — human-readable stdout, verdict JSON
+//! (modulo wall-clock fields), and the durable journal — to a run with
+//! caching off, including across a kill-and-resume and across versions
+//! where the fingerprint file lets unchanged rules reuse their verdicts.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+use lisa::report::render_enforcement;
+use lisa::{
+    gate_durable, DurableGateReport, DurableOptions, Gate, GateCache, GateOptions,
+    PipelineConfig, RuleRegistry, TestSelection,
+};
+use lisa_analysis::TargetSpec;
+use lisa_concolic::{discover_tests, SystemVersion};
+use lisa_lang::Program;
+use lisa_oracle::SemanticRule;
+use lisa_store::{scan, GateEvent};
+
+// ---------------------------------------------------------------------------
+// Library-level fixtures: two rule families over separate subsystems, so
+// a change to one function dirties one rule and spares the other.
+// ---------------------------------------------------------------------------
+
+/// `audit_floor` is the knob: versions that differ only there leave the
+/// ephemeral-session subsystem (and the ZK rule's dependencies) intact.
+fn version(label: &str, guard_closing: bool, audit_floor: i64) -> SystemVersion {
+    let guard =
+        if guard_closing { "session == null || session.closing" } else { "session == null" };
+    let src = format!(
+        "struct Session {{ id: int, closing: bool }}\n\
+         global sessions: map<int, Session>;\n\
+         fn create_ephemeral(s: Session, path: str) {{}}\n\
+         fn audit(n: int) {{}}\n\
+         fn prep_create(sid: int, path: str) {{\n\
+             let session: Session = sessions.get(sid);\n\
+             if ({guard}) {{ return; }}\n\
+             create_ephemeral(session, path);\n\
+         }}\n\
+         fn audit_all(n: int) {{ if (n > {audit_floor}) {{ audit(n); }} }}\n\
+         fn test_prep() {{ sessions.put(1, new Session {{ id: 1 }}); prep_create(1, \"/a\"); }}\n\
+         fn test_audit() {{ audit_all(3); }}"
+    );
+    let p = Program::parse_single("sys", &src).expect("fixture parses");
+    let tests = discover_tests(&p, "test_");
+    SystemVersion::new(label, p, tests)
+}
+
+fn registry() -> RuleRegistry {
+    let mut reg = RuleRegistry::new();
+    for (id, callee, cond) in [
+        ("ZK-1208", "create_ephemeral", "s != null && s.closing == false"),
+        ("AUD-1", "audit", "n > 0"),
+    ] {
+        reg.register(
+            SemanticRule::new(id, id, TargetSpec::Call { callee: callee.into() }, cond)
+                .expect("fixture rule"),
+        );
+    }
+    reg
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lisa-e2e-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn run_durable(
+    dir: &std::path::Path,
+    v: &SystemVersion,
+    cache: Option<&Arc<GateCache>>,
+) -> DurableGateReport {
+    let durable = DurableOptions {
+        state_dir: dir.to_path_buf(),
+        cache: cache.map(Arc::clone),
+        ..DurableOptions::default()
+    };
+    gate_durable(&registry(), v, &config(), &GateOptions::default(), &durable)
+        .expect("durable gate run")
+}
+
+// ---------------------------------------------------------------------------
+// Plain gate: identical reports, and a shared cache actually hits.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cached_gate_report_is_byte_identical_to_uncached() {
+    let reg = registry();
+    let v = version("v1", false, 0);
+    let uncached = Gate::new(&reg).config(config()).workers(2).run(&v);
+
+    let cache = Arc::new(GateCache::new());
+    let gate = Gate::new(&reg).config(config()).workers(2).cache(&cache);
+    let first = gate.run(&v);
+    let second = gate.run(&v);
+
+    let baseline = render_enforcement(&uncached);
+    assert_eq!(render_enforcement(&first), baseline, "cold cache changed the report");
+    assert_eq!(render_enforcement(&second), baseline, "warm cache changed the report");
+    assert_eq!(first.decision, uncached.decision);
+
+    // The second run must be served from the cache, not re-explored.
+    assert!(cache.hits() > 0, "warm run produced no cache hits");
+    assert!(cache.analysis().hits() > 0, "analysis layer never hit");
+    assert!(cache.traces().hits() > 0, "trace layer never hit");
+    assert!(cache.queries().hits() > 0, "SMT query layer never hit");
+}
+
+#[test]
+fn cache_is_transparent_across_every_corpus_case() {
+    use lisa_corpus::all_cases;
+    use lisa_oracle::{infer_rules, rescope, Scope};
+    for case in all_cases().into_iter().take(6) {
+        let Ok(out) = infer_rules(case.original_ticket()) else { continue };
+        let mut reg = RuleRegistry::new();
+        for rule in out.rules {
+            let rule = match &rule.target {
+                TargetSpec::Call { .. } => rule,
+                _ => rescope(&rule, Scope::Generalized).expect("rescope"),
+            };
+            reg.register(rule);
+        }
+        let cache = Arc::new(GateCache::new());
+        for v in [&case.versions.fixed, &case.versions.regressed, &case.versions.latest] {
+            let plain = Gate::new(&reg).config(config()).workers(2).run(v);
+            let cached =
+                Gate::new(&reg).config(config()).workers(2).cache(&cache).run(v);
+            assert_eq!(
+                render_enforcement(&cached),
+                render_enforcement(&plain),
+                "{}@{}: cached report drifted",
+                case.meta.id,
+                v.label
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable gate: journal bytes, kill-and-resume, cross-version reuse.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn durable_journal_is_byte_identical_with_and_without_cache() {
+    let v = version("v1", false, 0);
+    let dir_off = tmpdir("wal-off");
+    let dir_on = tmpdir("wal-on");
+    let off = run_durable(&dir_off, &v, None);
+    let cache = Arc::new(GateCache::new());
+    let on = run_durable(&dir_on, &v, Some(&cache));
+
+    assert_eq!(on.verdicts_text(), off.verdicts_text());
+    assert_eq!(on.render(), off.render(), "cache must not leak into the summary");
+    let wal_off = std::fs::read(dir_off.join("wal.log")).expect("wal off");
+    let wal_on = std::fs::read(dir_on.join("wal.log")).expect("wal on");
+    assert_eq!(wal_on, wal_off, "journal bytes must not depend on caching");
+
+    // The cached run also persisted the fingerprint sieve beside the wal.
+    assert!(dir_on.join("fingerprints.log").exists());
+    assert!(!dir_off.join("fingerprints.log").exists(), "uncached run must not write it");
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+}
+
+#[test]
+fn kill_and_resume_with_cache_recovers_byte_identical_verdicts() {
+    let v = version("v1", false, 0);
+    // Uncached, uninterrupted baseline.
+    let dir = tmpdir("kill-base");
+    let baseline = run_durable(&dir, &v, None);
+    let journal = std::fs::read(dir.join("wal.log")).expect("journal");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let scanned = scan(&journal);
+    assert!(scanned.corrupt.is_empty());
+    let finished = |bytes: &[u8]| {
+        scan(bytes)
+            .records
+            .iter()
+            .filter(|r| matches!(GateEvent::decode(r), Ok(GateEvent::RuleCheckFinished { .. })))
+            .count()
+    };
+    for (i, kp) in std::iter::once(0u64).chain(scanned.boundaries.iter().copied()).enumerate() {
+        let dir = tmpdir(&format!("kill-{i}"));
+        std::fs::write(dir.join("wal.log"), &journal[..kp as usize]).expect("truncate");
+        let settled = finished(&journal[..kp as usize]);
+        // Resume with a cold cache — the journal, not the cache, is the
+        // source of settled verdicts; the cache only speeds up the rest.
+        let cache = Arc::new(GateCache::new());
+        let report = run_durable(&dir, &v, Some(&cache));
+        assert_eq!(
+            report.verdicts_text(),
+            baseline.verdicts_text(),
+            "kill point {i}: cached resume changed verdicts"
+        );
+        assert_eq!(report.reused, settled, "kill point {i}");
+        let final_journal = std::fs::read(dir.join("wal.log")).expect("final journal");
+        assert_eq!(finished(&final_journal), registry().len(), "kill point {i}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn unchanged_rules_reuse_verdicts_across_versions() {
+    let cache = Arc::new(GateCache::new());
+    let dir = tmpdir("xver");
+
+    // First version: everything is explored fresh.
+    let v1 = version("v1", false, 0);
+    let r1 = run_durable(&dir, &v1, Some(&cache));
+    assert_eq!(r1.fresh, 2);
+    assert_eq!(r1.cross_version, 0, "nothing to reuse on the first version");
+
+    // Second version changes only the audit subsystem: the ZK rule's
+    // dependency hash is unchanged, so its verdict is reused from the
+    // fingerprint file; AUD-1 is genuinely re-explored (and now passes,
+    // since the floor rises to the rule's threshold).
+    let v2 = version("v2", false, 1);
+    let r2 = run_durable(&dir, &v2, Some(&cache));
+    assert_eq!(r2.reused, 0, "different run key: the journal donates nothing");
+    assert_eq!(r2.cross_version, 1, "exactly the untouched rule is reused");
+
+    // Byte-identity: an uncached from-scratch run of v2 agrees exactly.
+    let dir_fresh = tmpdir("xver-fresh");
+    let fresh = run_durable(&dir_fresh, &v2, None);
+    assert_eq!(r2.verdicts_text(), fresh.verdicts_text());
+    // r2 additionally warns about archiving v1's stale journal — a
+    // consequence of sharing the state dir, not of caching; the verdict
+    // lines themselves must match exactly.
+    let sans_warnings = |r: &DurableGateReport| -> String {
+        r.render().lines().filter(|l| !l.trim_start().starts_with("warning:")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        )
+    };
+    assert_eq!(sans_warnings(&r2), sans_warnings(&fresh));
+    assert_eq!(
+        std::fs::read(dir.join("wal.log")).expect("wal"),
+        std::fs::read(dir_fresh.join("wal.log")).expect("wal fresh"),
+        "reused verdicts must journal the same records a re-check would"
+    );
+
+    // Third version touches the guarded subsystem: the ZK rule's hash
+    // moves and it is re-explored — reuse never masks a regression fix.
+    let v3 = version("v3", true, 1);
+    let r3 = run_durable(&dir, &v3, Some(&cache));
+    assert_eq!(r3.cross_version, 1, "only the audit rule is reusable now");
+    assert!(!r3.has_violation(), "the fix must be observed, not the stale verdict");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_fresh);
+}
+
+#[test]
+fn fault_or_deadline_runs_never_reuse_fingerprints() {
+    let cache = Arc::new(GateCache::new());
+    let dir = tmpdir("nofp");
+    let v = version("v1", false, 0);
+    let r1 = run_durable(&dir, &v, Some(&cache));
+    assert_eq!(r1.fresh, 2);
+
+    // A deadline makes verdicts timing-dependent: reuse must switch off
+    // even though the fingerprint file matches perfectly.
+    let durable = DurableOptions {
+        state_dir: dir.clone(),
+        cache: Some(Arc::clone(&cache)),
+        ..DurableOptions::default()
+    };
+    let options = GateOptions {
+        deadline: Some(std::time::Duration::from_secs(3600)),
+        ..GateOptions::default()
+    };
+    let v2 = version("v2", false, 0);
+    let r2 = gate_durable(&registry(), &v2, &config(), &options, &durable)
+        .expect("durable gate run");
+    assert_eq!(r2.cross_version, 0, "deadline runs must not reuse recorded verdicts");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// CLI: full stdout byte-identity, cache on vs off.
+// ---------------------------------------------------------------------------
+
+const CLI_SYSTEM: &str = r#"
+struct Order { id: int, paid: bool, cancelled: bool }
+global orders: map<int, Order>;
+global shipped: map<int, int>;
+
+fn ship_order(o: Order, courier: int) { shipped.put(o.id, courier); }
+
+fn checkout_ship(oid: int, courier: int) {
+    let o: Order = orders.get(oid);
+    if (o == null || o.paid == false || o.cancelled) { return; }
+    ship_order(o, courier);
+}
+
+fn admin_reship(oid: int, courier: int) {
+    let ord: Order = orders.get(oid);
+    if (ord == null || ord.paid == false) { return; }
+    ship_order(ord, courier);
+}
+
+fn seed(id: int, paid: bool, cancelled: bool) {
+    orders.put(id, new Order { id: id, paid: paid, cancelled: cancelled });
+}
+
+fn test_checkout() { seed(1, true, false); checkout_ship(1, 7); assert(shipped.contains(1), "ok"); }
+fn test_reship() { seed(2, true, false); admin_reship(2, 9); assert(shipped.contains(2), "ok"); }
+"#;
+
+const CLI_RULES: &str =
+    "when calling ship_order, require o != null && o.paid == true && o.cancelled == false\n";
+
+struct CliFixture {
+    dir: PathBuf,
+}
+
+impl CliFixture {
+    fn new(tag: &str) -> CliFixture {
+        let dir =
+            std::env::temp_dir().join(format!("lisa-cache-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sys")).expect("mkdir");
+        std::fs::write(dir.join("sys/orders.sir"), CLI_SYSTEM).expect("sir");
+        std::fs::write(dir.join("rules.txt"), CLI_RULES).expect("rules");
+        CliFixture { dir }
+    }
+
+    fn gate(&self, extra: &[&str]) -> (i32, String, String) {
+        let sys = self.dir.join("sys").to_string_lossy().into_owned();
+        let rules = self.dir.join("rules.txt").to_string_lossy().into_owned();
+        let mut args = vec!["gate", "--system", &sys, "--rules", &rules];
+        args.extend_from_slice(extra);
+        let out = Command::new(env!("CARGO_BIN_EXE_lisa"))
+            .args(&args)
+            .output()
+            .expect("spawn lisa");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for CliFixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Zero every `"wall_ms":N` in a JSON artifact — the one field that
+/// legitimately differs between any two runs, cached or not.
+fn normalize_wall(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find("\"wall_ms\":") {
+        let tail = &rest[at + "\"wall_ms\":".len()..];
+        let digits = tail.chars().take_while(char::is_ascii_digit).count();
+        out.push_str(&rest[..at]);
+        out.push_str("\"wall_ms\":0");
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn cli_stdout_is_byte_identical_cache_on_vs_off() {
+    let fx = CliFixture::new("stdout");
+    let (code_off, out_off, _) = fx.gate(&["--cache", "off"]);
+    let (code_on, out_on, _) = fx.gate(&["--cache", "on"]);
+    let (code_default, out_default, _) = fx.gate(&[]);
+    assert_eq!(code_off, 1, "{out_off}");
+    assert_eq!(code_on, code_off);
+    assert_eq!(code_default, code_off);
+    assert_eq!(out_on, out_off, "cache flipped a stdout byte");
+    assert_eq!(out_default, out_off, "default (cache on) drifted from --cache off");
+
+    let (_, json_off, _) = fx.gate(&["--cache", "off", "--format", "json"]);
+    let (_, json_on, _) = fx.gate(&["--cache", "on", "--format", "json"]);
+    assert_eq!(
+        normalize_wall(&json_on),
+        normalize_wall(&json_off),
+        "cache flipped a JSON byte (beyond wall_ms)"
+    );
+}
+
+#[test]
+fn cli_durable_state_is_byte_identical_cache_on_vs_off() {
+    let fx = CliFixture::new("state");
+    let state_off = fx.dir.join("state-off");
+    let state_on = fx.dir.join("state-on");
+    let (code_off, out_off, _) =
+        fx.gate(&["--cache", "off", "--state", &state_off.to_string_lossy()]);
+    let (code_on, out_on, _) =
+        fx.gate(&["--cache", "on", "--state", &state_on.to_string_lossy()]);
+    assert_eq!(code_on, code_off);
+    assert_eq!(out_on, out_off, "durable summary drifted under caching");
+    let wal_off = std::fs::read(state_off.join("wal.log")).expect("wal off");
+    let wal_on = std::fs::read(state_on.join("wal.log")).expect("wal on");
+    assert_eq!(wal_on, wal_off, "wal.log bytes must not depend on caching");
+}

@@ -104,7 +104,7 @@ fn trace_logs_roundtrip_real_pipeline_evidence() {
 
 #[test]
 fn gate_workers_do_not_change_decisions() {
-    use lisa::{enforce, RuleRegistry};
+    use lisa::{Gate, RuleRegistry};
     let mut registry = RuleRegistry::new();
     for case in all_cases().into_iter().take(6) {
         registry.register(mined_rule(&case));
@@ -114,7 +114,9 @@ fn gate_workers_do_not_change_decisions() {
         PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
     let decisions: Vec<_> = [1usize, 2, 8]
         .iter()
-        .map(|&w| enforce(&registry, &case.versions.regressed, &config, w).decision)
+        .map(|&w| {
+            Gate::new(&registry).config(config.clone()).workers(w).run(&case.versions.regressed).decision
+        })
         .collect();
     assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
 }

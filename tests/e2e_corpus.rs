@@ -3,6 +3,10 @@
 //! grounds on the fixed version, the fixed version passes the gate, and
 //! the regressed version (the recurrence that cost real clusters a
 //! second outage) is blocked.
+//!
+//! Deliberately exercises the deprecated `enforce` wrapper across the
+//! whole corpus — the compatibility guarantee for pre-`Gate` callers.
+#![allow(deprecated)]
 
 use lisa::{cross_check, enforce, GateDecision, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_analysis::TargetSpec;

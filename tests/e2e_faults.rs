@@ -1,6 +1,6 @@
 //! End-to-end fault-injection suite for the enforcement gate.
 //!
-//! The resilience contract under test: `enforce_with` never aborts — every
+//! The resilience contract under test: the gate never aborts — every
 //! registered rule gets a report no matter what faults fire; rules the
 //! fault plan does not touch keep byte-identical verdicts; fail-closed
 //! blocks on engine errors where fail-open passes with a warning; and the
@@ -13,8 +13,8 @@ use std::process::Command;
 use std::time::Duration;
 
 use lisa::{
-    enforce, enforce_with, FailMode, FaultInjector, FaultKind, FaultPlan, GateDecision,
-    GateOptions, PipelineConfig, RuleReport, RuleRegistry, TestSelection,
+    FailMode, FaultInjector, FaultKind, FaultPlan, Gate, GateDecision, GateOptions,
+    PipelineConfig, RuleReport, RuleRegistry, TestSelection,
 };
 use lisa_analysis::TargetSpec;
 use lisa_concolic::{discover_tests, SystemVersion};
@@ -125,7 +125,7 @@ fn twenty_seeded_fault_plans_never_abort_and_spare_unaffected_rules() {
     let v = version(false);
     let cfg = config();
     let ids = rule_ids(&reg);
-    let clean = enforce(&reg, &v, &cfg, 2);
+    let clean = Gate::new(&reg).config(cfg.clone()).workers(2).run(&v);
     assert_eq!(clean.decision, GateDecision::Block, "baseline: ZK-1208 regression");
     let clean_fp = fingerprints(&clean.reports);
 
@@ -137,7 +137,7 @@ fn twenty_seeded_fault_plans_never_abort_and_spare_unaffected_rules() {
             retry: quick_retry(),
             ..GateOptions::default()
         };
-        let report = enforce_with(&reg, &v, &cfg, 2, &options);
+        let report = Gate::new(&reg).config(cfg.clone()).workers(2).options(options).run(&v);
         assert_eq!(
             report.reports.len(),
             reg.len(),
@@ -169,7 +169,7 @@ fn each_fault_kind_is_contained_to_its_rule() {
     let v = version(false);
     let cfg = config();
     let ids = rule_ids(&reg);
-    let clean_fp = fingerprints(&enforce(&reg, &v, &cfg, 2).reports);
+    let clean_fp = fingerprints(&Gate::new(&reg).config(cfg.clone()).workers(2).run(&v).reports);
 
     for kind in [
         FaultKind::Panic,
@@ -183,7 +183,7 @@ fn each_fault_kind_is_contained_to_its_rule() {
             retry: RetryPolicy::none(),
             ..GateOptions::default()
         };
-        let report = enforce_with(&reg, &v, &cfg, 2, &options);
+        let report = Gate::new(&reg).config(cfg.clone()).workers(2).options(options).run(&v);
         assert_eq!(report.reports.len(), reg.len(), "{kind:?}: report must be complete");
         for id in &ids {
             if id == "SHOP-1" {
@@ -227,33 +227,29 @@ fn fail_closed_blocks_where_fail_open_passes_with_warning() {
     let cfg = config();
     let plan = || FaultPlan::new().inject("AUD-1", FaultKind::Panic);
 
-    let closed = enforce_with(
-        &reg,
-        &v,
-        &cfg,
-        2,
-        &GateOptions {
+    let closed = Gate::new(&reg)
+        .config(cfg.clone())
+        .workers(2)
+        .options(GateOptions {
             faults: Some(FaultInjector::new(plan())),
             retry: RetryPolicy::none(),
             ..GateOptions::default()
-        },
-    );
+        })
+        .run(&v);
     assert_eq!(closed.decision, GateDecision::Block);
     assert_eq!(closed.engine_errors, 1);
     assert!(closed.review_needed >= 1);
 
-    let open = enforce_with(
-        &reg,
-        &v,
-        &cfg,
-        2,
-        &GateOptions {
+    let open = Gate::new(&reg)
+        .config(cfg)
+        .workers(2)
+        .options(GateOptions {
             fail_mode: FailMode::Open,
             faults: Some(FaultInjector::new(plan())),
             retry: RetryPolicy::none(),
             ..GateOptions::default()
-        },
-    );
+        })
+        .run(&v);
     assert_eq!(open.decision, GateDecision::Pass);
     assert_eq!(open.engine_errors, 1);
     assert!(
@@ -276,7 +272,7 @@ fn panic_isolation_is_deterministic_across_worker_counts() {
                 retry: RetryPolicy::none(),
                 ..GateOptions::default()
             };
-            enforce_with(&reg, &v, &cfg, workers, &options)
+            Gate::new(&reg).config(cfg.clone()).workers(workers).options(options).run(&v)
         };
         let seq = run(1);
         let par = run(4);
@@ -296,7 +292,7 @@ fn deadline_plus_faults_still_produce_a_complete_decision() {
         retry: RetryPolicy::none(),
         ..GateOptions::default()
     };
-    let report = enforce_with(&reg, &v, &config(), 1, &options);
+    let report = Gate::new(&reg).config(config()).workers(1).options(options).run(&v);
     assert_eq!(report.reports.len(), reg.len());
     assert!(report.engine_errors >= 1, "the injected panic still fires in degraded mode");
     assert!(report.degraded_rules >= 1, "past-deadline rules run degraded");

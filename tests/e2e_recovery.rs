@@ -423,9 +423,16 @@ fn serve_replies_structured_error_to_malformed_request() {
     assert!(parsed.str_of("error").is_some(), "{reply}");
     assert_eq!(parsed.u64_of("exit"), Some(2), "{reply}");
 
-    // Truncated JSON, an unknown op, and a gate without its required
-    // fields get the same structured treatment.
-    for bad in ["{\"op\":\"gate\",", "{\"op\":\"no-such-op\"}", "{\"op\":\"gate\"}"] {
+    // Truncated JSON, an unknown op, a gate without its required fields,
+    // and a protocol version the daemon does not speak (future number or
+    // non-numeric) get the same structured treatment.
+    for bad in [
+        "{\"op\":\"gate\",",
+        "{\"op\":\"no-such-op\"}",
+        "{\"op\":\"gate\"}",
+        "{\"v\":2,\"op\":\"ping\"}",
+        "{\"v\":\"one\",\"op\":\"ping\"}",
+    ] {
         let mut stream = UnixStream::connect(&daemon.socket).expect("connect");
         stream.write_all(bad.as_bytes()).expect("write");
         stream.write_all(b"\n").expect("newline");
@@ -434,6 +441,19 @@ fn serve_replies_structured_error_to_malformed_request() {
         let parsed = lisa::Json::parse(reply.trim())
             .unwrap_or_else(|e| panic!("{bad}: reply not JSON ({e}): {reply}"));
         assert_eq!(parsed.str_of("status"), Some("bad-request"), "{bad} -> {reply}");
+    }
+
+    // An explicit `"v":1` and a version-less request (v1 implied, the
+    // pre-versioning wire format) are both accepted.
+    for good in ["{\"v\":1,\"op\":\"ping\"}", "{\"op\":\"ping\"}"] {
+        let mut stream = UnixStream::connect(&daemon.socket).expect("connect");
+        stream.write_all(good.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("newline");
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).expect("read reply");
+        let parsed = lisa::Json::parse(reply.trim())
+            .unwrap_or_else(|e| panic!("{good}: reply not JSON ({e}): {reply}"));
+        assert_eq!(parsed.str_of("status"), Some("ok"), "{good} -> {reply}");
     }
 
     // The daemon is unharmed: ping still answers, drain still clean.

@@ -2,6 +2,11 @@
 //! ZK-1208 is fixed, LISA mines the low-level semantic from the ticket,
 //! and the ZK-1496-class regression is caught at the gate before it can
 //! ship — while the original fixed path verifies (the sanity check).
+//!
+//! This suite deliberately stays on the deprecated `enforce` free
+//! function: it doubles as the compatibility proof that the pre-`Gate`
+//! API keeps compiling and behaving identically.
+#![allow(deprecated)]
 
 use lisa::{enforce, GateDecision, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::case;
