@@ -11,7 +11,9 @@
 //! lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
 //! lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
 //!              [--job-timeout-ms N] [--max-attempts N]
-//! lisa submit  --socket <path> [--op gate|ping|stats|shutdown] [--system <dir>]
+//!              [--follow <addr>] [--repl-listen <host:port>]
+//!              [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+//! lisa submit  --socket <path> [--op gate|ping|stats|verdict|shutdown] [--system <dir>]
 //!              [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
 //! lisa suggest --system <dir> --target <fn>
 //! lisa paths   --system <dir> --target <fn>
@@ -37,7 +39,11 @@
 //! killed run can be resumed (`lisa resume`) without re-checking rules
 //! whose verdicts were already durable. `lisa serve` runs the same
 //! durable gate as a daemon behind a unix socket with a supervised
-//! worker pool; `lisa submit` is its client.
+//! worker pool; `lisa submit` is its client. `lisa serve --follow
+//! <addr>` runs a warm standby instead: it mirrors the leader's state
+//! root over a replication stream, answers read-only ops (`stats`,
+//! `verdict`), and promotes itself to leader when the leader's
+//! heartbeats go silent.
 //!
 //! Every gate-relevant flag is parsed once by [`lisa::GateConfig`], the
 //! same struct the library's `Gate` builder and the serve daemon use.
@@ -54,6 +60,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use lisa::faults::FAULT_PANIC_PREFIX;
@@ -61,7 +68,7 @@ use lisa::report::{render_enforcement, render_rule_report};
 use lisa::service::request;
 use lisa::{
     gate_durable, load_rules, load_system, serve, DurableOptions, FailMode, Gate, GateConfig,
-    GateDecision, GateOptions, Json, Pipeline, RuleRegistry, ServeConfig,
+    GateDecision, GateOptions, Json, Pipeline, RuleRegistry, ServeConfig, StreamFaultInjector,
 };
 use lisa_analysis::{execution_tree_filtered, CallGraph, TargetSpec, TreeLimits};
 use lisa_oracle::suggest_conditions;
@@ -104,7 +111,9 @@ const USAGE: &str = "usage:
   lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
   lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
                [--job-timeout-ms N] [--max-attempts N]
-  lisa submit  --socket <path> [--op gate|ping|stats|shutdown] [--system <dir>]
+               [--follow <addr>] [--repl-listen <host:port>]
+               [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+  lisa submit  --socket <path> [--op gate|ping|stats|verdict|shutdown] [--system <dir>]
                [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
   lisa suggest --system <dir> --target <fn>
   lisa paths   --system <dir> --target <fn>
@@ -326,6 +335,18 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
         ),
         max_attempts: parse_num(flags, "max-attempts")?.unwrap_or(3),
         retry: RetryPolicy::default(),
+        follow: flags.get("follow").cloned(),
+        repl_listen: flags.get("repl-listen").cloned(),
+        heartbeat_interval: Duration::from_millis(
+            parse_num::<u64>(flags, "heartbeat-ms")?.unwrap_or(500),
+        ),
+        heartbeat_timeout: Duration::from_millis(
+            parse_num::<u64>(flags, "heartbeat-timeout-ms")?.unwrap_or(2500),
+        ),
+        // Test hook: seed a fault plan at the replication receive seam
+        // (torn frames, short reads, bit flips, stalled heartbeats).
+        stream_faults: parse_num::<u64>(flags, "repl-fault-seed")?
+            .map(|seed| Arc::new(StreamFaultInjector::random(seed)) as _),
     };
     // Chaos panics (and enforce-side injected panics) are expected,
     // supervised events in a daemon — keep them off stderr.
@@ -345,8 +366,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let stats = serve(&config)?;
     lisa_telemetry::note("serve", || {
         format!(
-            "drained — {} job(s) done, {} retried, {} dead-lettered, {} worker(s) respawned",
-            stats.jobs_done, stats.retries, stats.dead_letters, stats.respawned_workers
+            "drained — {} job(s) done, {} retried, {} dead-lettered, {} worker(s) respawned{}",
+            stats.jobs_done,
+            stats.retries,
+            stats.dead_letters,
+            stats.respawned_workers,
+            if stats.promotions > 0 { ", promoted from follower" } else { "" },
         )
     });
     Ok(Outcome::Clean)
@@ -357,6 +382,14 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let op = flags.get("op").map(String::as_str).unwrap_or("gate");
     let line = match op {
         "ping" | "stats" | "shutdown" => format!("{{\"op\":\"{op}\"}}"),
+        "verdict" => {
+            let id = required(flags, "job-id")?;
+            format!(
+                "{{\"v\":{},\"op\":\"verdict\",\"job_id\":\"{}\"}}",
+                lisa::service::PROTOCOL_VERSION,
+                lisa::json::escape(id),
+            )
+        }
         "gate" => {
             let system = required(flags, "system")?;
             let rules = required(flags, "rules")?;

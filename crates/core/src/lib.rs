@@ -94,7 +94,8 @@ pub use enforce::{
 };
 pub use error::LisaError;
 pub use faults::{
-    DiskFaultInjector, DiskFaultKind, FaultInjector, FaultKind, FaultPlan,
+    DiskFaultInjector, DiskFaultKind, FaultInjector, FaultKind, FaultPlan, StreamFaultInjector,
+    StreamFaultKind,
 };
 pub use gate::{Gate, GateCache, GateConfig};
 pub use json::Json;

@@ -25,7 +25,9 @@
 //! durable run, determinism wins over parallelism.
 
 use std::collections::{HashSet, VecDeque};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::fmt;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,8 +39,15 @@ use lisa_analysis::CallGraph;
 use lisa_concolic::{discover_tests, SystemVersion};
 use lisa_lang::Program;
 use lisa_oracle::{author_rule, SemanticRule};
-use lisa_store::journal::{fnv1a, Journal};
-use lisa_store::{FingerprintFile, IoFaults, RuleOutcome, RunStore, StoreError};
+use lisa_store::journal::{fnv1a, frame, Journal, FRAME_HEADER};
+use lisa_store::repl::{
+    decode_wire, encode_wire, Applier, BusPoll, FrameDecoder, ReplBus, StreamFault, StreamFaults,
+    Wire, REPL_VERSION,
+};
+use lisa_store::{
+    read_atomic, scan, FingerprintFile, GateEvent, IoFaults, RuleOutcome, RunState, RunStore,
+    StoreError,
+};
 use lisa_util::RetryPolicy;
 
 use crate::enforce::{enforce_impl, FailMode, GateDecision, GateOptions, RuleRegistry};
@@ -303,6 +312,10 @@ pub struct DurableOptions {
     /// file beside the journal (skipped whenever faults or a deadline
     /// make verdicts non-reproducible).
     pub cache: Option<Arc<GateCache>>,
+    /// Replication publisher: when attached, every durable mutation of
+    /// this run (append, snapshot, reset) is also shipped to subscribed
+    /// followers.
+    pub repl: Option<Arc<ReplBus>>,
 }
 
 /// Result of a durable (journaled, resumable) gate run.
@@ -397,7 +410,12 @@ pub fn gate_durable(
 ) -> Result<DurableGateReport, StoreError> {
     let key = run_key(version, registry.rules());
     let mut run_span = lisa_telemetry::span_with("service.durable_run", key.clone());
-    let mut store = RunStore::open(&durable.state_dir, &key, durable.disk_faults.clone())?;
+    let mut store = RunStore::open_replicated(
+        &durable.state_dir,
+        &key,
+        durable.disk_faults.clone(),
+        durable.repl.clone(),
+    )?;
     let mut warnings = std::mem::take(&mut store.warnings);
     let recovered_records = store.recovered_records;
 
@@ -534,7 +552,7 @@ pub fn gate_durable(
 // ---------------------------------------------------------------------------
 
 /// Configuration for [`serve`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Unix socket path to listen on (created; removed on clean exit).
     pub socket: PathBuf,
@@ -552,8 +570,25 @@ pub struct ServeConfig {
     pub job_timeout: Duration,
     /// Attempts per job before it is dead-lettered.
     pub max_attempts: u32,
-    /// Backoff schedule between attempts.
+    /// Backoff schedule between attempts (also paces follower
+    /// reconnects in `--follow` mode — the Retry tactic in both roles).
     pub retry: RetryPolicy,
+    /// Follow a leader at this address instead of accepting writes:
+    /// mirror its state root, answer read-only ops, and promote to
+    /// leader when it goes silent. Accepts `unix:<path>`,
+    /// `tcp:<host:port>`, a bare socket path, or a bare `host:port`.
+    pub follow: Option<String>,
+    /// Additionally accept replication subscribers over TCP at this
+    /// `host:port` (the unix socket always accepts the `follow` op).
+    pub repl_listen: Option<String>,
+    /// How often the leader ships a heartbeat frame to each follower.
+    pub heartbeat_interval: Duration,
+    /// A synced follower that receives nothing — no frame, no heartbeat
+    /// — for this long declares its leader dead and promotes itself.
+    pub heartbeat_timeout: Duration,
+    /// Seeded fault injection at the follower's receive seam (tests and
+    /// the failover fault sweep).
+    pub stream_faults: Option<Arc<dyn StreamFaults>>,
 }
 
 impl Default for ServeConfig {
@@ -566,7 +601,31 @@ impl Default for ServeConfig {
             job_timeout: Duration::from_secs(30),
             max_attempts: 3,
             retry: RetryPolicy::default(),
+            follow: None,
+            repl_listen: None,
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_millis(2500),
+            stream_faults: None,
         }
+    }
+}
+
+impl fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("socket", &self.socket)
+            .field("state_root", &self.state_root)
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.queue_cap)
+            .field("job_timeout", &self.job_timeout)
+            .field("max_attempts", &self.max_attempts)
+            .field("retry", &self.retry)
+            .field("follow", &self.follow)
+            .field("repl_listen", &self.repl_listen)
+            .field("heartbeat_interval", &self.heartbeat_interval)
+            .field("heartbeat_timeout", &self.heartbeat_timeout)
+            .field("stream_faults", &self.stream_faults.is_some())
+            .finish()
     }
 }
 
@@ -578,6 +637,8 @@ pub struct ServeStats {
     pub dead_letters: u64,
     pub respawned_workers: u64,
     pub rejected_overload: u64,
+    /// 1 if this process started as a follower and took over as leader.
+    pub promotions: u64,
 }
 
 /// One queued gate job. The response stream travels with the job so
@@ -632,6 +693,14 @@ struct Shared {
     /// the view always reflects the live pool — an abandoned thread's
     /// stale slot is unreachable from here.
     worker_slots: Mutex<Vec<Slot>>,
+    /// Replication publisher over the state root; every durable run the
+    /// workers execute feeds it, and each subscribed follower drains it
+    /// through a shipper thread.
+    repl: Arc<ReplBus>,
+    /// Followers currently attached (live shipper threads).
+    followers: AtomicU64,
+    /// Shipper thread handles, joined on shutdown.
+    shippers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// Holds a job's state-dir key in `busy_dirs` for the duration of one
@@ -650,7 +719,7 @@ impl Drop for DirGuard {
     }
 }
 
-fn respond(stream: &mut UnixStream, line: &str) {
+fn respond(stream: &mut impl Write, line: &str) {
     // The client may have gone away; a failed reply must not take the
     // daemon down with it.
     let _ = stream.write_all(line.as_bytes());
@@ -716,7 +785,7 @@ fn process_job(
     system: &str,
     rules_path: &str,
     fail_mode: FailMode,
-    state_root: &Path,
+    shared: &Arc<Shared>,
     job_id: &str,
     cancel: Arc<AtomicBool>,
     progress: Arc<dyn Fn() + Send + Sync>,
@@ -730,10 +799,11 @@ fn process_job(
     let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
     let gate = GateOptions { fail_mode, ..GateOptions::default() };
     let durable = DurableOptions {
-        state_dir: state_root.join(sanitize(job_id)),
+        state_dir: shared.state_root.join(sanitize(job_id)),
         progress: Some(progress),
         cancel: Some(cancel),
         cache: Some(Arc::new(GateCache::new())),
+        repl: Some(Arc::clone(&shared.repl)),
         ..DurableOptions::default()
     };
     gate_durable(&registry, &version, &config, &gate, &durable).map_err(|e| e.to_string())
@@ -821,7 +891,7 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
             &system,
             &rules,
             fail_mode,
-            &shared.state_root,
+            &shared,
             &id,
             Arc::clone(&cancel),
             progress,
@@ -847,6 +917,672 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
                 lisa_telemetry::counter_add("serve.jobs_failed", 1);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication: leader-side shipping
+// ---------------------------------------------------------------------------
+
+/// Where a follower finds its leader's replication endpoint.
+enum ReplAddr {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// Parse a leader address: `unix:<path>`, `tcp:<host:port>`, a bare
+/// path (anything containing `/`), or a bare `host:port`.
+fn parse_repl_addr(spec: &str) -> ReplAddr {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        ReplAddr::Unix(PathBuf::from(path))
+    } else if let Some(hostport) = spec.strip_prefix("tcp:") {
+        ReplAddr::Tcp(hostport.to_string())
+    } else if spec.contains('/') {
+        ReplAddr::Unix(PathBuf::from(spec))
+    } else {
+        ReplAddr::Tcp(spec.to_string())
+    }
+}
+
+/// A replication transport: the unix socket and the TCP listener both
+/// carry the same handshake line followed by binary frames.
+trait ReplStream: Read + Write + Send {}
+impl<T: Read + Write + Send> ReplStream for T {}
+
+/// Stream the leader's state to one follower: full sync first, then
+/// live frames off the bus, with heartbeats in idle gaps. Runs on its
+/// own thread until the follower drops or the daemon shuts down.
+fn ship_to_follower(mut stream: Box<dyn ReplStream>, shared: &Arc<Shared>, interval: Duration) {
+    shared.followers.fetch_add(1, Ordering::SeqCst);
+    if let Err(e) = ship_loop(&mut stream, shared, interval) {
+        lisa_telemetry::note("repl", || format!("follower detached: {e}"));
+    }
+    shared.followers.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn ship_frame(stream: &mut Box<dyn ReplStream>, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&frame(payload))?;
+    lisa_telemetry::counter_add("repl.frames_shipped", 1);
+    lisa_telemetry::counter_add("repl.bytes_shipped", (FRAME_HEADER + payload.len()) as u64);
+    Ok(())
+}
+
+fn ship_loop(
+    stream: &mut Box<dyn ReplStream>,
+    shared: &Arc<Shared>,
+    interval: Duration,
+) -> std::io::Result<()> {
+    let bus = &shared.repl;
+    let (payloads, mut pos) = bus.sync_payloads();
+    for p in &payloads {
+        ship_frame(stream, p)?;
+    }
+    stream.flush()?;
+    let mut last_heartbeat = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match bus.poll_after(pos, Duration::from_millis(100)) {
+            BusPoll::Frames(frames) => {
+                for (seq, payload) in frames {
+                    ship_frame(stream, &payload)?;
+                    pos = seq;
+                }
+                stream.flush()?;
+            }
+            BusPoll::Idle { .. } => {}
+            BusPoll::Gap => {
+                // This subscriber fell out of bus retention; the only
+                // honest recovery is a fresh full sync on the same
+                // stream (frame application is idempotent).
+                lisa_telemetry::counter_add("repl.resyncs", 1);
+                let (payloads, new_pos) = bus.sync_payloads();
+                for p in &payloads {
+                    ship_frame(stream, p)?;
+                }
+                stream.flush()?;
+                pos = new_pos;
+            }
+        }
+        if last_heartbeat.elapsed() >= interval {
+            let (seq, bytes) = bus.position();
+            ship_frame(stream, &encode_wire(&Wire::Heartbeat { seq, bytes }))?;
+            stream.flush()?;
+            lisa_telemetry::counter_add("repl.heartbeats_shipped", 1);
+            last_heartbeat = Instant::now();
+        }
+    }
+    Ok(())
+}
+
+/// Acknowledge a `follow` handshake and hand the stream to a shipper
+/// thread that owns it for the rest of the daemon's life.
+fn start_shipper(mut stream: Box<dyn ReplStream>, shared: &Arc<Shared>, config: &ServeConfig) {
+    let (seq, _) = shared.repl.position();
+    respond(&mut stream, &format!("{{\"status\":\"ok\",\"repl\":{REPL_VERSION},\"seq\":{seq}}}"));
+    lisa_telemetry::counter_add("repl.followers_attached", 1);
+    let handle = {
+        let shared = Arc::clone(shared);
+        let interval = config.heartbeat_interval;
+        std::thread::spawn(move || ship_to_follower(stream, &shared, interval))
+    };
+    shared.shippers.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+}
+
+// ---------------------------------------------------------------------------
+// Replication: the follower
+// ---------------------------------------------------------------------------
+
+/// Live view of a follower's replication progress, shared between the
+/// stream client thread and the read-only op handlers. Times are
+/// milliseconds since `start` so they fit in atomics.
+struct FollowState {
+    start: Instant,
+    connected: AtomicBool,
+    /// Sticky once set: this root has held a complete mirror of the
+    /// leader at least once (a `SyncDone` arrived). A disconnect does
+    /// not clear it — applied frames are atomic, so the mirror stays a
+    /// valid prefix of the leader's history, which is exactly what
+    /// promotion needs.
+    synced: AtomicBool,
+    last_activity_ms: AtomicU64,
+    last_heartbeat_ms: AtomicU64,
+    leader_seq: AtomicU64,
+    leader_bytes: AtomicU64,
+    applied_seq: AtomicU64,
+    applied_bytes: AtomicU64,
+}
+
+impl FollowState {
+    fn new() -> FollowState {
+        FollowState {
+            start: Instant::now(),
+            connected: AtomicBool::new(false),
+            synced: AtomicBool::new(false),
+            last_activity_ms: AtomicU64::new(0),
+            last_heartbeat_ms: AtomicU64::new(0),
+            leader_seq: AtomicU64::new(0),
+            leader_bytes: AtomicU64::new(0),
+            applied_seq: AtomicU64::new(0),
+            applied_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn touch_activity(&self) {
+        self.last_activity_ms.store(self.now_ms(), Ordering::SeqCst);
+    }
+
+    fn touch_heartbeat(&self) {
+        let now = self.now_ms();
+        let prev = self.last_heartbeat_ms.swap(now, Ordering::SeqCst);
+        if prev > 0 {
+            lisa_telemetry::histogram_record("repl.heartbeat_gap_ms", now.saturating_sub(prev));
+        }
+    }
+
+    /// How long since *anything* arrived from the leader — frame,
+    /// heartbeat, or sync marker. This, not heartbeat age alone, drives
+    /// promotion: a leader busy shipping big frames is clearly alive
+    /// even if its heartbeats queue behind them.
+    fn activity_age(&self) -> Duration {
+        Duration::from_millis(
+            self.now_ms().saturating_sub(self.last_activity_ms.load(Ordering::SeqCst)),
+        )
+    }
+
+    fn heartbeat_age_ms(&self) -> u64 {
+        self.now_ms().saturating_sub(self.last_heartbeat_ms.load(Ordering::SeqCst))
+    }
+
+    fn lag_frames(&self) -> u64 {
+        self.leader_seq
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.applied_seq.load(Ordering::SeqCst))
+    }
+
+    fn lag_bytes(&self) -> u64 {
+        self.leader_bytes
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.applied_bytes.load(Ordering::SeqCst))
+    }
+}
+
+/// Why a follower's stream session ended.
+enum StreamEnd {
+    /// Clean EOF or transport error: reconnect with backoff.
+    Disconnected,
+    /// The stream desynchronized — corrupt frame, undecodable payload,
+    /// or a partial frame that stalled. Nothing past that point can be
+    /// trusted, so the session drops and the reconnect's full sync
+    /// re-establishes a known-good mirror.
+    Desync,
+}
+
+/// Why follower mode returned control to [`serve`].
+enum FollowerExit {
+    /// A `shutdown` op drained us; exit cleanly.
+    Drained,
+    /// The leader went silent past the heartbeat timeout with a complete
+    /// mirror on disk: take over as leader.
+    Promoted,
+}
+
+fn follower_connect(addr: &ReplAddr) -> std::io::Result<Box<dyn ReplStream>> {
+    // Short read timeouts keep the client loop responsive to `stop` and
+    // let it notice staleness without a dedicated timer thread.
+    match addr {
+        ReplAddr::Unix(path) => {
+            let s = UnixStream::connect(path)?;
+            s.set_read_timeout(Some(Duration::from_millis(200)))?;
+            Ok(Box::new(s))
+        }
+        ReplAddr::Tcp(hostport) => {
+            let s = TcpStream::connect(hostport.as_str())?;
+            s.set_read_timeout(Some(Duration::from_millis(200)))?;
+            Ok(Box::new(s))
+        }
+    }
+}
+
+/// The follower's stream client: connect, follow, reconnect with
+/// [`RetryPolicy`] backoff — forever, until `stop`. The policy shapes
+/// the backoff curve; it is *not* an attempt cap, because the exit from
+/// a dead leader is promotion (decided by the supervisor from
+/// [`FollowState`] staleness), not giving up.
+fn follower_client(
+    addr: ReplAddr,
+    state: Arc<FollowState>,
+    applier: Arc<Applier>,
+    retry: RetryPolicy,
+    stop: Arc<AtomicBool>,
+    faults: Option<Arc<dyn StreamFaults>>,
+    stale_after: Duration,
+) {
+    let mut failures: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match follower_connect(&addr) {
+            Ok(stream) => {
+                state.connected.store(true, Ordering::SeqCst);
+                lisa_telemetry::counter_add("repl.connects", 1);
+                let end =
+                    follow_stream(stream, &state, &applier, &stop, faults.as_deref(), stale_after);
+                state.connected.store(false, Ordering::SeqCst);
+                match end {
+                    StreamEnd::Disconnected => {
+                        lisa_telemetry::counter_add("repl.disconnects", 1);
+                    }
+                    StreamEnd::Desync => {
+                        lisa_telemetry::counter_add("repl.resyncs_requested", 1);
+                    }
+                }
+                failures = 0;
+            }
+            Err(_) => failures = failures.saturating_add(1),
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(retry.backoff(failures.clamp(1, retry.max_attempts)));
+    }
+}
+
+/// Run one connected session: handshake, then decode-and-apply until
+/// EOF, corruption, or shutdown.
+fn follow_stream(
+    mut stream: Box<dyn ReplStream>,
+    state: &FollowState,
+    applier: &Applier,
+    stop: &AtomicBool,
+    faults: Option<&dyn StreamFaults>,
+    stale_after: Duration,
+) -> StreamEnd {
+    let hello = format!("{{\"v\":{PROTOCOL_VERSION},\"op\":\"follow\"}}\n");
+    if stream.write_all(hello.as_bytes()).is_err() || stream.flush().is_err() {
+        return StreamEnd::Disconnected;
+    }
+    // Read the one-line ack byte-at-a-time: everything after the newline
+    // is binary frame data that buffered reading would swallow.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut ack = Vec::new();
+    loop {
+        let mut b = [0u8; 1];
+        match stream.read(&mut b) {
+            Ok(0) => return StreamEnd::Disconnected,
+            Ok(_) if b[0] == b'\n' => break,
+            Ok(_) => {
+                ack.push(b[0]);
+                if ack.len() > 4096 {
+                    return StreamEnd::Desync;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if Instant::now() >= deadline || stop.load(Ordering::SeqCst) {
+                    return StreamEnd::Disconnected;
+                }
+            }
+            Err(_) => return StreamEnd::Disconnected,
+        }
+    }
+    let acked = std::str::from_utf8(&ack)
+        .ok()
+        .and_then(|s| Json::parse(s.trim()).ok())
+        .is_some_and(|a| {
+            a.str_of("status") == Some("ok") && a.u64_of("repl") == Some(REPL_VERSION)
+        });
+    if !acked {
+        lisa_telemetry::note("repl", || "leader rejected the follow handshake".to_string());
+        return StreamEnd::Disconnected;
+    }
+    state.touch_activity();
+
+    let mut dec = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut drop_heartbeats = false;
+    let mut last_progress = Instant::now();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return StreamEnd::Disconnected;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return StreamEnd::Disconnected,
+            Ok(n) => {
+                let mut chunk = buf[..n].to_vec();
+                let mut tear_after = false;
+                if let Some(fault) = faults.and_then(|f| f.on_chunk(n)) {
+                    lisa_telemetry::counter_add("repl.stream_faults_injected", 1);
+                    match fault {
+                        StreamFault::Torn { keep } => {
+                            chunk.truncate(keep.min(n));
+                            tear_after = true;
+                        }
+                        StreamFault::Flip { at } => chunk[at % n] ^= 0x20,
+                        StreamFault::Short { keep } => chunk.truncate(keep.min(n)),
+                        StreamFault::DropHeartbeat => drop_heartbeats = true,
+                    }
+                }
+                dec.feed(&chunk);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(payload)) => {
+                            last_progress = Instant::now();
+                            if let Some(end) =
+                                apply_wire(&payload, state, applier, drop_heartbeats)
+                            {
+                                return end;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            lisa_telemetry::note("repl", || format!("stream corrupt: {e}"));
+                            return StreamEnd::Desync;
+                        }
+                    }
+                }
+                if tear_after {
+                    return StreamEnd::Disconnected;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return StreamEnd::Disconnected,
+        }
+        // A silently desynchronized stream — a short read the checksum
+        // cannot catch until the *next* frame boundary — shows up as a
+        // partial frame that never completes while bytes keep arriving.
+        // Surface it as desync rather than letting a stale stream
+        // masquerade as a dead leader and trigger a false promotion.
+        if dec.pending() > 0 && last_progress.elapsed() > stale_after {
+            lisa_telemetry::note("repl", || "partial frame stalled; resyncing".to_string());
+            return StreamEnd::Desync;
+        }
+    }
+}
+
+/// Apply one decoded payload to the mirror and the progress view.
+/// Returns `Some(end)` when the session must end: an event the applier
+/// refused (hostile path, I/O failure) means this stream can no longer
+/// be trusted to produce a faithful mirror.
+fn apply_wire(
+    payload: &[u8],
+    state: &FollowState,
+    applier: &Applier,
+    drop_heartbeats: bool,
+) -> Option<StreamEnd> {
+    match decode_wire(payload) {
+        Ok(Wire::Event { seq, event }) => {
+            if let Err(e) = applier.apply(&event) {
+                lisa_telemetry::counter_add("repl.frames_quarantined", 1);
+                lisa_telemetry::note("repl", || format!("refused replicated event: {e}"));
+                return Some(StreamEnd::Desync);
+            }
+            state.applied_seq.store(seq, Ordering::SeqCst);
+            state
+                .applied_bytes
+                .fetch_add((FRAME_HEADER + payload.len()) as u64, Ordering::SeqCst);
+            state.leader_seq.fetch_max(seq, Ordering::SeqCst);
+            state.touch_activity();
+            None
+        }
+        Ok(Wire::Heartbeat { seq, bytes }) => {
+            if drop_heartbeats {
+                lisa_telemetry::counter_add("repl.heartbeats_dropped", 1);
+                return None;
+            }
+            state.leader_seq.store(seq, Ordering::SeqCst);
+            state.leader_bytes.store(bytes, Ordering::SeqCst);
+            state.touch_heartbeat();
+            state.touch_activity();
+            lisa_telemetry::counter_add("repl.heartbeats_seen", 1);
+            None
+        }
+        Ok(Wire::SyncDone { seq, bytes }) => {
+            state.applied_seq.store(seq, Ordering::SeqCst);
+            state.applied_bytes.store(bytes, Ordering::SeqCst);
+            state.leader_seq.store(seq, Ordering::SeqCst);
+            state.leader_bytes.store(bytes, Ordering::SeqCst);
+            state.synced.store(true, Ordering::SeqCst);
+            state.touch_heartbeat();
+            state.touch_activity();
+            lisa_telemetry::counter_add("repl.syncs_completed", 1);
+            None
+        }
+        Err(e) => {
+            lisa_telemetry::counter_add("repl.frames_rejected", 1);
+            lisa_telemetry::note("repl", || format!("undecodable frame: {e}"));
+            Some(StreamEnd::Desync)
+        }
+    }
+}
+
+/// Run follower mode on the already-bound unix socket: mirror the
+/// leader into the state root, answer read-only ops, and decide
+/// promotion. Returns whether we drained or should take over.
+fn run_follower(
+    listener: &UnixListener,
+    config: &ServeConfig,
+    addr: ReplAddr,
+    metrics_journal: &mut Option<Journal>,
+) -> FollowerExit {
+    let state = Arc::new(FollowState::new());
+    let applier = match Applier::new(&config.state_root) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            lisa_telemetry::note("repl", || format!("follower state root unusable: {e}"));
+            return FollowerExit::Drained;
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let client = {
+        let state = Arc::clone(&state);
+        let applier = Arc::clone(&applier);
+        let stop = Arc::clone(&stop);
+        let retry = config.retry;
+        let faults = config.stream_faults.clone();
+        let stale_after = config.heartbeat_timeout;
+        std::thread::spawn(move || {
+            follower_client(addr, state, applier, retry, stop, faults, stale_after)
+        })
+    };
+    let mut last_snapshot = Instant::now();
+    let mut drained = false;
+    let exit = loop {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    handle_follower_connection(stream, config, &state, &mut drained)
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    lisa_telemetry::note("serve", || format!("accept failed: {e}"));
+                    break;
+                }
+            }
+        }
+        if drained {
+            break FollowerExit::Drained;
+        }
+        if state.synced.load(Ordering::SeqCst) && state.activity_age() > config.heartbeat_timeout
+        {
+            break FollowerExit::Promoted;
+        }
+        if last_snapshot.elapsed() >= METRICS_SNAPSHOT_INTERVAL {
+            // Record replication gauges alongside the regular snapshot
+            // so lag and heartbeat age are visible post-mortem in the
+            // metrics journal, not just in live `stats` replies.
+            lisa_telemetry::histogram_record("repl.heartbeat_age_ms", state.heartbeat_age_ms());
+            lisa_telemetry::histogram_record("repl.lag_frames", state.lag_frames());
+            snapshot_metrics(metrics_journal);
+            last_snapshot = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    stop.store(true, Ordering::SeqCst);
+    let _ = client.join();
+    exit
+}
+
+/// One NDJSON request in follower mode: read-only ops plus `shutdown`.
+/// Writes are refused with a structured `read-only` reply (Degradation:
+/// the follower keeps serving what it can, never what it can't).
+fn handle_follower_connection(
+    mut stream: UnixStream,
+    config: &ServeConfig,
+    state: &Arc<FollowState>,
+    drained: &mut bool,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut line = String::new();
+    if BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    })
+    .read_line(&mut line)
+    .is_err()
+    {
+        respond(&mut stream, &error_response("", "bad-request", "could not read request line"));
+        return;
+    }
+    let request = match Json::parse(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            respond(&mut stream, &error_response("", "bad-request", &format!("bad JSON: {e}")));
+            return;
+        }
+    };
+    if let Err(e) = version_ok(&request) {
+        respond(&mut stream, &error_response("", "bad-request", &e));
+        return;
+    }
+    match request.str_of("op").unwrap_or("gate") {
+        "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
+        "stats" => respond(&mut stream, &follower_stats_response(state)),
+        "verdict" => {
+            let id = request.str_of("job_id").unwrap_or("");
+            respond(&mut stream, &verdict_response(&config.state_root, id));
+        }
+        "shutdown" => {
+            *drained = true;
+            respond(&mut stream, "{\"status\":\"draining\"}");
+        }
+        "gate" => respond(
+            &mut stream,
+            &error_response(
+                request.str_of("job_id").unwrap_or(""),
+                "read-only",
+                "follower is read-only while its leader is alive; submit to the leader",
+            ),
+        ),
+        other => respond(
+            &mut stream,
+            &error_response("", "bad-request", &format!("unknown op {other:?}")),
+        ),
+    }
+}
+
+/// The follower's `stats` reply: role, replication progress, and the
+/// same cumulative counters/timings a leader reports.
+fn follower_stats_response(state: &FollowState) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"role\":\"follower\",\"connected\":{},\"synced\":{},\"leader_seq\":{},\"applied_seq\":{},\"lag_frames\":{},\"lag_bytes\":{},\"heartbeat_age_ms\":{},\"counters\":{},\"timings\":{}}}",
+        state.connected.load(Ordering::SeqCst),
+        state.synced.load(Ordering::SeqCst),
+        state.leader_seq.load(Ordering::SeqCst),
+        state.applied_seq.load(Ordering::SeqCst),
+        state.lag_frames(),
+        state.lag_bytes(),
+        state.heartbeat_age_ms(),
+        counters_json(),
+        timings_json(),
+    )
+}
+
+/// Answer a `verdict` query purely from on-disk run state, without
+/// opening a [`RunStore`] — recovery repairs (truncation, quarantine)
+/// would *mutate* the journals this node is busy mirroring. Corrupt or
+/// torn tails simply aren't counted; the leader's copy is authoritative
+/// until promotion.
+fn verdict_response(state_root: &Path, job_id: &str) -> String {
+    if job_id.is_empty() {
+        return error_response("", "bad-request", "verdict needs `job_id`");
+    }
+    let dir = state_root.join(sanitize(job_id));
+    if !dir.is_dir() {
+        return error_response(job_id, "not-found", "no durable state for this job id");
+    }
+    let mut state = match read_atomic(&dir.join(RunStore::SNAPSHOT)) {
+        Some(bytes) => RunState::from_snapshot(&bytes),
+        None => RunState::default(),
+    };
+    if let Ok(bytes) = std::fs::read(dir.join(RunStore::JOURNAL)) {
+        for rec in &scan(&bytes).records {
+            if let Ok(event) = GateEvent::decode(rec) {
+                state.apply(&event);
+            }
+        }
+    }
+    // A compact, order-sensitive digest of the settled verdicts lets a
+    // caller compare two nodes' views without shipping every report.
+    let mut digest = String::new();
+    for o in &state.finished {
+        digest.push_str(&format!("rule {}\n{}\n", o.rule_id, o.fingerprint));
+    }
+    if let Some(d) = &state.decision {
+        digest.push_str(&format!("decision {d}\n"));
+    }
+    format!(
+        "{{\"status\":\"ok\",\"job_id\":\"{}\",\"decision\":\"{}\",\"started\":{},\"finished\":{},\"verdicts_fnv\":\"{:016x}\"}}",
+        escape(job_id),
+        escape(state.decision.as_deref().unwrap_or("in-progress")),
+        state.started.len(),
+        state.finished.len(),
+        fnv1a(digest.as_bytes()),
+    )
+}
+
+/// One connection on the TCP replication listener. Only `ping` and
+/// `follow` are spoken here — gate submissions stay on the unix socket,
+/// so exposing the replication port never exposes the write path.
+fn handle_repl_tcp(mut stream: TcpStream, config: &ServeConfig, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut line = String::new();
+    if BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    })
+    .read_line(&mut line)
+    .is_err()
+    {
+        respond(&mut stream, &error_response("", "bad-request", "could not read request line"));
+        return;
+    }
+    let request = match Json::parse(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            respond(&mut stream, &error_response("", "bad-request", &format!("bad JSON: {e}")));
+            return;
+        }
+    };
+    if let Err(e) = version_ok(&request) {
+        respond(&mut stream, &error_response("", "bad-request", &e));
+        return;
+    }
+    match request.str_of("op").unwrap_or("") {
+        "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
+        "follow" => {
+            // A follower that stops reading must not wedge its shipper
+            // (and with it, daemon shutdown) forever.
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            start_shipper(Box::new(stream), shared, config);
+        }
+        other => respond(
+            &mut stream,
+            &error_response(
+                "",
+                "bad-request",
+                &format!("unsupported op {other:?} on the replication listener"),
+            ),
+        ),
     }
 }
 
@@ -939,6 +1675,38 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
     }
     let mut metrics_journal = open_metrics_journal(&config.state_root);
     let mut last_snapshot = Instant::now();
+    let mut stats = ServeStats::default();
+
+    // Follower mode: mirror the leader until a shutdown drains us or
+    // the leader goes silent. Promotion falls through into the leader
+    // path below on the already-bound socket, so the address clients
+    // know keeps working across the role change.
+    if let Some(spec) = &config.follow {
+        match run_follower(&listener, config, parse_repl_addr(spec), &mut metrics_journal) {
+            FollowerExit::Drained => {
+                snapshot_metrics(&mut metrics_journal);
+                let _ = std::fs::remove_file(&config.socket);
+                return Ok(stats);
+            }
+            FollowerExit::Promoted => {
+                stats.promotions = 1;
+                lisa_telemetry::counter_add("repl.promotions", 1);
+                lisa_telemetry::event(
+                    "repl.promoted",
+                    "leader silent past heartbeat timeout; follower taking over",
+                );
+            }
+        }
+    }
+
+    let repl_listener = match &config.repl_listen {
+        Some(addr) => {
+            let l = TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+            l.set_nonblocking(true).map_err(|e| format!("nonblocking repl listener: {e}"))?;
+            Some(l)
+        }
+        None => None,
+    };
 
     let shared = Arc::new(Shared {
         queue: Mutex::new(QueueState { jobs: VecDeque::new(), busy_dirs: HashSet::new() }),
@@ -947,11 +1715,13 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         jobs_done: AtomicU64::new(0),
         state_root: config.state_root.clone(),
         worker_slots: Mutex::new(Vec::new()),
+        repl: ReplBus::new(&config.state_root),
+        followers: AtomicU64::new(0),
+        shippers: Mutex::new(Vec::new()),
     });
     let workers = config.workers.max(1);
     let mut pool: Vec<Worker> = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
 
-    let mut stats = ServeStats::default();
     let mut pending_retries: Vec<(Job, Instant)> = Vec::new();
     let mut next_job = 0u64;
     let mut draining = false;
@@ -972,6 +1742,18 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
                 Err(e) => {
                     lisa_telemetry::note("serve", || format!("accept failed: {e}"));
                     break;
+                }
+            }
+        }
+        if let Some(l) = &repl_listener {
+            loop {
+                match l.accept() {
+                    Ok((stream, _)) => handle_repl_tcp(stream, config, &shared),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) => {
+                        lisa_telemetry::note("serve", || format!("repl accept failed: {e}"));
+                        break;
+                    }
                 }
             }
         }
@@ -1077,6 +1859,9 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
             let _ = h.join();
         }
     }
+    for shipper in shared.shippers.lock().unwrap_or_else(|p| p.into_inner()).drain(..) {
+        let _ = shipper.join();
+    }
     stats.jobs_done = shared.jobs_done.load(Ordering::Relaxed);
     snapshot_metrics(&mut metrics_journal);
     let _ = std::fs::remove_file(&config.socket);
@@ -1115,9 +1900,46 @@ const STATS_TIMINGS: [&str; 8] = [
     "smt.query_us",
 ];
 
-/// Build the one-line `stats` reply: queue depth, per-worker states,
-/// cumulative telemetry counters (restored across restarts via the
-/// metrics journal), and per-stage timing summaries.
+/// The cumulative telemetry counters as one JSON object (shared by the
+/// leader and follower `stats` replies).
+fn counters_json() -> String {
+    let mut counters = String::from("{");
+    for (i, (name, value)) in lisa_telemetry::counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        counters.push_str(&format!("\"{}\":{value}", escape(name)));
+    }
+    counters.push('}');
+    counters
+}
+
+/// The per-stage timing summaries as one JSON object.
+fn timings_json() -> String {
+    let mut timings = String::from("{");
+    let hists = lisa_telemetry::histograms_snapshot();
+    let mut first = true;
+    for name in STATS_TIMINGS {
+        let Some(h) = hists.get(name) else { continue };
+        if !first {
+            timings.push(',');
+        }
+        first = false;
+        timings.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{}}}",
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.95),
+        ));
+    }
+    timings.push('}');
+    timings
+}
+
+/// Build the one-line `stats` reply: role, queue depth, per-worker
+/// states, replication position and attached followers, cumulative
+/// telemetry counters (restored across restarts via the metrics
+/// journal), and per-stage timing summaries.
 fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
     let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.len();
     let mut workers = String::from("[");
@@ -1139,39 +1961,35 @@ fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
         }
     }
     workers.push(']');
-    let mut counters = String::from("{");
-    for (i, (name, value)) in lisa_telemetry::counters_snapshot().iter().enumerate() {
-        if i > 0 {
-            counters.push(',');
-        }
-        counters.push_str(&format!("\"{}\":{value}", escape(name)));
-    }
-    counters.push('}');
-    let mut timings = String::from("{");
-    let hists = lisa_telemetry::histograms_snapshot();
-    let mut first = true;
-    for name in STATS_TIMINGS {
-        let Some(h) = hists.get(name) else { continue };
-        if !first {
-            timings.push(',');
-        }
-        first = false;
-        timings.push_str(&format!(
-            "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{}}}",
-            h.count,
-            h.percentile(0.50),
-            h.percentile(0.95),
-        ));
-    }
-    timings.push('}');
+    let (repl_seq, repl_bytes) = shared.repl.position();
     format!(
-        "{{\"status\":\"ok\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"queued\":{queued},\"workers\":{workers},\"counters\":{counters},\"timings\":{timings}}}",
+        "{{\"status\":\"ok\",\"role\":\"leader\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"promotions\":{},\"followers\":{},\"repl_seq\":{repl_seq},\"repl_bytes\":{repl_bytes},\"queued\":{queued},\"workers\":{workers},\"counters\":{},\"timings\":{}}}",
         shared.jobs_done.load(Ordering::Relaxed),
         stats.retries,
         stats.dead_letters,
         stats.respawned_workers,
         stats.rejected_overload,
+        stats.promotions,
+        shared.followers.load(Ordering::SeqCst),
+        counters_json(),
+        timings_json(),
     )
+}
+
+/// Protocol versioning, shared by every listener: absent `v` means v1
+/// (pre-versioning clients); a non-numeric or mismatched `v` is a
+/// structured bad-request rather than a silent assumption.
+fn version_ok(request: &Json) -> Result<(), String> {
+    if let Some(v) = request.u64_of("v") {
+        if v != PROTOCOL_VERSION {
+            return Err(format!(
+                "unsupported protocol version {v} (daemon speaks v{PROTOCOL_VERSION})"
+            ));
+        }
+    } else if request.get("v").is_some() {
+        return Err("field `v` must be a number".to_string());
+    }
+    Ok(())
 }
 
 /// Read one NDJSON request from a fresh connection and dispatch it.
@@ -1204,30 +2022,24 @@ fn handle_connection(
             return;
         }
     };
-    // Protocol versioning: absent `v` means v1 (pre-versioning clients);
-    // anything else is a request this daemon does not speak.
-    if let Some(v) = request.u64_of("v") {
-        if v != PROTOCOL_VERSION {
-            respond(
-                &mut stream,
-                &error_response(
-                    "",
-                    "bad-request",
-                    &format!("unsupported protocol version {v} (daemon speaks v{PROTOCOL_VERSION})"),
-                ),
-            );
-            return;
-        }
-    } else if request.get("v").is_some() {
-        // `"v"` present but not a number (e.g. a string): reject rather
-        // than silently assuming v1.
-        respond(&mut stream, &error_response("", "bad-request", "field `v` must be a number"));
+    if let Err(e) = version_ok(&request) {
+        respond(&mut stream, &error_response("", "bad-request", &e));
         return;
     }
     match request.str_of("op").unwrap_or("gate") {
         "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
         "stats" => {
             respond(&mut stream, &stats_response(shared, stats));
+        }
+        "verdict" => {
+            let id = request.str_of("job_id").unwrap_or("");
+            respond(&mut stream, &verdict_response(&shared.state_root, id));
+        }
+        "follow" => {
+            // A follower that stops reading must not wedge its shipper
+            // (and with it, daemon shutdown) forever.
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            start_shipper(Box::new(stream), shared, config);
         }
         "shutdown" => {
             *draining = true;

@@ -207,7 +207,7 @@ impl Journal {
             for r in &scanned.records {
                 clean.extend_from_slice(&frame(r));
             }
-            write_bytes_atomic(&path, &clean)?;
+            write_file_atomic(&path, &clean)?;
         }
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         let good_end = file.seek(SeekFrom::End(0))?;
@@ -346,7 +346,7 @@ pub fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
     span.arg("bytes", payload.len() as u64);
     if lisa_telemetry::metrics_enabled() {
         let start = std::time::Instant::now();
-        let result = write_bytes_atomic(path, &frame(payload));
+        let result = write_file_atomic(path, &frame(payload));
         lisa_telemetry::counter_add("store.snapshots", 1);
         lisa_telemetry::histogram_record(
             "store.snapshot_us",
@@ -354,11 +354,15 @@ pub fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
         );
         result
     } else {
-        write_bytes_atomic(path, &frame(payload))
+        write_file_atomic(path, &frame(payload))
     }
 }
 
-fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// Write raw `bytes` to `path` atomically (write-temp + fsync + rename),
+/// with no framing added. Used by compaction and by replication, where
+/// the bytes being installed are already a framed journal or snapshot
+/// and must land byte-identical to the leader's copy.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     // Unique temp name per write: `rules.snap` and `rules.log` live in
     // the same directory, and another process may be checkpointing the
     // same store — a shared `.tmp` name would let one writer clobber the
@@ -483,6 +487,52 @@ mod tests {
         let (_, report) = Journal::open(&path, None).expect("re-reopen");
         assert_eq!(report.records.len(), 2);
         assert_eq!(report.quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_a_torn_tail_not_an_allocation() {
+        // This codepath is network-facing via replication: a corrupt or
+        // hostile u32 length must be rejected before any allocation.
+        let mut bytes = frame(b"good");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(b"whatever follows the lying header");
+        let s = scan(&bytes);
+        assert_eq!(s.records, vec![b"good".to_vec()]);
+        assert_eq!(s.torn_bytes, bytes.len() - frame(b"good").len());
+        assert!(s.corrupt.is_empty());
+
+        // Length just over MAX_RECORD: same treatment, even if the buffer
+        // claims to hold it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_RECORD + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let s = scan(&bytes);
+        assert!(s.records.is_empty());
+        assert_eq!(s.torn_bytes, bytes.len());
+
+        // Length exceeding the remaining buffer (frame runs past EOF).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 10]);
+        let s = scan(&bytes);
+        assert!(s.records.is_empty());
+        assert_eq!(s.torn_bytes, bytes.len());
+
+        // And a Journal::open over such a file repairs it durably.
+        let dir = tmpdir("hostile-len");
+        let path = dir.join("wal");
+        let mut raw = frame(b"kept");
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0xAB; 20]);
+        std::fs::write(&path, &raw).expect("write");
+        let (_, report) = Journal::open(&path, None).expect("open");
+        assert_eq!(report.records, vec![b"kept".to_vec()]);
+        assert!(report.truncated_bytes > 0);
+        let (_, report) = Journal::open(&path, None).expect("reopen");
+        assert_eq!(report.truncated_bytes, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

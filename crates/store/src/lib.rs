@@ -19,6 +19,10 @@
 //!   replace-in-place registration semantics hold across process
 //!   restarts.
 //! - [`codec`] — the escaped `key=value` field codec all records share.
+//! - [`repl`] — leader→follower journal shipping: a publisher bus fed by
+//!   the store's mutation seams, a CRC'd wire frame codec (same envelope
+//!   as the on-disk journal), and a path-confined applier that mirrors
+//!   the leader's state root byte-for-byte onto a warm spare.
 //!
 //! The crate is deliberately independent of the pipeline: it stores
 //! opaque verdict fingerprints, not reports, so corruption in the store
@@ -30,13 +34,19 @@ pub mod codec;
 pub mod event;
 pub mod fingerprints;
 pub mod journal;
+pub mod repl;
 pub mod run;
 pub mod rules;
 
 pub use event::{GateEvent, RuleOutcome};
 pub use fingerprints::{FingerprintFile, RuleFingerprint};
 pub use journal::{
-    read_atomic, scan, write_atomic, IoFault, IoFaults, Journal, OpenReport, Scan,
+    read_atomic, scan, write_atomic, write_file_atomic, IoFault, IoFaults, Journal, OpenReport,
+    Scan,
+};
+pub use repl::{
+    decode_wire, encode_wire, Applier, BusPoll, FrameDecoder, ReplBus, ReplEvent, StreamFault,
+    StreamFaults, Wire, MAX_WIRE_FRAME, REPL_VERSION,
 };
 pub use run::{RunState, RunStore};
 pub use rules::RuleStore;

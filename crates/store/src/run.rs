@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use crate::event::{GateEvent, RuleOutcome};
 use crate::journal::{read_atomic, scan, write_atomic, IoFaults, Journal};
+use crate::repl::ReplBus;
 use crate::StoreError;
 
 /// Recovered state of one gate run.
@@ -121,6 +122,10 @@ pub struct RunStore {
     /// Set false after the first append failure: the run continues in
     /// memory (availability over durability) and the caller is warned.
     journaling: bool,
+    /// When attached, every durable mutation is also published for
+    /// follower shipping. Publishing mirrors the *in-memory* state, so a
+    /// leader degraded to memory-only still keeps its followers current.
+    repl: Option<Arc<ReplBus>>,
     pub state: RunState,
     pub warnings: Vec<String>,
     /// Records recovered from disk on open (journal tail only, excluding
@@ -129,8 +134,10 @@ pub struct RunStore {
 }
 
 impl RunStore {
-    const SNAPSHOT: &'static str = "state.snap";
-    const JOURNAL: &'static str = "wal.log";
+    /// Snapshot file name inside a run's state directory.
+    pub const SNAPSHOT: &'static str = "state.snap";
+    /// Write-ahead journal file name inside a run's state directory.
+    pub const JOURNAL: &'static str = "wal.log";
 
     /// Open the store for `run_key`, replaying snapshot + journal. State
     /// journaled under a *different* key is archived (`*.stale`) and a
@@ -139,6 +146,17 @@ impl RunStore {
         dir: impl Into<PathBuf>,
         run_key: &str,
         faults: Option<Arc<dyn IoFaults>>,
+    ) -> Result<RunStore, StoreError> {
+        RunStore::open_replicated(dir, run_key, faults, None)
+    }
+
+    /// [`RunStore::open`] with a replication bus attached: every append,
+    /// checkpoint, and reset is also published for follower shipping.
+    pub fn open_replicated(
+        dir: impl Into<PathBuf>,
+        run_key: &str,
+        faults: Option<Arc<dyn IoFaults>>,
+        repl: Option<Arc<ReplBus>>,
     ) -> Result<RunStore, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
@@ -159,6 +177,7 @@ impl RunStore {
             dir,
             journal,
             journaling: true,
+            repl,
             state,
             warnings: Vec::new(),
             recovered_records: report.records.len(),
@@ -201,6 +220,14 @@ impl RunStore {
         if snap.exists() {
             let _ = std::fs::rename(&snap, self.dir.join("state.snap.stale"));
         }
+        if let Some(bus) = &self.repl {
+            // Mirror the archival on followers by emptying both files: an
+            // empty snapshot reads as absent, an empty journal replays
+            // nothing, and the RunStarted that follows starts the fresh
+            // run on both sides.
+            bus.publish_reset(&self.dir.join(Self::JOURNAL));
+            bus.publish_reset(&snap);
+        }
         Ok(())
     }
 
@@ -222,14 +249,20 @@ impl RunStore {
     /// a gate that cannot journal must still return a decision.
     pub fn append(&mut self, event: &GateEvent) {
         self.state.apply(event);
-        if !self.journaling {
-            return;
+        let encoded = event.encode();
+        if self.journaling {
+            if let Err(e) = self.journal.append(&encoded) {
+                self.journaling = false;
+                self.warnings.push(format!(
+                    "journal append failed ({e}); continuing without durability"
+                ));
+            }
         }
-        if let Err(e) = self.journal.append(&event.encode()) {
-            self.journaling = false;
-            self.warnings.push(format!(
-                "journal append failed ({e}); continuing without durability"
-            ));
+        // Published even when the local disk failed: the bus mirrors the
+        // in-memory state, and a follower with a healthy disk is exactly
+        // the durability the degraded leader lost.
+        if let Some(bus) = &self.repl {
+            bus.publish_append(&self.dir.join(Self::JOURNAL), &encoded);
         }
     }
 
@@ -250,8 +283,19 @@ impl RunStore {
     /// rename is atomic and the journal is only reset after the snapshot
     /// is durable.
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
-        write_atomic(&self.dir.join(Self::SNAPSHOT), &self.state.to_snapshot())?;
+        let payload = self.state.to_snapshot();
+        let snap = self.dir.join(Self::SNAPSHOT);
+        write_atomic(&snap, &payload)?;
+        if let Some(bus) = &self.repl {
+            // Ship the on-disk bytes (the framed payload) so the
+            // follower's snapshot is byte-identical, then the reset in
+            // the same order the leader applied them.
+            bus.publish_file(&snap, &crate::journal::frame(&payload));
+        }
         self.journal.reset()?;
+        if let Some(bus) = &self.repl {
+            bus.publish_reset(&self.dir.join(Self::JOURNAL));
+        }
         Ok(())
     }
 }
@@ -334,6 +378,57 @@ mod tests {
         let ids: Vec<&str> = store.state.finished.iter().map(|o| o.rule_id.as_str()).collect();
         assert_eq!(ids, vec!["A", "B", "C"], "replace-in-place keeps order");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replicated_store_mirrors_state_onto_a_follower_root() {
+        use crate::repl::{decode_wire, Applier, BusPoll, ReplBus, Wire};
+        use std::time::Duration;
+
+        let leader_root = tmpdir("repl-leader");
+        let follower_root = tmpdir("repl-follower");
+        let job_dir = leader_root.join("job-1");
+        let bus = ReplBus::new(&leader_root);
+        {
+            let mut store =
+                RunStore::open_replicated(&job_dir, "k", None, Some(bus.clone())).expect("open");
+            store.record_started("A");
+            store.record_finished(outcome("A", 0));
+            store.checkpoint().expect("checkpoint");
+            store.record_started("B");
+            store.record_finished(outcome("B", 1));
+            store.record_run_finished("BLOCK");
+        }
+        // Drain the bus and apply every event onto the follower root.
+        let applier = Applier::new(&follower_root).expect("applier");
+        match bus.poll_after(0, Duration::from_millis(1)) {
+            BusPoll::Frames(frames) => {
+                for (_, payload) in frames {
+                    if let Wire::Event { event, .. } = decode_wire(&payload).expect("decode") {
+                        applier.apply(&event).expect("apply");
+                    }
+                }
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
+        // Snapshot bytes must mirror exactly; the journal tails may
+        // differ only if the leader compacted (it did not here).
+        assert_eq!(
+            std::fs::read(job_dir.join("state.snap")).expect("leader snap"),
+            std::fs::read(follower_root.join("job-1/state.snap")).expect("follower snap"),
+        );
+        assert_eq!(
+            std::fs::read(job_dir.join("wal.log")).expect("leader wal"),
+            std::fs::read(follower_root.join("job-1/wal.log")).expect("follower wal"),
+        );
+        // Recovery on the follower sees the same settled verdicts.
+        let leader = RunStore::open(&job_dir, "k", None).expect("leader reopen");
+        let follower =
+            RunStore::open(follower_root.join("job-1"), "k", None).expect("follower open");
+        assert_eq!(leader.state, follower.state);
+        assert_eq!(follower.state.decision.as_deref(), Some("BLOCK"));
+        let _ = std::fs::remove_dir_all(&leader_root);
+        let _ = std::fs::remove_dir_all(&follower_root);
     }
 
     #[test]

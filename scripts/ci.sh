@@ -70,3 +70,53 @@ echo "cache smoke: ok"
 # version is >= 2x faster and writes BENCH_cache.json.
 cargo bench -q -p lisa-bench --bench cache > /dev/null
 echo "cache bench: ok"
+
+# Failover e2e: kill-at-every-frame-boundary byte-identity (cache on and
+# off), full-sync bootstrap, seeded stream-fault quarantine sweep, and
+# the process-level SIGKILL + promotion test.
+cargo test -q -p lisa --test e2e_failover
+
+# Warm-failover smoke: a leader and a follower over TCP, a job settled
+# on the leader, the leader SIGKILLed, the follower promoted —
+# the mirrored journal must be byte-identical and the promoted daemon
+# must answer the same verdict without re-executing anything.
+LEADER=""; FOLLOWER=""
+trap 'kill -9 $LEADER $FOLLOWER 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+FPORT=$((20000 + RANDOM % 20000))
+"$LISA" serve --socket "$SMOKE/leader.sock" --state-root "$SMOKE/lstate" \
+    --repl-listen "127.0.0.1:$FPORT" --heartbeat-ms 100 &
+LEADER=$!
+"$LISA" serve --socket "$SMOKE/follower.sock" --state-root "$SMOKE/fstate" \
+    --follow "tcp:127.0.0.1:$FPORT" --heartbeat-ms 100 --heartbeat-timeout-ms 800 &
+FOLLOWER=$!
+for _ in $(seq 100); do
+    "$LISA" submit --socket "$SMOKE/follower.sock" --op stats 2>/dev/null \
+        | grep -q '"synced":true' && break
+    sleep 0.1
+done
+"$LISA" submit --socket "$SMOKE/leader.sock" --system "$SMOKE" \
+    --rules "$SMOKE/rules.txt" --job-id fo1 > "$SMOKE/fo-leader.out"
+grep -q '"decision":"PASS"' "$SMOKE/fo-leader.out"
+for _ in $(seq 100); do
+    "$LISA" submit --socket "$SMOKE/follower.sock" --op stats 2>/dev/null \
+        | grep -q '"lag_frames":0' && break
+    sleep 0.1
+done
+cmp "$SMOKE/lstate/fo1/wal.log" "$SMOKE/fstate/fo1/wal.log"
+kill -9 "$LEADER"
+for _ in $(seq 200); do
+    "$LISA" submit --socket "$SMOKE/follower.sock" --op stats \
+        > "$SMOKE/fo-stats.json" 2>/dev/null || true
+    grep -q '"role":"leader"' "$SMOKE/fo-stats.json" && break
+    sleep 0.1
+done
+grep -q '"role":"leader"' "$SMOKE/fo-stats.json"
+grep -Eq '"repl\.frames_applied":[1-9]' "$SMOKE/fo-stats.json"
+"$LISA" submit --socket "$SMOKE/follower.sock" --system "$SMOKE" \
+    --rules "$SMOKE/rules.txt" --job-id fo1 > "$SMOKE/fo-promoted.out"
+grep -q '"decision":"PASS"' "$SMOKE/fo-promoted.out"
+grep -q '"reused":2' "$SMOKE/fo-promoted.out"
+grep -q '"fresh":0' "$SMOKE/fo-promoted.out"
+"$LISA" submit --socket "$SMOKE/follower.sock" --op shutdown > /dev/null
+wait "$FOLLOWER"
+echo "failover smoke: ok"
