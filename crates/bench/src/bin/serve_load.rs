@@ -1,0 +1,432 @@
+//! Load generator for the multi-tenant `lisa serve --listen` TCP gate.
+//!
+//! Two modes:
+//!
+//! - **Bench (default, no args)**: boots two in-process daemons and
+//!   drives them hard — phase A measures throughput and tail latency
+//!   with >=1000 concurrent clients across 4 skew-weighted tenants on a
+//!   generously provisioned daemon; phase B points ~300 clients at a
+//!   deliberately starved daemon (1 worker, tiny queues) and checks
+//!   that overload is answered with *structured* sheds, not silence.
+//!   Every connection must receive exactly one well-formed reply: the
+//!   run aborts on any lost or malformed response. Results land in
+//!   `BENCH_serve.json`.
+//! - **Smoke (`--addr <host:port>`)**: drives a short burst at an
+//!   externally started daemon (used by `scripts/ci.sh`), prints one
+//!   summary line plus the daemon's `stats` reply, and optionally sends
+//!   a `shutdown` op (`--shutdown`) so the harness can assert a clean
+//!   drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use lisa::{serve, Json, ServeConfig, TenantSpec};
+
+/// Tenant roster with a skewed arrival mix: alpha takes 60% of the
+/// offered load at weight 4, delta trickles 5% at weight 1.
+const TENANTS: [(&str, u32, usize); 4] =
+    [("alpha", 4, 60), ("beta", 2, 25), ("gamma", 1, 10), ("delta", 1, 5)];
+
+/// Tiny but real gate fixture: one rule, one test, passes. Keeps each
+/// job cheap so the bench measures the service fabric, not the solver.
+const SYSTEM: &str = "struct Session { id: int, closing: bool }\n\
+     global sessions: map<int, Session>;\n\
+     fn create_ephemeral(s: Session, path: str) {}\n\
+     fn prep_create(sid: int, path: str) {\n\
+         let session: Session = sessions.get(sid);\n\
+         if (session == null) { return; }\n\
+         create_ephemeral(session, path);\n\
+     }\n\
+     fn test_create() {\n\
+         sessions.put(1, new Session { id: 1 });\n\
+         prep_create(1, \"/a\");\n\
+     }";
+
+const RULES: &str = "when calling create_ephemeral, require s != null\n";
+
+struct Fixture {
+    dir: std::path::PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir =
+            std::env::temp_dir().join(format!("lisa-serve-load-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sys")).expect("mkdir fixture");
+        std::fs::write(dir.join("sys/session.sir"), SYSTEM).expect("write system");
+        std::fs::write(dir.join("rules.txt"), RULES).expect("write rules");
+        Fixture { dir }
+    }
+
+    fn system(&self) -> String {
+        self.dir.join("sys").to_string_lossy().into_owned()
+    }
+
+    fn rules(&self) -> String {
+        self.dir.join("rules.txt").to_string_lossy().into_owned()
+    }
+
+    fn state_root(&self) -> std::path::PathBuf {
+        self.dir.join("state")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// What one connection observed. Exactly one of these per client; a
+/// client that cannot produce a `Done`/`Shed` records why.
+enum Outcome {
+    /// `status:"done"` reply; round-trip latency in microseconds.
+    Done(u64),
+    /// `status:"shed"` reply carrying a positive `retry_after_ms`
+    /// (validated at parse time; a shed without a hint is malformed).
+    Shed,
+    /// Connect/write/read failed or the connection closed replyless.
+    Lost,
+    /// A reply arrived but was not valid protocol JSON.
+    Malformed,
+}
+
+/// Deterministic per-client jitter (no RNG dependency): a Weyl-ish hash
+/// of the client index spread over `window_ms`.
+fn jitter_ms(idx: usize, window_ms: u64) -> u64 {
+    if window_ms == 0 {
+        return 0;
+    }
+    (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) % window_ms
+}
+
+fn tenant_of(idx: usize) -> &'static str {
+    // A stride coprime with 100 visits every slot, so the 60/25/10/5
+    // mix holds (approximately) even for bursts far smaller than 100.
+    let slot = (idx * 37) % 100;
+    let mut edge = 0;
+    for (name, _, share) in TENANTS {
+        edge += share;
+        if slot < edge {
+            return name;
+        }
+    }
+    TENANTS[0].0
+}
+
+/// One NDJSON request/reply exchange on a fresh connection.
+fn roundtrip(addr: &str, line: &str, read_timeout: Duration) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(read_timeout)).ok()?;
+    stream.set_write_timeout(Some(Duration::from_secs(10))).ok()?;
+    let mut w = &stream;
+    w.write_all(line.as_bytes()).ok()?;
+    w.write_all(b"\n").ok()?;
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply).ok()?;
+    if reply.is_empty() {
+        return None;
+    }
+    Some(reply)
+}
+
+fn gate_request(job_id: &str, tenant: &str, system: &str, rules: &str) -> String {
+    format!(
+        "{{\"v\":1,\"op\":\"gate\",\"job_id\":\"{}\",\"tenant\":\"{}\",\"system\":\"{}\",\
+         \"rules\":\"{}\",\"fail_mode\":\"open\"}}",
+        lisa::json::escape(job_id),
+        lisa::json::escape(tenant),
+        lisa::json::escape(system),
+        lisa::json::escape(rules),
+    )
+}
+
+fn run_client(addr: &str, idx: usize, tag: &str, fx_system: &str, fx_rules: &str) -> Outcome {
+    let tenant = tenant_of(idx);
+    let line = gate_request(&format!("{tag}-{idx}"), tenant, fx_system, fx_rules);
+    let start = Instant::now();
+    let Some(reply) = roundtrip(addr, &line, Duration::from_secs(120)) else {
+        return Outcome::Lost;
+    };
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    let Ok(json) = Json::parse(reply.trim()) else {
+        return Outcome::Malformed;
+    };
+    match json.str_of("status") {
+        Some("done") => Outcome::Done(elapsed_us),
+        Some("shed") => match json.u64_of("retry_after_ms") {
+            Some(ms) if ms > 0 => Outcome::Shed,
+            // A shed without a usable retry hint breaks the admission
+            // contract: count it as malformed so the bench fails loudly.
+            _ => Outcome::Malformed,
+        },
+        _ => Outcome::Malformed,
+    }
+}
+
+struct Tally {
+    clients: usize,
+    done: usize,
+    shed: usize,
+    lost: usize,
+    malformed: usize,
+    elapsed: Duration,
+    /// Sorted `done` latencies, microseconds.
+    latencies_us: Vec<u64>,
+}
+
+impl Tally {
+    fn pct(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len());
+        self.latencies_us[rank - 1]
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        (self.done + self.shed) as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn json(&self, label: &str) -> String {
+        format!(
+            "{{\"phase\":\"{label}\",\"clients\":{},\"tenants\":{},\"done\":{},\"shed\":{},\
+             \"lost\":{},\"malformed\":{},\"elapsed_ms\":{},\"throughput_rps\":{:.1},\
+             \"shed_rate\":{:.4},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            self.clients,
+            TENANTS.len(),
+            self.done,
+            self.shed,
+            self.lost,
+            self.malformed,
+            self.elapsed.as_millis(),
+            self.throughput_rps(),
+            self.shed as f64 / self.clients.max(1) as f64,
+            self.pct(0.50),
+            self.pct(0.95),
+            self.pct(0.99),
+        )
+    }
+}
+
+/// Fan `clients` threads at `addr`, each sending one gate request after
+/// its arrival jitter inside `window_ms`. Blocks until every client has
+/// an outcome.
+fn drive(addr: &str, clients: usize, window_ms: u64, tag: &str, fx: &Fixture) -> Tally {
+    let (tx, rx) = mpsc::channel::<Outcome>();
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for idx in 0..clients {
+        let tx = tx.clone();
+        let addr = addr.to_string();
+        let tag = tag.to_string();
+        let system = fx.system();
+        let rules = fx.rules();
+        let handle = std::thread::Builder::new()
+            .stack_size(128 * 1024)
+            .spawn(move || {
+                std::thread::sleep(Duration::from_millis(jitter_ms(idx, window_ms)));
+                let _ = tx.send(run_client(&addr, idx, &tag, &system, &rules));
+            })
+            .expect("spawn client thread");
+        handles.push(handle);
+    }
+    drop(tx);
+    let mut tally = Tally {
+        clients,
+        done: 0,
+        shed: 0,
+        lost: 0,
+        malformed: 0,
+        elapsed: Duration::ZERO,
+        latencies_us: Vec::new(),
+    };
+    for outcome in rx {
+        match outcome {
+            Outcome::Done(us) => {
+                tally.done += 1;
+                tally.latencies_us.push(us);
+            }
+            Outcome::Shed => tally.shed += 1,
+            Outcome::Lost => tally.lost += 1,
+            Outcome::Malformed => tally.malformed += 1,
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    tally.elapsed = start.elapsed();
+    tally.latencies_us.sort_unstable();
+    tally
+}
+
+/// Grab a free TCP port by binding :0 and dropping the listener. The
+/// tiny bind race is acceptable for a bench on localhost.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("probe port")
+        .local_addr()
+        .expect("probe addr")
+        .port()
+}
+
+struct DaemonHandle {
+    addr: String,
+    thread: std::thread::JoinHandle<Result<lisa::ServeStats, String>>,
+}
+
+impl DaemonHandle {
+    /// Boot an in-process daemon on a fresh port and wait for the TCP
+    /// gate to answer `ping`.
+    fn boot(fx: &Fixture, tag: &str, workers: usize, queue_cap: usize, tenant_cap: usize) -> DaemonHandle {
+        let addr = format!("127.0.0.1:{}", free_port());
+        let config = ServeConfig {
+            socket: fx.dir.join(format!("{tag}.sock")),
+            state_root: fx.state_root().join(tag),
+            workers,
+            queue_cap,
+            tenant_cap,
+            listen: Some(addr.clone()),
+            max_conns: 2048,
+            tenants: TENANTS
+                .iter()
+                .map(|(name, weight, _)| TenantSpec {
+                    name: name.to_string(),
+                    weight: u64::from(*weight),
+                    job_timeout: None,
+                })
+                .collect(),
+            ..ServeConfig::default()
+        };
+        let thread = std::thread::spawn(move || serve(&config));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(reply) = roundtrip(&addr, "{\"v\":1,\"op\":\"ping\"}", Duration::from_secs(2)) {
+                assert!(reply.contains("\"ok\""), "ping reply: {reply}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "daemon on {addr} never became reachable");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        DaemonHandle { addr, thread }
+    }
+
+    fn stats(&self) -> String {
+        roundtrip(&self.addr, "{\"v\":1,\"op\":\"stats\"}", Duration::from_secs(5))
+            .expect("stats reply")
+    }
+
+    fn shutdown(self) -> lisa::ServeStats {
+        let reply = roundtrip(&self.addr, "{\"v\":1,\"op\":\"shutdown\"}", Duration::from_secs(5))
+            .expect("shutdown reply");
+        assert!(reply.contains("draining"), "shutdown reply: {reply}");
+        self.thread.join().expect("daemon thread").expect("daemon exit")
+    }
+}
+
+fn bench() {
+    lisa_telemetry::init(lisa_telemetry::TelemetryConfig::MetricsOnly);
+    let fx = Fixture::new("bench");
+
+    // Phase A: throughput. Provisioned daemon, >=1000 clients, skewed
+    // arrival mix over a 1.5s window. Everything must complete.
+    let daemon = DaemonHandle::boot(&fx, "phase-a", 8, 4096, 0);
+    let a = drive(&daemon.addr, 1100, 1500, "a", &fx);
+    println!("phase A: {}", a.json("throughput"));
+    assert!(a.clients >= 1000, "bench must drive >=1000 clients");
+    assert_eq!(a.lost, 0, "phase A lost {} replies", a.lost);
+    assert_eq!(a.malformed, 0, "phase A saw {} malformed replies", a.malformed);
+    assert_eq!(a.done + a.shed, a.clients, "every client gets exactly one reply");
+    assert!(a.done > 0, "a provisioned daemon must finish work");
+    let stats = daemon.stats();
+    let stats_json = Json::parse(stats.trim()).expect("stats parses");
+    for (name, ..) in TENANTS {
+        assert!(
+            stats.contains(&format!("\"{name}\":")),
+            "stats must carry per-tenant section for {name}: {stats}"
+        );
+    }
+    assert!(stats.contains("\"p99_us\""), "stats must expose tail latency: {stats}");
+    assert!(stats_json.get("tenants").is_some(), "stats must have a tenants object");
+    let a_stats = daemon.shutdown();
+    assert_eq!(a_stats.dead_letters, 0, "phase A dead-lettered jobs");
+
+    // Phase B: saturation. One worker, starved queues, a fast burst.
+    // The daemon must answer overload with structured sheds — every
+    // connection still gets exactly one well-formed reply.
+    let daemon = DaemonHandle::boot(&fx, "phase-b", 1, 8, 2);
+    let b = drive(&daemon.addr, 300, 100, "b", &fx);
+    println!("phase B: {}", b.json("saturation"));
+    assert_eq!(b.lost, 0, "phase B lost {} replies", b.lost);
+    assert_eq!(b.malformed, 0, "phase B saw {} malformed replies", b.malformed);
+    assert_eq!(b.done + b.shed, b.clients, "every client gets exactly one reply");
+    assert!(b.shed > 0, "a starved daemon must shed structurally, got 0 sheds");
+    let _ = daemon.shutdown();
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"throughput\": {},\n  \"saturation\": {}\n}}\n",
+        a.json("throughput"),
+        b.json("saturation")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}
+
+fn smoke(addr: &str, clients: usize, window_ms: u64, send_shutdown: bool) {
+    let fx = Fixture::new("smoke");
+    let tally = drive(addr, clients, window_ms, "smoke", &fx);
+    println!("smoke: {}", tally.json("smoke"));
+    let stats = roundtrip(addr, "{\"v\":1,\"op\":\"stats\"}", Duration::from_secs(5))
+        .expect("stats reply");
+    println!("stats: {}", stats.trim());
+    assert_eq!(tally.lost, 0, "smoke lost {} replies", tally.lost);
+    assert_eq!(tally.malformed, 0, "smoke saw {} malformed replies", tally.malformed);
+    assert_eq!(tally.done + tally.shed, tally.clients);
+    if send_shutdown {
+        let reply = roundtrip(addr, "{\"v\":1,\"op\":\"shutdown\"}", Duration::from_secs(5))
+            .expect("shutdown reply");
+        assert!(reply.contains("draining"), "shutdown reply: {reply}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut clients = 64usize;
+    let mut window_ms = 200u64;
+    let mut send_shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(args.get(i + 1).expect("--addr needs a host:port").clone());
+                i += 2;
+            }
+            "--clients" => {
+                clients = args.get(i + 1).expect("--clients needs N").parse().expect("N");
+                i += 2;
+            }
+            "--window-ms" => {
+                window_ms = args.get(i + 1).expect("--window-ms needs N").parse().expect("N");
+                i += 2;
+            }
+            "--shutdown" => {
+                send_shutdown = true;
+                i += 1;
+            }
+            other => panic!("unknown flag {other}; usage: serve_load [--addr host:port [--clients N] [--window-ms N] [--shutdown]]"),
+        }
+    }
+    match addr {
+        Some(addr) => smoke(&addr, clients, window_ms, send_shutdown),
+        None => bench(),
+    }
+}

@@ -11,10 +11,14 @@
 //! lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
 //! lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
 //!              [--job-timeout-ms N] [--max-attempts N]
+//!              [--listen <host:port>] [--tenants name[:weight[:timeout_ms]],...]
+//!              [--tenant-cap N] [--max-conns N]
 //!              [--follow <addr>] [--repl-listen <host:port>]
 //!              [--heartbeat-ms N] [--heartbeat-timeout-ms N]
-//! lisa submit  --socket <path> [--op gate|ping|stats|verdict|shutdown] [--system <dir>]
+//! lisa submit  (--socket <path> | --addr <host:port>)
+//!              [--op gate|ping|stats|verdict|shutdown] [--system <dir>]
 //!              [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
+//!              [--tenant <name>]
 //! lisa suggest --system <dir> --target <fn>
 //! lisa paths   --system <dir> --target <fn>
 //! ```
@@ -39,7 +43,12 @@
 //! killed run can be resumed (`lisa resume`) without re-checking rules
 //! whose verdicts were already durable. `lisa serve` runs the same
 //! durable gate as a daemon behind a unix socket with a supervised
-//! worker pool; `lisa submit` is its client. `lisa serve --follow
+//! worker pool; `lisa submit` is its client. `--listen <host:port>`
+//! additionally serves the same protocol over TCP through a nonblocking
+//! `poll(2)` readiness loop, with multi-tenant fairness (`--tenants`
+//! weights), per-tenant bounded queues, and explicit load shedding —
+//! saturated submissions get `{"status":"shed","retry_after_ms":...}`
+//! immediately instead of a hung or dropped connection. `lisa serve --follow
 //! <addr>` runs a warm standby instead: it mirrors the leader's state
 //! root over a replication stream, answers read-only ops (`stats`,
 //! `verdict`), and promotes itself to leader when the leader's
@@ -111,10 +120,14 @@ const USAGE: &str = "usage:
   lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
   lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
                [--job-timeout-ms N] [--max-attempts N]
+               [--listen <host:port>] [--tenants name[:weight[:timeout_ms]],...]
+               [--tenant-cap N] [--max-conns N]
                [--follow <addr>] [--repl-listen <host:port>]
                [--heartbeat-ms N] [--heartbeat-timeout-ms N]
-  lisa submit  --socket <path> [--op gate|ping|stats|verdict|shutdown] [--system <dir>]
+  lisa submit  (--socket <path> | --addr <host:port>)
+               [--op gate|ping|stats|verdict|shutdown] [--system <dir>]
                [--rules <file>] [--fail-mode closed|open] [--job-id <id>]
+               [--tenant <name>]
   lisa suggest --system <dir> --target <fn>
   lisa paths   --system <dir> --target <fn>
 flags accepted everywhere:
@@ -347,6 +360,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
         // (torn frames, short reads, bit flips, stalled heartbeats).
         stream_faults: parse_num::<u64>(flags, "repl-fault-seed")?
             .map(|seed| Arc::new(StreamFaultInjector::random(seed)) as _),
+        listen: flags.get("listen").cloned(),
+        tenants: match flags.get("tenants") {
+            Some(spec) => lisa::parse_tenant_specs(spec)?,
+            None => Vec::new(),
+        },
+        tenant_cap: parse_num(flags, "tenant-cap")?.unwrap_or(0),
+        max_conns: parse_num(flags, "max-conns")?.unwrap_or(4096),
     };
     // Chaos panics (and enforce-side injected panics) are expected,
     // supervised events in a daemon — keep them off stderr.
@@ -378,7 +398,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
 }
 
 fn cmd_submit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
-    let socket = PathBuf::from(required(flags, "socket")?);
+    // One of the two transports: --socket (unix) or --addr (TCP, for a
+    // daemon started with --listen). Same protocol, same reply bytes.
     let op = flags.get("op").map(String::as_str).unwrap_or("gate");
     let line = match op {
         "ping" | "stats" | "shutdown" => format!("{{\"op\":\"{op}\"}}"),
@@ -401,9 +422,12 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
                 lisa::json::escape(system),
                 lisa::json::escape(rules),
             );
-            for (flag, field) in
-                [("fail-mode", "fail_mode"), ("job-id", "job_id"), ("chaos", "chaos")]
-            {
+            for (flag, field) in [
+                ("fail-mode", "fail_mode"),
+                ("job-id", "job_id"),
+                ("tenant", "tenant"),
+                ("chaos", "chaos"),
+            ] {
                 if let Some(v) = flags.get(flag) {
                     line.push_str(&format!(",\"{field}\":\"{}\"", lisa::json::escape(v)));
                 }
@@ -413,8 +437,15 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<Outcome, String> {
         }
         other => return Err(format!("unknown --op {other:?}")),
     };
-    let reply = request(&socket, &line)
-        .map_err(|e| format!("request to {}: {e}", socket.display()))?;
+    let reply = match flags.get("addr") {
+        Some(addr) => lisa::request_tcp(addr, &line)
+            .map_err(|e| format!("request to tcp {addr}: {e}"))?,
+        None => {
+            let socket = PathBuf::from(required(flags, "socket")?);
+            request(&socket, &line)
+                .map_err(|e| format!("request to {}: {e}", socket.display()))?
+        }
+    };
     println!("{reply}");
     let parsed = Json::parse(&reply).map_err(|e| format!("bad reply: {e}"))?;
     match parsed.u64_of("exit") {

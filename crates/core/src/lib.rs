@@ -24,7 +24,11 @@
 //! - [`json`] — machine-readable gate output for CI (writer + strict
 //!   NDJSON parser for the `lisa serve` protocol),
 //! - [`service`] — durable (journaled, crash-resumable) gate runs and
-//!   the supervised `lisa serve` daemon, backed by `lisa-store`.
+//!   the supervised `lisa serve` daemon, backed by `lisa-store`,
+//! - [`tenant`] — multi-tenant admission control, weighted-fair
+//!   queueing, and per-tenant availability-tactic state for the daemon,
+//! - [`netloop`] — the std-only `poll(2)` readiness loop multiplexing
+//!   the daemon's `--listen` TCP connections without threads.
 //!
 //! ```
 //! use lisa::{Pipeline, PipelineConfig, TestSelection};
@@ -71,7 +75,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one module:
+// `netloop`, whose two audited libc syscall wrappers (`poll(2)`,
+// `get/setrlimit`) give the serve daemon its std-only readiness loop.
+// See that module for the safety argument.
+#![deny(unsafe_code)]
 
 pub mod baselines;
 pub mod compose;
@@ -81,9 +89,11 @@ pub mod error;
 pub mod faults;
 pub mod gate;
 pub mod json;
+pub mod netloop;
 pub mod pipeline;
 pub mod report;
 pub mod service;
+pub mod tenant;
 pub mod verdict;
 
 pub use compose::{compose, CompositionResult, HighLevelProperty, Obligation};
@@ -101,7 +111,8 @@ pub use gate::{Gate, GateCache, GateConfig};
 pub use json::Json;
 pub use pipeline::{Pipeline, PipelineConfig, ResourceBudgets, TestSelection};
 pub use service::{
-    gate_durable, load_rules, load_system, run_key, serve, DurableGateReport, DurableOptions,
-    ServeConfig, ServeStats,
+    gate_durable, load_rules, load_system, request, request_tcp, run_key, serve,
+    DurableGateReport, DurableOptions, ServeConfig, ServeStats,
 };
+pub use tenant::{parse_tenant_specs, valid_tenant, TenantSpec, MAX_JOB_ID_LEN};
 pub use verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};

@@ -11,23 +11,35 @@
 //!   a run killed at *any* journal-record boundary and resumed produces
 //!   a byte-identical final verdict artifact ([`DurableGateReport::verdicts_text`]).
 //! - [`serve`] — a daemon accepting gate jobs as newline-delimited JSON
-//!   over a unix socket, processed by a supervised worker pool: panicked
-//!   workers are reaped and respawned, stalled workers (no heartbeat for
-//!   `job_timeout`) abandoned, their jobs retried with backoff and
-//!   dead-lettered after `max_attempts`, with bounded-queue backpressure
-//!   and graceful drain on shutdown. Two isolation rules keep recovery
-//!   honest: every respawned worker gets a **fresh slot** (an abandoned
-//!   thread can never take — or answer — a job it does not own), and
-//!   jobs sharing a state directory are **serialized** (a retry never
-//!   races its abandoned predecessor on the same journal).
+//!   over a unix socket and (with `--listen`) a multiplexed TCP
+//!   listener, processed by a supervised worker pool: panicked workers
+//!   are reaped and respawned, stalled workers (no heartbeat for the
+//!   tenant's `job_timeout`) abandoned, their jobs retried with backoff
+//!   and dead-lettered after `max_attempts`, with bounded-queue
+//!   backpressure and graceful drain on shutdown. Two isolation rules
+//!   keep recovery honest: every respawned worker gets a **fresh slot**
+//!   (an abandoned thread can never take — or answer — a job it does
+//!   not own), and jobs sharing a state directory are **serialized** (a
+//!   retry never races its abandoned predecessor on the same journal).
+//!
+//! The daemon is **multi-tenant**: a gate request may carry a `tenant`
+//! field routing it to that tenant's bounded queue, rule registry, and
+//! version-scoped cache. Dequeue is weighted-fair (stride scheduling
+//! over `--tenants` weights via [`crate::tenant::FairQueues`]), and
+//! admission control sheds explicitly — a saturated tenant or global
+//! queue answers `{"status":"shed","retry_after_ms":...}` immediately
+//! instead of blocking or dropping the connection. The TCP front end is
+//! a hand-rolled `poll(2)` readiness loop ([`crate::netloop`]): idle
+//! clients cost no threads.
 //!
 //! Parallel throughput comes from the worker pool across jobs; within a
 //! durable run, determinism wins over parallelism.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,7 +66,11 @@ use crate::enforce::{enforce_impl, FailMode, GateDecision, GateOptions, RuleRegi
 use crate::faults::FAULT_PANIC_PREFIX;
 use crate::gate::GateCache;
 use crate::json::{escape, Json};
+use crate::netloop::{raise_fd_limit, PollSet, TcpGate};
 use crate::pipeline::{PipelineConfig, TestSelection};
+use crate::tenant::{
+    valid_tenant, Admitted, FairQueues, TenantSpec, MAX_JOB_ID_LEN,
+};
 use crate::verdict::RuleReport;
 
 /// NDJSON protocol version the serve daemon speaks. Requests may carry a
@@ -103,6 +119,11 @@ pub fn load_system(dir: &str, test_prefix: &str) -> Result<SystemVersion, String
 /// Parse a rules file of authoring-template sentences.
 pub fn load_rules(path: &str) -> Result<Vec<SemanticRule>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_rules_text(path, &text)
+}
+
+/// Parse rules from already-read text (`path` labels errors only).
+fn parse_rules_text(path: &str, text: &str) -> Result<Vec<SemanticRule>, String> {
     let mut rules = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -589,6 +610,21 @@ pub struct ServeConfig {
     /// Seeded fault injection at the follower's receive seam (tests and
     /// the failover fault sweep).
     pub stream_faults: Option<Arc<dyn StreamFaults>>,
+    /// Additionally accept gate submissions over TCP at this
+    /// `host:port`, multiplexed onto the supervisor thread by a
+    /// nonblocking `poll(2)` readiness loop — thousands of idle clients
+    /// cost no threads.
+    pub listen: Option<String>,
+    /// Tenant roster: fairness weight and optional per-tenant job
+    /// timeout per name. Tenants not listed here auto-register at
+    /// weight 1 on first submission.
+    pub tenants: Vec<TenantSpec>,
+    /// Explicit per-tenant queue bound; 0 means each tenant's bound is
+    /// its weight-proportional share of `queue_cap`.
+    pub tenant_cap: usize,
+    /// Maximum concurrently parked TCP connections on `listen`; accepts
+    /// past it are answered with a structured shed and closed.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -606,6 +642,10 @@ impl Default for ServeConfig {
             heartbeat_interval: Duration::from_millis(500),
             heartbeat_timeout: Duration::from_millis(2500),
             stream_faults: None,
+            listen: None,
+            tenants: Vec::new(),
+            tenant_cap: 0,
+            max_conns: 4096,
         }
     }
 }
@@ -625,6 +665,10 @@ impl fmt::Debug for ServeConfig {
             .field("heartbeat_interval", &self.heartbeat_interval)
             .field("heartbeat_timeout", &self.heartbeat_timeout)
             .field("stream_faults", &self.stream_faults.is_some())
+            .field("listen", &self.listen)
+            .field("tenants", &self.tenants)
+            .field("tenant_cap", &self.tenant_cap)
+            .field("max_conns", &self.max_conns)
             .finish()
     }
 }
@@ -641,10 +685,43 @@ pub struct ServeStats {
     pub promotions: u64,
 }
 
+/// The response channel a job (or transient request) travels with: a
+/// unix-socket peer or a TCP peer from the `--listen` readiness loop.
+/// Both transports speak the same one-line NDJSON protocol, so replies
+/// are byte-identical across them.
+enum Responder {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Responder {
+    /// Write one reply line. A failed write is counted in
+    /// `serve.reply_errors` and the connection is torn down cleanly —
+    /// a dead client must cost a counter bump, never a wedged worker.
+    /// Returns whether the reply reached the kernel.
+    fn send(&mut self, line: &str) -> bool {
+        let res = match self {
+            Responder::Unix(s) => write_reply(s, line),
+            Responder::Tcp(s) => write_reply(s, line),
+        };
+        if let Err(e) = res {
+            lisa_telemetry::counter_add("serve.reply_errors", 1);
+            lisa_telemetry::note("serve", || format!("reply failed: {e}"));
+            match self {
+                Responder::Unix(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+                Responder::Tcp(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+            }
+            return false;
+        }
+        true
+    }
+}
+
 /// One queued gate job. The response stream travels with the job so
 /// whoever settles it — worker, or supervisor on dead-letter — can reply.
 struct Job {
     id: String,
+    tenant: String,
     system: String,
     rules: String,
     fail_mode: FailMode,
@@ -652,7 +729,7 @@ struct Job {
     /// only), `stall` (sleep past the job timeout).
     chaos: Option<String>,
     attempts: u32,
-    stream: UnixStream,
+    stream: Responder,
 }
 
 /// A worker's in-flight job: parked here while processing so the
@@ -674,7 +751,9 @@ struct Worker {
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// Per-tenant bounded queues with weighted-fair (stride) dequeue
+    /// and per-tenant retry budgets / degradation state.
+    queues: FairQueues<Job>,
     /// State-dir keys currently owned by a live attempt (including an
     /// abandoned thread that has not yet reached a cancellation point).
     /// Workers skip queued jobs whose key is busy, so two attempts can
@@ -701,6 +780,59 @@ struct Shared {
     followers: AtomicU64,
     /// Shipper thread handles, joined on shutdown.
     shippers: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-tenant execution state (rule registries, verdict cache).
+    /// Isolation, not just bookkeeping: one tenant's cached verdicts
+    /// and parsed rules are invisible to every other tenant's jobs.
+    runtimes: Mutex<HashMap<String, Arc<TenantRuntime>>>,
+    /// Currently parked TCP connections on the `--listen` gate,
+    /// refreshed each supervision tick for the `stats` op.
+    listen_conns: AtomicU64,
+}
+
+impl Shared {
+    fn runtime(&self, tenant: &str) -> Arc<TenantRuntime> {
+        let mut map = self.runtimes.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(map.entry(tenant.to_string()).or_insert_with(|| {
+            Arc::new(TenantRuntime {
+                cache: Arc::new(GateCache::new()),
+                rules: Mutex::new(HashMap::new()),
+            })
+        }))
+    }
+}
+
+/// Distinct rule sets a tenant's registry memo holds before it is
+/// flushed wholesale (rule files are tiny; the bound exists so a tenant
+/// cycling file contents cannot grow daemon memory without limit).
+const RULES_MEMO_CAP: usize = 32;
+
+/// One tenant's runtime: the version-scoped verdict cache its jobs
+/// share, and parsed rule sets memoized by rules-file content hash.
+struct TenantRuntime {
+    cache: Arc<GateCache>,
+    rules: Mutex<HashMap<u64, Arc<Vec<SemanticRule>>>>,
+}
+
+impl TenantRuntime {
+    /// Load the rule set at `path`, reusing the parse when the file
+    /// content is unchanged.
+    fn load_rules(&self, path: &str) -> Result<Arc<Vec<SemanticRule>>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let key = fnv1a(text.as_bytes());
+        {
+            let memo = self.rules.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(rules) = memo.get(&key) {
+                return Ok(Arc::clone(rules));
+            }
+        }
+        let rules = Arc::new(parse_rules_text(path, &text)?);
+        let mut memo = self.rules.lock().unwrap_or_else(|p| p.into_inner());
+        if memo.len() >= RULES_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, Arc::clone(&rules));
+        Ok(rules)
+    }
 }
 
 /// Holds a job's state-dir key in `busy_dirs` for the duration of one
@@ -719,12 +851,20 @@ impl Drop for DirGuard {
     }
 }
 
+fn write_reply(stream: &mut impl Write, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Reply on a transient (non-job) connection. The client may have gone
+/// away; a failed reply must not take the daemon down with it — but it
+/// is counted, and the connection closes when the stream drops.
 fn respond(stream: &mut impl Write, line: &str) {
-    // The client may have gone away; a failed reply must not take the
-    // daemon down with it.
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.write_all(b"\n");
-    let _ = stream.flush();
+    if let Err(e) = write_reply(stream, line) {
+        lisa_telemetry::counter_add("serve.reply_errors", 1);
+        lisa_telemetry::note("serve", || format!("reply failed: {e}"));
+    }
 }
 
 /// Exit-code contract, same as the CLI: 0 = pass, 1 = violations,
@@ -761,6 +901,28 @@ fn error_response(job_id: &str, status: &str, error: &str) -> String {
     )
 }
 
+/// Explicit admission control: the client learns immediately that it
+/// was turned away and when to come back, instead of blocking on a
+/// saturated queue or having its connection silently dropped.
+fn shed_response(job_id: &str, tenant: &str, retry_after_ms: u64, reason: &str) -> String {
+    format!(
+        "{{\"job_id\":\"{}\",\"status\":\"shed\",\"tenant\":\"{}\",\"retry_after_ms\":{retry_after_ms},\"exit\":2,\"error\":\"{}\"}}",
+        escape(job_id),
+        escape(tenant),
+        escape(reason),
+    )
+}
+
+/// Structured bad-request for an over-long job id. The id is not echoed
+/// back: the reply must stay bounded no matter what the client sent.
+fn job_id_too_long(len: usize) -> String {
+    error_response(
+        "",
+        "bad-request",
+        &format!("job_id length {len} exceeds the {MAX_JOB_ID_LEN}-byte bound"),
+    )
+}
+
 /// Map a client-supplied job id to its state-directory name. Ids that
 /// are already filesystem-safe map to themselves; anything else gets a
 /// hash of the raw id appended so distinct ids can never collide after
@@ -781,20 +943,25 @@ fn sanitize(id: &str) -> String {
 /// Process one gate job end to end (load, durable gate, response text).
 /// `cancel` stops the run at the next rule boundary once the supervisor
 /// abandons this attempt; `progress` is the per-rule liveness heartbeat.
+#[allow(clippy::too_many_arguments)] // the full job context, threaded once
 fn process_job(
     system: &str,
     rules_path: &str,
     fail_mode: FailMode,
     shared: &Arc<Shared>,
     job_id: &str,
+    tenant: &str,
     cancel: Arc<AtomicBool>,
     progress: Arc<dyn Fn() + Send + Sync>,
 ) -> Result<DurableGateReport, String> {
     let version = load_system(system, "test_")?;
-    let rules = load_rules(rules_path)?;
+    // The tenant's own registry and cache: rule sets are memoized per
+    // tenant by file content, and verdict reuse never crosses tenants.
+    let runtime = shared.runtime(tenant);
+    let rules = runtime.load_rules(rules_path)?;
     let mut registry = RuleRegistry::new();
-    for r in rules {
-        registry.register(r);
+    for r in rules.iter() {
+        registry.register(r.clone());
     }
     let config = PipelineConfig { selection: TestSelection::All, ..PipelineConfig::default() };
     let gate = GateOptions { fail_mode, ..GateOptions::default() };
@@ -802,7 +969,7 @@ fn process_job(
         state_dir: shared.state_root.join(sanitize(job_id)),
         progress: Some(progress),
         cancel: Some(cancel),
-        cache: Some(Arc::new(GateCache::new())),
+        cache: Some(Arc::clone(&runtime.cache)),
         repl: Some(Arc::clone(&shared.repl)),
         ..DurableOptions::default()
     };
@@ -822,14 +989,14 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
                 if cancel.load(Ordering::SeqCst) {
                     break None;
                 }
-                // Skip jobs whose state dir another attempt still owns —
-                // a retry must never race its abandoned predecessor on
-                // the same journal, and duplicate job ids serialize.
-                let pos = q.jobs.iter().position(|j| !q.busy_dirs.contains(&sanitize(&j.id)));
-                if let Some(pos) = pos {
-                    let job = q.jobs.remove(pos).expect("indexed job");
+                // Weighted-fair pick across tenants, skipping jobs whose
+                // state dir another attempt still owns — a retry must
+                // never race its abandoned predecessor on the same
+                // journal, and duplicate job ids serialize.
+                let QueueState { queues, busy_dirs } = &mut *q;
+                if let Some((_, job)) = queues.pop(|j| !busy_dirs.contains(&sanitize(&j.id))) {
                     let key = sanitize(&job.id);
-                    q.busy_dirs.insert(key.clone());
+                    busy_dirs.insert(key.clone());
                     break Some((job, key));
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -846,8 +1013,9 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
         // Released on every exit from this iteration — completion, chaos
         // panic unwind, or cancelled abandonment.
         let _dir = DirGuard { shared: Arc::clone(&shared), key };
-        let (id, system, rules, fail_mode, chaos, attempts) = (
+        let (id, tenant, system, rules, fail_mode, chaos, attempts) = (
             job.id.clone(),
+            job.tenant.clone(),
             job.system.clone(),
             job.rules.clone(),
             job.fail_mode,
@@ -893,6 +1061,7 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
             fail_mode,
             &shared,
             &id,
+            &tenant,
             Arc::clone(&cancel),
             progress,
         );
@@ -904,14 +1073,21 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
             Ok(report) => done_response(&job.id, report),
             Err(e) => error_response(&job.id, "error", e),
         };
-        respond(&mut job.stream, &line);
+        job.stream.send(&line);
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+        let elapsed_us = job_started.elapsed().as_micros() as u64;
+        // Settle the tenant's accounting: active count, done count, one
+        // retry token earned back, and the shed-hint duration EWMA.
+        shared
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .queues
+            .settle(&job.tenant, elapsed_us / 1000);
         job_span.arg("failed", u64::from(result.is_err()));
         if lisa_telemetry::metrics_enabled() {
-            lisa_telemetry::histogram_record(
-                "serve.job_us",
-                job_started.elapsed().as_micros() as u64,
-            );
+            lisa_telemetry::histogram_record("serve.job_us", elapsed_us);
+            lisa_telemetry::histogram_record(&format!("serve.job_us.{}", job.tenant), elapsed_us);
             lisa_telemetry::counter_add("serve.jobs_done", 1);
             if result.is_err() {
                 lisa_telemetry::counter_add("serve.jobs_failed", 1);
@@ -925,6 +1101,7 @@ fn worker_loop(shared: Arc<Shared>, slot: Slot, cancel: Arc<AtomicBool>) {
 // ---------------------------------------------------------------------------
 
 /// Where a follower finds its leader's replication endpoint.
+#[derive(Debug, PartialEq, Eq)]
 enum ReplAddr {
     Unix(PathBuf),
     Tcp(String),
@@ -1708,8 +1885,38 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         None => None,
     };
 
+    // The TCP gate front end: nonblocking accept plus poll(2)-driven
+    // readiness over parked connections, all on this thread.
+    let mut tcp_gate = match &config.listen {
+        Some(addr) => {
+            // Thousands of parked sockets need headroom past the
+            // default 1024 soft fd limit.
+            raise_fd_limit(config.max_conns as u64 + 512);
+            let gate = TcpGate::bind(addr, config.max_conns)?;
+            lisa_telemetry::note("serve", || format!("gate listening on tcp {addr}"));
+            Some(gate)
+        }
+        None => None,
+    };
+
+    let workers = config.workers.max(1);
+    let mut tenant_specs = config.tenants.clone();
+    if !tenant_specs.iter().any(|s| s.name == "default") {
+        tenant_specs.push(TenantSpec {
+            name: "default".to_string(),
+            weight: 1,
+            job_timeout: None,
+        });
+    }
+    let queues = FairQueues::new(
+        &tenant_specs,
+        config.queue_cap,
+        config.tenant_cap,
+        config.job_timeout,
+        workers,
+    );
     let shared = Arc::new(Shared {
-        queue: Mutex::new(QueueState { jobs: VecDeque::new(), busy_dirs: HashSet::new() }),
+        queue: Mutex::new(QueueState { queues, busy_dirs: HashSet::new() }),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         jobs_done: AtomicU64::new(0),
@@ -1718,15 +1925,31 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         repl: ReplBus::new(&config.state_root),
         followers: AtomicU64::new(0),
         shippers: Mutex::new(Vec::new()),
+        runtimes: Mutex::new(HashMap::new()),
+        listen_conns: AtomicU64::new(0),
     });
-    let workers = config.workers.max(1);
     let mut pool: Vec<Worker> = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
+    let mut poll = PollSet::new();
 
     let mut pending_retries: Vec<(Job, Instant)> = Vec::new();
     let mut next_job = 0u64;
     let mut draining = false;
 
     loop {
+        // 0. One poll(2) over everything: the unix listener, the repl
+        // listener, and every parked TCP connection. The 10ms cap keeps
+        // supervision (reaping, retries, snapshots) ticking with no I/O;
+        // readiness wakes the loop immediately.
+        poll.clear();
+        poll.push(listener.as_raw_fd());
+        if let Some(l) = &repl_listener {
+            poll.push(l.as_raw_fd());
+        }
+        if let Some(gate) = &mut tcp_gate {
+            gate.register(&mut poll);
+        }
+        poll.wait(Duration::from_millis(10));
+
         // 1. Accept one round of connections.
         loop {
             match listener.accept() {
@@ -1758,7 +1981,53 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
             }
         }
 
+        // 1b. Pump the TCP gate: accept new connections, advance every
+        // readable parked one, dispatch each completed request line.
+        if let Some(gate) = &mut tcp_gate {
+            let pumped = gate.pump(&poll);
+            for s in pumped.over_capacity {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_write_timeout(Some(Duration::from_secs(5)));
+                stats.rejected_overload += 1;
+                lisa_telemetry::counter_add("serve.shed", 1);
+                Responder::Tcp(s).send(&shed_response("", "", 1000, "connection limit reached"));
+            }
+            for s in pumped.over_length {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_write_timeout(Some(Duration::from_secs(5)));
+                Responder::Tcp(s).send(&error_response(
+                    "",
+                    "bad-request",
+                    "request line exceeds the 64KiB bound",
+                ));
+            }
+            if pumped.dropped > 0 {
+                lisa_telemetry::counter_add("serve.conns_dropped", pumped.dropped as u64);
+            }
+            for (s, line) in pumped.requests {
+                dispatch_request(
+                    &line,
+                    Responder::Tcp(s),
+                    config,
+                    &shared,
+                    &mut stats,
+                    &mut next_job,
+                    &mut draining,
+                );
+            }
+            shared.listen_conns.store(gate.open_conns() as u64, Ordering::Relaxed);
+        }
+
         // 2. Reap panicked workers, abandon stalled ones; recover jobs.
+        // Stall detection honors per-tenant job timeouts; the roster is
+        // snapshotted first so the queue lock is never taken while a
+        // slot lock is held (lock order stays one-way).
+        let tenant_timeouts = shared
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .queues
+            .timeouts();
         for (widx, worker) in pool.iter_mut().enumerate() {
             let panicked = worker.handle.as_ref().is_some_and(|h| h.is_finished())
                 && !shared.shutdown.load(Ordering::SeqCst);
@@ -1767,7 +2036,13 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .as_ref()
-                .is_some_and(|(_, beat)| beat.elapsed() > config.job_timeout);
+                .is_some_and(|(job, beat)| {
+                    let limit = tenant_timeouts
+                        .get(&job.tenant)
+                        .copied()
+                        .unwrap_or(config.job_timeout);
+                    beat.elapsed() > limit
+                });
             if !panicked && !stalled {
                 continue;
             }
@@ -1777,17 +2052,47 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
             let recovered = worker.slot.lock().unwrap_or_else(|p| p.into_inner()).take();
             if let Some((mut job, _)) = recovered {
                 job.attempts += 1;
+                // Spend from the tenant's retry budget (Retry tactic):
+                // a tenant whose jobs keep failing burns its own budget
+                // and degrades alone, nobody else's jobs pay for it.
+                let budget_ok = {
+                    let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+                    q.queues.recovered(&job.tenant);
+                    job.attempts < config.max_attempts
+                        && q.queues.try_retry(&job.tenant, Instant::now())
+                };
                 if job.attempts >= config.max_attempts {
                     let why = if stalled { "stalled" } else { "worker panicked" };
-                    respond(
-                        &mut job.stream,
-                        &error_response(
-                            &job.id,
-                            "dead-letter",
-                            &format!("{why}; gave up after {} attempt(s)", job.attempts),
-                        ),
-                    );
+                    job.stream.send(&error_response(
+                        &job.id,
+                        "dead-letter",
+                        &format!("{why}; gave up after {} attempt(s)", job.attempts),
+                    ));
                     stats.dead_letters += 1;
+                    shared
+                        .queue
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .queues
+                        .record_dead_letter(&job.tenant);
+                } else if !budget_ok {
+                    // Budget exhausted: Degradation mode for this tenant
+                    // — dead-letter now, fast-fail its submissions for
+                    // the cooldown instead of feeding workers jobs that
+                    // keep failing.
+                    job.stream.send(&error_response(
+                        &job.id,
+                        "dead-letter",
+                        "tenant retry budget exhausted; tenant degraded",
+                    ));
+                    stats.dead_letters += 1;
+                    lisa_telemetry::counter_add("serve.tenant_degraded", 1);
+                    shared
+                        .queue
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .queues
+                        .record_dead_letter(&job.tenant);
                 } else {
                     let due = Instant::now() + config.retry.backoff(job.attempts);
                     pending_retries.push((job, due));
@@ -1823,7 +2128,13 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         while i < pending_retries.len() {
             if pending_retries[i].1 <= now {
                 let (job, _) = pending_retries.swap_remove(i);
-                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.push_back(job);
+                let tenant = job.tenant.clone();
+                shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .queues
+                    .requeue_front(&tenant, job);
                 shared.available.notify_one();
             } else {
                 i += 1;
@@ -1839,8 +2150,13 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
 
         // 5. Drain: queue empty, no in-flight jobs, no pending retries.
         if draining {
-            let queue_empty =
-                shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.is_empty();
+            let queue_empty = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .queues
+                .queued_total()
+                == 0;
             let idle = pool
                 .iter()
                 .all(|w| w.slot.lock().unwrap_or_else(|p| p.into_inner()).is_none());
@@ -1848,8 +2164,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
                 break;
             }
         }
-
-        std::thread::sleep(Duration::from_millis(10));
+        // No sleep here: step 0's poll(2) is the loop's wait.
     }
 
     shared.shutdown.store(true, Ordering::SeqCst);
@@ -1926,22 +2241,61 @@ fn timings_json() -> String {
         }
         first = false;
         timings.push_str(&format!(
-            "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{}}}",
+            "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
             h.count,
             h.percentile(0.50),
             h.percentile(0.95),
+            h.percentile(0.99),
         ));
     }
     timings.push('}');
     timings
 }
 
+/// Per-tenant queue, fairness, tactic, and latency summaries for the
+/// `stats` reply: the operator's view of who is queued, who is shedding,
+/// who is degraded, and each tenant's p50/p95/p99 job latency.
+fn tenants_json(shared: &Arc<Shared>) -> String {
+    let hists = lisa_telemetry::histograms_snapshot();
+    let q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+    let now = Instant::now();
+    let mut out = String::from("{");
+    let mut first = true;
+    for (name, t) in q.queues.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let (jobs, p50, p95, p99) = match hists.get(&format!("serve.job_us.{name}")) {
+            Some(h) => {
+                (h.count, h.percentile(0.50), h.percentile(0.95), h.percentile(0.99))
+            }
+            None => (0, 0, 0, 0),
+        };
+        out.push_str(&format!(
+            "\"{}\":{{\"weight\":{},\"queued\":{},\"active\":{},\"done\":{},\"shed\":{},\"retries\":{},\"dead_letters\":{},\"retry_budget\":{},\"degraded\":{},\"jobs\":{jobs},\"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99}}}",
+            escape(name),
+            t.weight,
+            t.queued(),
+            t.active,
+            t.done,
+            t.shed,
+            t.retries,
+            t.dead_letters,
+            t.retry_budget,
+            t.degraded(now),
+        ));
+    }
+    out.push('}');
+    out
+}
+
 /// Build the one-line `stats` reply: role, queue depth, per-worker
-/// states, replication position and attached followers, cumulative
-/// telemetry counters (restored across restarts via the metrics
-/// journal), and per-stage timing summaries.
+/// states, per-tenant summaries, replication position and attached
+/// followers, cumulative telemetry counters (restored across restarts
+/// via the metrics journal), and per-stage timing summaries.
 fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
-    let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).jobs.len();
+    let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).queues.queued_total();
     let mut workers = String::from("[");
     {
         let slots = shared.worker_slots.lock().unwrap_or_else(|p| p.into_inner());
@@ -1963,7 +2317,7 @@ fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
     workers.push(']');
     let (repl_seq, repl_bytes) = shared.repl.position();
     format!(
-        "{{\"status\":\"ok\",\"role\":\"leader\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"promotions\":{},\"followers\":{},\"repl_seq\":{repl_seq},\"repl_bytes\":{repl_bytes},\"queued\":{queued},\"workers\":{workers},\"counters\":{},\"timings\":{}}}",
+        "{{\"status\":\"ok\",\"role\":\"leader\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"promotions\":{},\"followers\":{},\"repl_seq\":{repl_seq},\"repl_bytes\":{repl_bytes},\"queued\":{queued},\"listen_conns\":{},\"tenants\":{},\"workers\":{workers},\"counters\":{},\"timings\":{}}}",
         shared.jobs_done.load(Ordering::Relaxed),
         stats.retries,
         stats.dead_letters,
@@ -1971,6 +2325,8 @@ fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
         stats.rejected_overload,
         stats.promotions,
         shared.followers.load(Ordering::SeqCst),
+        shared.listen_conns.load(Ordering::Relaxed),
+        tenants_json(shared),
         counters_json(),
         timings_json(),
     )
@@ -1992,7 +2348,8 @@ fn version_ok(request: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// Read one NDJSON request from a fresh connection and dispatch it.
+/// Read one NDJSON request from a fresh unix-socket connection and
+/// dispatch it.
 fn handle_connection(
     mut stream: UnixStream,
     config: &ServeConfig,
@@ -2015,93 +2372,165 @@ fn handle_connection(
         respond(&mut stream, &error_response("", "bad-request", "could not read request line"));
         return;
     }
+    dispatch_request(&line, Responder::Unix(stream), config, shared, stats, next_job, draining);
+}
+
+/// Dispatch one complete NDJSON request line. Shared by the unix-socket
+/// accept path and the TCP readiness loop: both transports speak exactly
+/// the same protocol, so per-job replies are byte-identical across them.
+fn dispatch_request(
+    line: &str,
+    mut stream: Responder,
+    config: &ServeConfig,
+    shared: &Arc<Shared>,
+    stats: &mut ServeStats,
+    next_job: &mut u64,
+    draining: &mut bool,
+) {
     let request = match Json::parse(line.trim()) {
         Ok(v) => v,
         Err(e) => {
-            respond(&mut stream, &error_response("", "bad-request", &format!("bad JSON: {e}")));
+            stream.send(&error_response("", "bad-request", &format!("bad JSON: {e}")));
             return;
         }
     };
     if let Err(e) = version_ok(&request) {
-        respond(&mut stream, &error_response("", "bad-request", &e));
+        stream.send(&error_response("", "bad-request", &e));
         return;
     }
     match request.str_of("op").unwrap_or("gate") {
-        "ping" => respond(&mut stream, "{\"status\":\"ok\"}"),
+        "ping" => {
+            stream.send("{\"status\":\"ok\"}");
+        }
         "stats" => {
-            respond(&mut stream, &stats_response(shared, stats));
+            stream.send(&stats_response(shared, stats));
         }
         "verdict" => {
             let id = request.str_of("job_id").unwrap_or("");
-            respond(&mut stream, &verdict_response(&shared.state_root, id));
+            if id.len() > MAX_JOB_ID_LEN {
+                stream.send(&job_id_too_long(id.len()));
+                return;
+            }
+            stream.send(&verdict_response(&shared.state_root, id));
         }
-        "follow" => {
-            // A follower that stops reading must not wedge its shipper
-            // (and with it, daemon shutdown) forever.
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-            start_shipper(Box::new(stream), shared, config);
-        }
+        "follow" => match stream {
+            Responder::Unix(s) => {
+                // A follower that stops reading must not wedge its
+                // shipper (and with it, daemon shutdown) forever.
+                let _ = s.set_write_timeout(Some(Duration::from_secs(5)));
+                start_shipper(Box::new(s), shared, config);
+            }
+            mut tcp => {
+                // The gate listener never exposes the replication
+                // stream; that stays on --repl-listen.
+                tcp.send(&error_response(
+                    "",
+                    "bad-request",
+                    "`follow` is not served on the gate listener; use --repl-listen",
+                ));
+            }
+        },
         "shutdown" => {
             *draining = true;
-            respond(&mut stream, "{\"status\":\"draining\"}");
+            stream.send("{\"status\":\"draining\"}");
         }
         "gate" => {
             if *draining {
-                respond(
-                    &mut stream,
-                    &error_response("", "shutting-down", "daemon is draining"),
-                );
+                stream.send(&error_response("", "shutting-down", "daemon is draining"));
+                return;
+            }
+            let tenant = request.str_of("tenant").unwrap_or("default");
+            if !valid_tenant(tenant) {
+                stream.send(&error_response(
+                    "",
+                    "bad-request",
+                    "tenant must be 1..=32 chars of [A-Za-z0-9_-]",
+                ));
                 return;
             }
             let (Some(system), Some(rules)) =
                 (request.str_of("system"), request.str_of("rules"))
             else {
-                respond(
-                    &mut stream,
-                    &error_response("", "bad-request", "gate needs `system` and `rules`"),
-                );
+                stream.send(&error_response(
+                    "",
+                    "bad-request",
+                    "gate needs `system` and `rules`",
+                ));
                 return;
             };
             let fail_mode = match request.str_of("fail_mode").unwrap_or("closed").parse::<FailMode>() {
                 Ok(m) => m,
                 Err(e) => {
-                    respond(&mut stream, &error_response("", "bad-request", &e));
+                    stream.send(&error_response("", "bad-request", &e));
                     return;
                 }
             };
+            if let Some(id) = request.str_of("job_id") {
+                if id.len() > MAX_JOB_ID_LEN {
+                    stream.send(&job_id_too_long(id.len()));
+                    return;
+                }
+            }
             *next_job += 1;
             let id = request
                 .str_of("job_id")
                 .map(str::to_string)
                 .unwrap_or_else(|| format!("job-{next_job}"));
-            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
-            if queue.jobs.len() >= config.queue_cap {
-                stats.rejected_overload += 1;
-                drop(queue);
-                respond(
-                    &mut stream,
-                    &error_response(&id, "overloaded", "queue full; retry later"),
-                );
-                return;
-            }
-            // From here the stream belongs to the job; the reply comes
-            // when the job settles.
-            queue.jobs.push_back(Job {
+            // From here the stream travels with the job; on admission
+            // the reply comes when the job settles, on shed it comes
+            // right back with the retry hint.
+            let job = Job {
                 id,
+                tenant: tenant.to_string(),
                 system: system.to_string(),
                 rules: rules.to_string(),
                 fail_mode,
                 chaos: request.str_of("chaos").map(str::to_string),
                 attempts: 0,
                 stream,
-            });
-            drop(queue);
-            shared.available.notify_one();
+            };
+            let admitted = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .queues
+                .admit(tenant, job, Instant::now());
+            match admitted {
+                Admitted::Queued => shared.available.notify_one(),
+                Admitted::Shed { mut job, retry_after_ms, reason } => {
+                    stats.rejected_overload += 1;
+                    lisa_telemetry::counter_add("serve.shed", 1);
+                    job.stream.send(&shed_response(
+                        &job.id,
+                        tenant,
+                        retry_after_ms,
+                        reason.as_str(),
+                    ));
+                }
+                Admitted::Refused { mut job, error } => {
+                    job.stream.send(&error_response(&job.id, "bad-request", &error));
+                }
+            }
         }
         other => {
-            respond(&mut stream, &error_response("", "bad-request", &format!("unknown op {other:?}")));
+            stream.send(&error_response("", "bad-request", &format!("unknown op {other:?}")));
         }
     }
+}
+
+/// Client side over TCP: send one NDJSON request to a `--listen` daemon
+/// and wait for the one-line reply. The wire protocol (and every reply
+/// byte) is identical to the unix-socket path.
+pub fn request_tcp(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut out = String::new();
+    reader.read_line(&mut out)?;
+    Ok(out.trim_end().to_string())
 }
 
 /// Client side: send one NDJSON request and wait for the one-line reply.
@@ -2317,5 +2746,49 @@ mod tests {
         assert!(!sanitize("").is_empty());
         // Deterministic: retries land in the same dir.
         assert_eq!(sanitize("a/b"), sanitize("a/b"));
+    }
+
+    #[test]
+    fn parse_repl_addr_schemes_win_over_shape() {
+        // Explicit schemes are taken at face value, even when the
+        // remainder looks like the other transport (or is empty).
+        assert_eq!(
+            parse_repl_addr("unix:/tmp/lisa.sock"),
+            ReplAddr::Unix(PathBuf::from("/tmp/lisa.sock"))
+        );
+        assert_eq!(parse_repl_addr("unix:"), ReplAddr::Unix(PathBuf::new()));
+        assert_eq!(
+            parse_repl_addr("unix:localhost:7001"),
+            ReplAddr::Unix(PathBuf::from("localhost:7001"))
+        );
+        assert_eq!(
+            parse_repl_addr("tcp:127.0.0.1:7001"),
+            ReplAddr::Tcp("127.0.0.1:7001".to_string())
+        );
+        assert_eq!(parse_repl_addr("tcp:"), ReplAddr::Tcp(String::new()));
+    }
+
+    #[test]
+    fn parse_repl_addr_bare_specs_split_on_slash() {
+        // A '/' anywhere marks a filesystem path — colons in the path
+        // (legal on unix) do not flip it back to host:port.
+        assert_eq!(
+            parse_repl_addr("/var/run/lisa:1.sock"),
+            ReplAddr::Unix(PathBuf::from("/var/run/lisa:1.sock"))
+        );
+        assert_eq!(parse_repl_addr("./lisa.sock"), ReplAddr::Unix(PathBuf::from("./lisa.sock")));
+        // No '/': host:port territory.
+        assert_eq!(parse_repl_addr("localhost:7001"), ReplAddr::Tcp("localhost:7001".to_string()));
+    }
+
+    #[test]
+    fn parse_repl_addr_degenerate_specs_fall_to_tcp() {
+        // The ambiguous leftovers — empty spec, bare host with a missing
+        // port, a slashless socket filename — all parse as TCP and fail
+        // loudly at connect() rather than being guessed at. Callers who
+        // mean a relative socket path write `unix:` explicitly.
+        assert_eq!(parse_repl_addr(""), ReplAddr::Tcp(String::new()));
+        assert_eq!(parse_repl_addr("localhost"), ReplAddr::Tcp("localhost".to_string()));
+        assert_eq!(parse_repl_addr("lisa.sock"), ReplAddr::Tcp("lisa.sock".to_string()));
     }
 }

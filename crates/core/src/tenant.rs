@@ -1,0 +1,605 @@
+//! Multi-tenant admission control and weighted-fair queueing for the
+//! serve daemon.
+//!
+//! Each tenant owns a bounded job queue plus per-tenant instances of the
+//! daemon's availability tactics: a **retry budget** (Retry — a tenant
+//! whose jobs keep panicking or stalling burns its own budget, nobody
+//! else's), a **degradation window** (Degradation / Ignore Faulty
+//! Behavior — a tenant that exhausts its budget is fast-failed with
+//! structured shed replies for a cooldown instead of burning workers),
+//! and a per-tenant **stall timeout** feeding the supervisor's
+//! heartbeat check. Dequeue order is stride scheduling over tenant
+//! weights, so a noisy tenant with a deep backlog cannot starve a quiet
+//! one: a freshly backlogged tenant re-enters at the scheduler's
+//! current virtual time and is served within ~one weighted turn.
+//!
+//! The container is generic over the job type so it stays free of the
+//! daemon's socket machinery and unit-testable in isolation.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Upper bound on client-supplied job ids. Past it the daemon answers a
+/// structured bad-request instead of letting `sanitize()` mint
+/// pathological state-dir names and bloat the busy-dirs set.
+pub const MAX_JOB_ID_LEN: usize = 128;
+
+/// Tenant names are identifiers: bounded, filesystem- and JSON-safe,
+/// and cheap to embed in telemetry keys.
+pub const MAX_TENANT_LEN: usize = 32;
+
+/// Hard cap on distinct tenants a daemon will track. Auto-registration
+/// past it is refused with a structured error — an attacker spraying
+/// tenant names must not grow unbounded per-tenant state.
+pub const MAX_TENANTS: usize = 64;
+
+/// Retry tokens a tenant starts with (and the ceiling replenishment
+/// can reach). Every supervised retry spends one; every completed job
+/// earns one back.
+pub const RETRY_BUDGET_MAX: u32 = 8;
+
+/// How long an exhausted tenant is degraded (fast-failed) before it is
+/// allowed to queue work again at half budget.
+pub const DEGRADED_COOLDOWN: Duration = Duration::from_secs(3);
+
+/// Stride-scheduling scale: `stride = STRIDE1 / weight`.
+const STRIDE1: u64 = 1 << 20;
+
+/// A tenant name is valid when it is a short identifier. Keeping the
+/// charset tight bounds telemetry-key cardinality and keeps the name
+/// safe to print un-escaped in JSON and logs.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_LEN
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// One `--tenants` entry: `name[:weight[:timeout_ms]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    pub name: String,
+    pub weight: u64,
+    pub job_timeout: Option<Duration>,
+}
+
+/// Parse a `--tenants` spec: comma-separated `name[:weight[:timeout_ms]]`
+/// entries, e.g. `ci:4,batch:2:60000,adhoc`.
+pub fn parse_tenant_specs(spec: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let mut parts = entry.split(':');
+        let name = parts.next().unwrap_or("").to_string();
+        if !valid_tenant(&name) {
+            return Err(format!(
+                "tenant name {name:?}: must be 1..={MAX_TENANT_LEN} chars of [A-Za-z0-9_-]"
+            ));
+        }
+        let weight = match parts.next() {
+            None | Some("") => 1,
+            Some(w) => w
+                .parse::<u64>()
+                .ok()
+                .filter(|w| (1..=100).contains(w))
+                .ok_or_else(|| format!("tenant {name}: weight {w:?} must be 1..=100"))?,
+        };
+        let job_timeout = match parts.next() {
+            None | Some("") => None,
+            Some(t) => Some(Duration::from_millis(
+                t.parse::<u64>()
+                    .ok()
+                    .filter(|t| *t > 0)
+                    .ok_or_else(|| format!("tenant {name}: timeout_ms {t:?} must be > 0"))?,
+            )),
+        };
+        if parts.next().is_some() {
+            return Err(format!("tenant {name}: too many `:` fields (name[:weight[:timeout_ms]])"));
+        }
+        if out.iter().any(|s: &TenantSpec| s.name == name) {
+            return Err(format!("tenant {name}: listed twice"));
+        }
+        out.push(TenantSpec { name, weight, job_timeout });
+    }
+    if out.len() > MAX_TENANTS {
+        return Err(format!("{} tenants listed; the daemon tracks at most {MAX_TENANTS}", out.len()));
+    }
+    Ok(out)
+}
+
+/// Per-tenant queue, scheduler position, quota, and tactic state.
+#[derive(Debug)]
+pub struct Tenant<J> {
+    pub weight: u64,
+    stride: u64,
+    /// Stride-scheduler position; lowest backlogged pass dequeues next.
+    pass: u64,
+    queue: VecDeque<J>,
+    /// Explicit queue bound; 0 = weight-proportional share of the
+    /// global cap, recomputed as tenants register.
+    pub cap: usize,
+    pub job_timeout: Duration,
+    /// Jobs currently held by workers (or parked awaiting retry
+    /// supervision) on this tenant's behalf.
+    pub active: usize,
+    pub done: u64,
+    pub shed: u64,
+    pub retries: u64,
+    pub dead_letters: u64,
+    pub retry_budget: u32,
+    pub degraded_events: u64,
+    degraded_until: Option<Instant>,
+}
+
+impl<J> Tenant<J> {
+    fn new(weight: u64, cap: usize, job_timeout: Duration) -> Tenant<J> {
+        Tenant {
+            weight,
+            stride: STRIDE1 / weight.clamp(1, 100),
+            pass: 0,
+            queue: VecDeque::new(),
+            cap,
+            job_timeout,
+            active: 0,
+            done: 0,
+            shed: 0,
+            retries: 0,
+            dead_letters: 0,
+            retry_budget: RETRY_BUDGET_MAX,
+            degraded_events: 0,
+            degraded_until: None,
+        }
+    }
+
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn degraded(&self, now: Instant) -> bool {
+        self.degraded_until.is_some_and(|until| now < until)
+    }
+}
+
+/// Why a submission was shed instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The global queue (sum over tenants) is at capacity.
+    GlobalSaturated,
+    /// This tenant's own bounded queue is at capacity.
+    TenantSaturated,
+    /// The tenant exhausted its retry budget and is in its degradation
+    /// cooldown: fast-fail rather than feed workers jobs that keep
+    /// failing (Ignore Faulty Behavior).
+    Degraded,
+}
+
+impl ShedReason {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::GlobalSaturated => "global queue saturated",
+            ShedReason::TenantSaturated => "tenant queue saturated",
+            ShedReason::Degraded => "tenant degraded (retry budget exhausted)",
+        }
+    }
+}
+
+/// Admission verdict. Shed and refused submissions hand the job back so
+/// the caller can reclaim its response stream.
+pub enum Admitted<J> {
+    Queued,
+    Shed { job: J, retry_after_ms: u64, reason: ShedReason },
+    Refused { job: J, error: String },
+}
+
+/// Weighted-fair, bounded, multi-tenant job queues.
+pub struct FairQueues<J> {
+    tenants: BTreeMap<String, Tenant<J>>,
+    queued_total: usize,
+    global_cap: usize,
+    /// Explicit per-tenant cap; 0 = weight-proportional share.
+    tenant_cap: usize,
+    default_timeout: Duration,
+    workers: u64,
+    /// Scheduler virtual time: the pass of the most recent dequeue. A
+    /// tenant going from empty to backlogged re-enters here, not at its
+    /// stale historical pass (which would let it monopolize) nor ahead
+    /// (which would starve it).
+    virtual_time: u64,
+    /// EWMA of completed-job wall time, feeding `retry_after_ms`.
+    mean_job_ms: u64,
+}
+
+impl<J> FairQueues<J> {
+    pub fn new(
+        specs: &[TenantSpec],
+        global_cap: usize,
+        tenant_cap: usize,
+        default_timeout: Duration,
+        workers: usize,
+    ) -> FairQueues<J> {
+        let mut q = FairQueues {
+            tenants: BTreeMap::new(),
+            queued_total: 0,
+            global_cap: global_cap.max(1),
+            tenant_cap,
+            default_timeout,
+            workers: workers.max(1) as u64,
+            virtual_time: 0,
+            mean_job_ms: 100,
+        };
+        for spec in specs {
+            q.tenants.insert(
+                spec.name.clone(),
+                Tenant::new(spec.weight, tenant_cap, spec.job_timeout.unwrap_or(default_timeout)),
+            );
+        }
+        q
+    }
+
+    pub fn queued_total(&self) -> usize {
+        self.queued_total
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tenant<J>)> {
+        self.tenants.iter()
+    }
+
+    /// The stall timeout for each known tenant (snapshotted so the
+    /// supervisor can consult it without holding the queue lock while it
+    /// holds a worker-slot lock).
+    pub fn timeouts(&self) -> BTreeMap<String, Duration> {
+        self.tenants.iter().map(|(name, t)| (name.clone(), t.job_timeout)).collect()
+    }
+
+    pub fn timeout_of(&self, tenant: &str) -> Duration {
+        self.tenants.get(tenant).map(|t| t.job_timeout).unwrap_or(self.default_timeout)
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.tenants.values().map(|t| t.weight).sum::<u64>().max(1)
+    }
+
+    /// Effective queue bound for one tenant: explicit cap, or its
+    /// weight-proportional share of the global cap (at least 1, so a
+    /// quiet low-weight tenant can always queue something).
+    fn effective_cap(&self, tenant: &Tenant<J>) -> usize {
+        if tenant.cap > 0 {
+            return tenant.cap;
+        }
+        (self.global_cap as u64 * tenant.weight / self.total_weight()).max(1) as usize
+    }
+
+    /// How long a shed client should wait before retrying: the time the
+    /// backlog ahead of it needs to drain through the worker pool,
+    /// clamped to something a polite client can actually honor.
+    fn retry_after_ms(&self, depth_ahead: usize) -> u64 {
+        ((depth_ahead as u64 + 1) * self.mean_job_ms / self.workers).clamp(50, 30_000)
+    }
+
+    /// Admit a job for `tenant`, auto-registering unknown tenants at
+    /// weight 1 (up to [`MAX_TENANTS`]).
+    pub fn admit(&mut self, tenant: &str, job: J, now: Instant) -> Admitted<J> {
+        if !self.tenants.contains_key(tenant) {
+            if self.tenants.len() >= MAX_TENANTS {
+                return Admitted::Refused {
+                    job,
+                    error: format!("too many tenants (max {MAX_TENANTS}); reuse an existing one"),
+                };
+            }
+            self.tenants.insert(
+                tenant.to_string(),
+                Tenant::new(1, self.tenant_cap, self.default_timeout),
+            );
+        }
+        if self.queued_total >= self.global_cap {
+            let retry = self.retry_after_ms(self.queued_total);
+            let t = self.tenants.get_mut(tenant).expect("registered above");
+            t.shed += 1;
+            return Admitted::Shed { job, retry_after_ms: retry, reason: ShedReason::GlobalSaturated };
+        }
+        let cap = self.effective_cap(&self.tenants[tenant]);
+        let vt = self.virtual_time;
+        let t = self.tenants.get_mut(tenant).expect("registered above");
+        if let Some(until) = t.degraded_until {
+            if now < until {
+                t.shed += 1;
+                let wait = until.saturating_duration_since(now).as_millis() as u64;
+                return Admitted::Shed {
+                    job,
+                    retry_after_ms: wait.max(50),
+                    reason: ShedReason::Degraded,
+                };
+            }
+            // Cooldown over: re-admit at half budget (Degradation ends,
+            // trust is rebuilt by finishing jobs, not by waiting).
+            t.degraded_until = None;
+            t.retry_budget = RETRY_BUDGET_MAX / 2;
+        }
+        if t.queue.len() >= cap {
+            t.shed += 1;
+            let depth = t.queue.len();
+            let retry = self.retry_after_ms(depth);
+            return Admitted::Shed { job, retry_after_ms: retry, reason: ShedReason::TenantSaturated };
+        }
+        if t.queue.is_empty() {
+            // Re-enter the stride schedule at current virtual time.
+            t.pass = t.pass.max(vt);
+        }
+        t.queue.push_back(job);
+        self.queued_total += 1;
+        Admitted::Queued
+    }
+
+    /// Dequeue the next job under weighted fairness: among tenants with
+    /// at least one `dequeuable` job, pick the lowest stride pass, pop
+    /// that tenant's first dequeuable job, and charge its pass. Jobs
+    /// failing `dequeuable` (busy state dirs) are skipped in place.
+    pub fn pop(&mut self, dequeuable: impl Fn(&J) -> bool) -> Option<(String, J)> {
+        let mut best: Option<(&String, usize, u64)> = None;
+        for (name, t) in &self.tenants {
+            if let Some(idx) = t.queue.iter().position(&dequeuable) {
+                if best.is_none_or(|(_, _, pass)| t.pass < pass) {
+                    best = Some((name, idx, t.pass));
+                }
+            }
+        }
+        let (name, idx, _) = best?;
+        let name = name.clone();
+        let t = self.tenants.get_mut(&name).expect("picked above");
+        let job = t.queue.remove(idx).expect("indexed job");
+        self.virtual_time = t.pass;
+        t.pass += t.stride;
+        t.active += 1;
+        self.queued_total -= 1;
+        Some((name, job))
+    }
+
+    /// Return a recovered job to the front of its tenant's queue (a
+    /// supervised retry re-runs before newer submissions; its admission
+    /// was already paid). The job is no longer active until re-popped.
+    pub fn requeue_front(&mut self, tenant: &str, job: J) {
+        let vt = self.virtual_time;
+        let default = (self.tenant_cap, self.default_timeout);
+        let t = self
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Tenant::new(1, default.0, default.1));
+        if t.queue.is_empty() {
+            t.pass = t.pass.max(vt);
+        }
+        t.queue.push_front(job);
+        self.queued_total += 1;
+    }
+
+    /// A worker settled a job for `tenant` (reply sent or attempt ended).
+    /// `elapsed_ms` feeds the shed-retry estimate; a completed job earns
+    /// one retry token back.
+    pub fn settle(&mut self, tenant: &str, elapsed_ms: u64) {
+        self.mean_job_ms = (self.mean_job_ms * 7 + elapsed_ms.max(1)) / 8;
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.active = t.active.saturating_sub(1);
+            t.done += 1;
+            t.retry_budget = (t.retry_budget + 1).min(RETRY_BUDGET_MAX);
+        }
+    }
+
+    /// The supervisor recovered this tenant's in-flight job from an
+    /// abandoned worker; it is no longer active.
+    pub fn recovered(&mut self, tenant: &str) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.active = t.active.saturating_sub(1);
+        }
+    }
+
+    /// Spend one retry token. Returns false — and starts the tenant's
+    /// degradation cooldown — when the budget is exhausted, in which
+    /// case the caller dead-letters instead of retrying.
+    pub fn try_retry(&mut self, tenant: &str, now: Instant) -> bool {
+        let default = (self.tenant_cap, self.default_timeout);
+        let t = match self.tenants.entry(tenant.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(Tenant::new(1, default.0, default.1)),
+        };
+        if t.retry_budget == 0 {
+            t.degraded_until = Some(now + DEGRADED_COOLDOWN);
+            t.degraded_events += 1;
+            return false;
+        }
+        t.retry_budget -= 1;
+        t.retries += 1;
+        true
+    }
+
+    pub fn record_dead_letter(&mut self, tenant: &str) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.dead_letters += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queues(specs: &str, global_cap: usize) -> FairQueues<u32> {
+        FairQueues::new(
+            &parse_tenant_specs(specs).expect("spec"),
+            global_cap,
+            0,
+            Duration::from_secs(30),
+            2,
+        )
+    }
+
+    #[test]
+    fn spec_parsing_accepts_weights_and_timeouts() {
+        let specs = parse_tenant_specs("ci:4,batch:2:60000,adhoc").expect("parses");
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0], TenantSpec { name: "ci".into(), weight: 4, job_timeout: None });
+        assert_eq!(specs[1].job_timeout, Some(Duration::from_millis(60_000)));
+        assert_eq!(specs[2].weight, 1);
+        assert!(parse_tenant_specs("bad name:1").is_err(), "space in name");
+        assert!(parse_tenant_specs("x:0").is_err(), "zero weight");
+        assert!(parse_tenant_specs("x:1:0").is_err(), "zero timeout");
+        assert!(parse_tenant_specs("x:1:2:3").is_err(), "too many fields");
+        assert!(parse_tenant_specs("x,x").is_err(), "duplicate");
+        assert!(parse_tenant_specs("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(valid_tenant("ci-prod_1"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("a b"));
+        assert!(!valid_tenant(&"x".repeat(MAX_TENANT_LEN + 1)));
+    }
+
+    #[test]
+    fn weighted_dequeue_tracks_weights() {
+        let mut q = queues("heavy:3,light:1", 1000);
+        let now = Instant::now();
+        for i in 0..80u32 {
+            assert!(matches!(q.admit("heavy", i, now), Admitted::Queued));
+            assert!(matches!(q.admit("light", 100 + i, now), Admitted::Queued));
+        }
+        let mut heavy = 0;
+        let mut light = 0;
+        for _ in 0..40 {
+            match q.pop(|_| true).expect("job").0.as_str() {
+                "heavy" => heavy += 1,
+                _ => light += 1,
+            }
+        }
+        // Stride scheduling: of 40 dequeues, ~30 heavy / ~10 light.
+        assert!((28..=32).contains(&heavy), "heavy got {heavy}/40");
+        assert!((8..=12).contains(&light), "light got {light}/40");
+    }
+
+    #[test]
+    fn backlogged_newcomer_is_not_starved() {
+        let mut q = queues("noisy:1,quiet:1", 1000);
+        let now = Instant::now();
+        for i in 0..50u32 {
+            assert!(matches!(q.admit("noisy", i, now), Admitted::Queued));
+        }
+        // Drain a while: the noisy tenant's pass advances.
+        for _ in 0..20 {
+            assert_eq!(q.pop(|_| true).expect("job").0, "noisy");
+        }
+        // A quiet job arriving now re-enters at virtual time and must be
+        // served within two dequeues, not after the noisy backlog.
+        assert!(matches!(q.admit("quiet", 999, now), Admitted::Queued));
+        let order: Vec<String> = (0..2).filter_map(|_| q.pop(|_| true)).map(|(t, _)| t).collect();
+        assert!(order.contains(&"quiet".to_string()), "quiet starved: {order:?}");
+    }
+
+    #[test]
+    fn caps_shed_with_retry_hint_and_count() {
+        let mut q = queues("a:1,b:1", 4);
+        let now = Instant::now();
+        // Per-tenant share of the global cap: 4 * 1/2 = 2 each.
+        assert!(matches!(q.admit("a", 1, now), Admitted::Queued));
+        assert!(matches!(q.admit("a", 2, now), Admitted::Queued));
+        match q.admit("a", 3, now) {
+            Admitted::Shed { job, retry_after_ms, reason } => {
+                assert_eq!(job, 3, "shed hands the job back");
+                assert!(retry_after_ms >= 50);
+                assert_eq!(reason, ShedReason::TenantSaturated);
+            }
+            _ => panic!("expected tenant-cap shed"),
+        }
+        // b can still queue: a's overflow never ate b's share.
+        assert!(matches!(q.admit("b", 4, now), Admitted::Queued));
+        assert!(matches!(q.admit("b", 5, now), Admitted::Queued));
+        match q.admit("b", 6, now) {
+            Admitted::Shed { reason, .. } => assert_eq!(reason, ShedReason::GlobalSaturated),
+            _ => panic!("expected global shed at cap 4"),
+        }
+        assert_eq!(q.iter().map(|(_, t)| t.shed).sum::<u64>(), 2);
+        assert_eq!(q.queued_total(), 4);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_degrades_then_recovers() {
+        let mut q = queues("flaky:1", 100);
+        let now = Instant::now();
+        for _ in 0..RETRY_BUDGET_MAX {
+            assert!(q.try_retry("flaky", now), "budget spends one per retry");
+        }
+        assert!(!q.try_retry("flaky", now), "exhausted budget refuses");
+        // Degraded: submissions shed immediately with the cooldown hint.
+        match q.admit("flaky", 1, now) {
+            Admitted::Shed { reason, retry_after_ms, .. } => {
+                assert_eq!(reason, ShedReason::Degraded);
+                assert!(retry_after_ms <= DEGRADED_COOLDOWN.as_millis() as u64);
+            }
+            _ => panic!("degraded tenant must shed"),
+        }
+        // After the cooldown, admission resumes at half budget.
+        let later = now + DEGRADED_COOLDOWN + Duration::from_millis(1);
+        assert!(matches!(q.admit("flaky", 2, later), Admitted::Queued));
+        let t = q.iter().find(|(n, _)| n.as_str() == "flaky").expect("tenant").1;
+        assert_eq!(t.retry_budget, RETRY_BUDGET_MAX / 2);
+        assert_eq!(t.degraded_events, 1);
+    }
+
+    #[test]
+    fn settle_replenishes_budget_and_tracks_active() {
+        let mut q = queues("t:1", 100);
+        let now = Instant::now();
+        assert!(matches!(q.admit("t", 1, now), Admitted::Queued));
+        let (tenant, _) = q.pop(|_| true).expect("job");
+        assert_eq!(q.iter().next().expect("t").1.active, 1);
+        assert!(q.try_retry(&tenant, now));
+        q.settle(&tenant, 120);
+        let t = q.iter().next().expect("t").1;
+        assert_eq!(t.active, 0);
+        assert_eq!(t.done, 1);
+        assert_eq!(t.retry_budget, RETRY_BUDGET_MAX, "a finished job earns a token back");
+    }
+
+    #[test]
+    fn busy_jobs_are_skipped_in_place() {
+        let mut q = queues("t:1", 100);
+        let now = Instant::now();
+        for i in 0..3u32 {
+            assert!(matches!(q.admit("t", i, now), Admitted::Queued));
+        }
+        // Job 0 is "busy" (its state dir is held): the pop takes job 1.
+        let (_, job) = q.pop(|j| *j != 0).expect("job");
+        assert_eq!(job, 1);
+        // Released: job 0 dequeues next, order preserved.
+        let (_, job) = q.pop(|_| true).expect("job");
+        assert_eq!(job, 0);
+    }
+
+    #[test]
+    fn unknown_tenants_auto_register_up_to_the_cap() {
+        let mut q = queues("", 10_000);
+        let now = Instant::now();
+        for i in 0..MAX_TENANTS {
+            assert!(matches!(q.admit(&format!("t{i}"), 0, now), Admitted::Queued));
+        }
+        match q.admit("one-too-many", 0, now) {
+            Admitted::Refused { error, .. } => assert!(error.contains("too many tenants")),
+            _ => panic!("tenant table must be bounded"),
+        }
+    }
+
+    #[test]
+    fn requeue_front_runs_before_newer_work() {
+        let mut q = queues("t:1", 100);
+        let now = Instant::now();
+        for i in 0..3u32 {
+            assert!(matches!(q.admit("t", i, now), Admitted::Queued));
+        }
+        let (tenant, job) = q.pop(|_| true).expect("job");
+        assert_eq!(job, 0);
+        q.requeue_front(&tenant, job);
+        assert_eq!(q.pop(|_| true).expect("job").1, 0, "retry precedes newer jobs");
+    }
+}

@@ -78,6 +78,12 @@ impl Histogram {
         bucket_midpoint(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// The (p50, p95, p99) summary most latency consumers report — one
+    /// snapshot walk instead of three independent percentile calls.
+    pub fn summary(&self) -> (u64, u64, u64) {
+        (self.percentile(0.50), self.percentile(0.95), self.percentile(0.99))
+    }
+
     /// Merge another histogram into this one (used when restoring persisted
     /// snapshots).
     pub fn merge(&mut self, other: &Histogram) {
@@ -225,13 +231,15 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        let p50 = h.percentile(0.50);
-        let p95 = h.percentile(0.95);
+        let (p50, p95, p99) = h.summary();
         // Log buckets bound relative error by 2x.
         assert!((250..=1000).contains(&p50), "p50 = {p50}");
         assert!((500..=2000).contains(&p95), "p95 = {p95}");
+        assert!((500..=2000).contains(&p99), "p99 = {p99}");
         assert!(p95 >= p50);
+        assert!(p99 >= p95, "the tail ordering must hold");
         assert_eq!(Histogram::new().percentile(0.5), 0, "empty histogram");
+        assert_eq!(Histogram::new().summary(), (0, 0, 0));
     }
 
     #[test]

@@ -80,8 +80,8 @@ cargo test -q -p lisa --test e2e_failover
 # on the leader, the leader SIGKILLed, the follower promoted —
 # the mirrored journal must be byte-identical and the promoted daemon
 # must answer the same verdict without re-executing anything.
-LEADER=""; FOLLOWER=""
-trap 'kill -9 $LEADER $FOLLOWER 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+LEADER=""; FOLLOWER=""; SERVE=""
+trap 'kill -9 $LEADER $FOLLOWER $SERVE 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 FPORT=$((20000 + RANDOM % 20000))
 "$LISA" serve --socket "$SMOKE/leader.sock" --state-root "$SMOKE/lstate" \
     --repl-listen "127.0.0.1:$FPORT" --heartbeat-ms 100 &
@@ -120,3 +120,34 @@ grep -q '"fresh":0' "$SMOKE/fo-promoted.out"
 "$LISA" submit --socket "$SMOKE/follower.sock" --op shutdown > /dev/null
 wait "$FOLLOWER"
 echo "failover smoke: ok"
+
+# Multi-tenant serve e2e: transport byte-parity, weighted-fair dequeue,
+# structured load-shedding, bounded job ids, per-tenant stats.
+cargo test -q -p lisa --test e2e_serve_load
+
+# Serve-load smoke: a starved daemon (1 worker, 2-deep queues) under a
+# TCP burst must answer every connection, shed the overflow with
+# structured retry hints, expose per-tenant queue state in `stats`, and
+# drain cleanly on shutdown.
+SPORT=$((20000 + RANDOM % 20000))
+"$LISA" serve --socket "$SMOKE/load.sock" --state-root "$SMOKE/loadstate" \
+    --listen "127.0.0.1:$SPORT" --workers 1 --queue-cap 2 --tenant-cap 2 \
+    --tenants "alpha:4,beta:2,gamma:1,delta:1" &
+SERVE=$!
+# serve_load itself asserts zero lost and zero malformed replies.
+target/release/serve_load --addr "127.0.0.1:$SPORT" --clients 48 --window-ms 100 \
+    > "$SMOKE/load.out"
+grep -Eq '"shed":[1-9]' "$SMOKE/load.out"
+grep -q '"alpha":{"weight":4,"queued":' "$SMOKE/load.out"
+grep -q '"retry_budget":' "$SMOKE/load.out"
+target/release/serve_load --addr "127.0.0.1:$SPORT" --clients 4 --window-ms 0 \
+    --shutdown > /dev/null
+wait "$SERVE"
+SERVE=""
+echo "serve-load smoke: ok"
+
+# Multi-tenant serve bench: >=1000 concurrent TCP clients across 4
+# skew-weighted tenants; asserts zero lost/malformed replies and a
+# structurally-shedding saturation phase, then writes BENCH_serve.json.
+cargo run -q --release -p lisa-bench --bin serve_load > /dev/null
+echo "serve bench: ok"
