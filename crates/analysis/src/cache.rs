@@ -10,48 +10,52 @@
 //! not.
 //!
 //! Artifacts are returned as `Arc` clones: rules running on parallel
-//! workers share one materialized graph/tree instead of cloning it.
+//! workers share one materialized graph/tree instead of cloning it. The
+//! maps are lock-striped ([`ShardedMap`]) so a wide worker pool does not
+//! serialize on one mutex, and builds are single-flight: two rules
+//! missing the same tree concurrently share one construction (the waiter
+//! counts a hit, not a duplicate miss).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use lisa_util::ShardedMap;
 
 use crate::callgraph::CallGraph;
 use crate::target::TargetSpec;
 use crate::tree::{ExecutionTree, TreeLimits};
 
+/// Lock shards per map. Cache keys hash uniformly (program fingerprints
+/// and rendered targets), so a modest stripe count already makes same-key
+/// collisions the only contention left — and those are the single-flight
+/// coalescing we *want*.
+const SHARDS: usize = 16;
+
 /// Thread-safe cache of call graphs and execution trees. Cheap to share
 /// behind an `Arc`; all methods take `&self`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AnalysisCache {
-    graphs: Mutex<HashMap<u64, Arc<CallGraph>>>,
-    trees: Mutex<HashMap<TreeKey, Arc<ExecutionTree>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    graphs: ShardedMap<u64, CallGraph>,
+    trees: ShardedMap<TreeKey, ExecutionTree>,
 }
 
 /// (program fingerprint, rendered target, limits, exclude-prefix).
 type TreeKey = (u64, String, usize, usize, String);
 
+impl Default for AnalysisCache {
+    fn default() -> AnalysisCache {
+        AnalysisCache::new()
+    }
+}
+
 impl AnalysisCache {
     pub fn new() -> AnalysisCache {
-        AnalysisCache::default()
+        AnalysisCache { graphs: ShardedMap::new(SHARDS), trees: ShardedMap::new(SHARDS) }
     }
 
     /// The call graph for the program fingerprinted `fp`, building it
     /// with `build` on first use.
     pub fn callgraph(&self, fp: u64, build: impl FnOnce() -> CallGraph) -> Arc<CallGraph> {
-        {
-            let graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(g) = graphs.get(&fp) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(g);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
-        let mut graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(graphs.entry(fp).or_insert(built))
+        self.graphs.get_or_build(fp, build)
     }
 
     /// The execution tree for `target` under `limits` with test functions
@@ -66,42 +70,49 @@ impl AnalysisCache {
     ) -> Arc<ExecutionTree> {
         let key: TreeKey =
             (fp, target.to_string(), limits.max_chains, limits.max_depth, test_prefix.to_string());
-        {
-            let trees = self.trees.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(t) = trees.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(t);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(build());
-        let mut trees = self.trees.lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(trees.entry(key).or_insert(built))
+        self.trees.get_or_build(key, build)
     }
 
     /// Drop every entry whose program fingerprint is not in `keep`. A
     /// gate run calls this after switching versions so only the current
     /// (and journaled previous) version's artifacts stay resident.
     pub fn retain_versions(&self, keep: &[u64]) {
-        let mut graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
-        graphs.retain(|fp, _| keep.contains(fp));
-        let mut trees = self.trees.lock().unwrap_or_else(|e| e.into_inner());
-        trees.retain(|(fp, ..), _| keep.contains(fp));
+        self.graphs.retain(|fp| keep.contains(fp));
+        self.trees.retain(|(fp, ..)| keep.contains(fp));
     }
 
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.graphs.hits() + self.trees.hits()
     }
 
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.graphs.misses() + self.trees.misses()
+    }
+
+    /// Lookups that coalesced onto another worker's in-flight build
+    /// (a subset of `hits`).
+    pub fn coalesced(&self) -> u64 {
+        self.graphs.coalesced() + self.trees.coalesced()
+    }
+
+    /// Shard-lock acquisitions across both maps.
+    pub fn lock_acquires(&self) -> u64 {
+        self.graphs.lock_stats().acquires() + self.trees.lock_stats().acquires()
+    }
+
+    /// Shard-lock acquisitions that had to block on another worker.
+    pub fn lock_contended(&self) -> u64 {
+        self.graphs.lock_stats().contended() + self.trees.lock_stats().contended()
+    }
+
+    /// Cumulative nanoseconds spent blocked on shard locks.
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.graphs.lock_stats().wait_ns() + self.trees.lock_stats().wait_ns()
     }
 
     /// Live entry count across both maps (for tests and introspection).
     pub fn len(&self) -> usize {
-        let g = self.graphs.lock().unwrap_or_else(|e| e.into_inner()).len();
-        let t = self.trees.lock().unwrap_or_else(|e| e.into_inner()).len();
-        g + t
+        self.graphs.len() + self.trees.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -190,5 +201,16 @@ mod tests {
         assert_eq!(cache.len(), 3);
         cache.retain_versions(&[2]);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lock_counters_track_lookups() {
+        let p = program();
+        let cache = AnalysisCache::new();
+        cache.callgraph(1, || CallGraph::build(&p));
+        cache.callgraph(1, || unreachable!());
+        assert!(cache.lock_acquires() >= 2);
+        assert_eq!(cache.lock_contended(), 0, "single thread never blocks");
+        assert_eq!(cache.coalesced(), 0);
     }
 }

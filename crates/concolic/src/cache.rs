@@ -5,39 +5,48 @@
 //! target, aliases, policy, step budget). The cache keys a batch by the
 //! content fingerprints of all of those, so two rules sharing a target —
 //! or the same rule re-checked against an unchanged version — replay the
-//! recorded traces instead of re-executing.
+//! recorded traces instead of re-executing. Storage is a lock-striped,
+//! single-flight [`ShardedMap`]: parallel rules missing the same batch
+//! concurrently share one execution (the waiter counts a hit), and
+//! lookups of different batches never serialize on a common mutex.
 //!
 //! One deliberate hole: batches run under a *wall-clock* budget are never
 //! cached. Their truncation point depends on machine timing, so caching
 //! them could make a cached gate render different output than an uncached
 //! one, breaking the byte-identical transparency invariant.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use lisa_analysis::{AliasMap, TargetSpec};
 use lisa_lang::Program;
-use lisa_util::Fnv1a;
+use lisa_util::{Fnv1a, ShardedMap};
 
 use crate::engine::Policy;
 use crate::harness::{run_tests_budgeted, HarnessBudget, HarnessOutcome, TestCase};
 
+/// Lock shards; see `AnalysisCache` for the sizing rationale.
+const SHARDS: usize = 16;
+
 /// Thread-safe cache of harness batch outcomes, shared behind an `Arc`.
 /// Outcomes are stored as `Arc<HarnessOutcome>` (trace batches can be
 /// large, and `TestRun` is not `Clone`).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceCache {
-    inner: Mutex<HashMap<u64, Arc<HarnessOutcome>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: ShardedMap<u64, HarnessOutcome>,
     /// Batches that bypassed the cache because a wall budget was set.
     uncacheable: AtomicU64,
 }
 
+impl Default for TraceCache {
+    fn default() -> TraceCache {
+        TraceCache::new()
+    }
+}
+
 impl TraceCache {
     pub fn new() -> TraceCache {
-        TraceCache::default()
+        TraceCache { inner: ShardedMap::new(SHARDS), uncacheable: AtomicU64::new(0) }
     }
 
     fn key(
@@ -93,34 +102,45 @@ impl TraceCache {
             return Arc::new(run_tests_budgeted(program, tests, target, aliases, policy, budget));
         }
         let key = Self::key(program_fp, tests, target, aliases, policy, budget);
-        {
-            let map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(outcome) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(outcome);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome =
-            Arc::new(run_tests_budgeted(program, tests, target, aliases, policy, budget));
-        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(key).or_insert(outcome))
+        self.inner
+            .get_or_build(key, || run_tests_budgeted(program, tests, target, aliases, policy, budget))
     }
 
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.inner.hits()
     }
 
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.inner.misses()
     }
 
     pub fn uncacheable(&self) -> u64 {
         self.uncacheable.load(Ordering::Relaxed)
     }
 
+    /// Lookups that coalesced onto another worker's in-flight batch
+    /// (a subset of `hits`).
+    pub fn coalesced(&self) -> u64 {
+        self.inner.coalesced()
+    }
+
+    /// Shard-lock acquisitions.
+    pub fn lock_acquires(&self) -> u64 {
+        self.inner.lock_stats().acquires()
+    }
+
+    /// Shard-lock acquisitions that had to block on another worker.
+    pub fn lock_contended(&self) -> u64 {
+        self.inner.lock_stats().contended()
+    }
+
+    /// Cumulative nanoseconds spent blocked on shard locks.
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.inner.lock_stats().wait_ns()
+    }
+
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner.len()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -111,14 +111,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   lisa check   --system <dir> --rules <file> [--test-prefix test_] [--rag <k>] [--format json]
-  lisa gate    --system <dir> --rules <file> [--workers N] [--format json]
+  lisa gate    --system <dir> --rules <file> [--workers N|auto] [--format json]
                [--test-prefix test_] [--rag <k>]
                [--fail-mode closed|open] [--deadline-ms N] [--max-solver-conflicts N]
                [--fault-seed N] [--fault-rate F] [--state <dir>]
                [--cache on|off] [--cache-queries N]
                [--trace-out <file>] [--metrics-out <file>]
   lisa resume  --system <dir> --rules <file> --state <dir> [--fail-mode closed|open]
-  lisa serve   --socket <path> [--state-root <dir>] [--workers N] [--queue-cap N]
+  lisa serve   --socket <path> [--state-root <dir>] [--workers N|auto] [--queue-cap N]
                [--job-timeout-ms N] [--max-attempts N]
                [--listen <host:port>] [--tenants name[:weight[:timeout_ms]],...]
                [--tenant-cap N] [--max-conns N]
@@ -246,6 +246,11 @@ fn cmd_check(flags: &HashMap<String, String>, gate: bool) -> Result<Outcome, Str
             gate = gate.cache(&cache);
         }
         let report = gate.run(&version);
+        // Resolved width goes to the verbose stderr channel, never into
+        // the report: gate output is byte-identical at any worker count.
+        lisa_telemetry::note("gate", || {
+            format!("scheduler width {} (--workers {})", report.workers, cfg.workers)
+        });
         if json {
             println!("{}", lisa::json::enforcement_json(&report));
         } else {
@@ -310,6 +315,7 @@ fn run_durable(
 ) -> Result<Outcome, String> {
     let durable = DurableOptions {
         state_dir: PathBuf::from(state),
+        workers: cfg.workers,
         cache: cfg.gate_cache(),
         ..DurableOptions::default()
     };
@@ -341,7 +347,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<Outcome, String> {
     let config = ServeConfig {
         socket,
         state_root,
-        workers: parse_num(flags, "workers")?.unwrap_or(2),
+        workers: match flags.get("workers").map(String::as_str) {
+            None => 2,
+            Some("auto") => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--workers {v}: expected a number or `auto`"))?,
+        },
         queue_cap: parse_num(flags, "queue-cap")?.unwrap_or(64),
         job_timeout: Duration::from_millis(
             parse_num::<u64>(flags, "job-timeout-ms")?.unwrap_or(30_000),

@@ -18,7 +18,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -29,6 +29,7 @@ use lisa_util::{retry_with_backoff, RetryPolicy};
 use crate::error::LisaError;
 use crate::faults::{FaultInjector, FaultKind, TRANSIENT_MARKER};
 use crate::pipeline::{Pipeline, PipelineConfig, ResourceBudgets};
+use crate::sched::{DegradeSignal, GateCtx, Sched};
 use crate::verdict::RuleReport;
 
 /// The persistent set of enforced rules.
@@ -154,6 +155,11 @@ pub struct EnforcementReport {
     pub retries: u64,
     /// Human-readable warnings (fail-open engine errors, deadline hits).
     pub warnings: Vec<String>,
+    /// Resolved scheduler width the gate ran at (after `0` → auto
+    /// expansion). Introspection only: deliberately kept out of the
+    /// rendered report and its JSON so gate output stays byte-identical
+    /// across worker counts.
+    pub workers: usize,
 }
 
 impl EnforcementReport {
@@ -209,11 +215,9 @@ pub(crate) fn enforce_impl(
 ) -> EnforcementReport {
     let started = Instant::now();
     let mut gate_span = lisa_telemetry::span_with("gate.enforce", version.label.clone());
-    let reports = Mutex::new(Vec::<(usize, RuleReport)>::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = crate::sched::resolve_workers(workers);
     let total_retries = AtomicU64::new(0);
-    let deadline_hit = AtomicBool::new(false);
-    let workers = workers.clamp(1, registry.len().max(1));
+    let degrade = DegradeSignal::new(started, options.deadline);
 
     // Layer the gate budgets over the pipeline config (gate wins where set).
     let mut gate_config = config.clone();
@@ -227,50 +231,59 @@ pub(crate) fn enforce_impl(
         gate_config.budgets.rule_wall = options.budgets.rule_wall;
     }
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let pipeline = match cache {
-                    Some(c) => Pipeline::with_cache(gate_config.clone(), Arc::clone(c)),
-                    None => Pipeline::new(gate_config.clone()),
-                };
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(rule) = registry.rules().get(i) else { break };
-                    let past_deadline =
-                        options.deadline.is_some_and(|d| started.elapsed() >= d);
-                    if past_deadline && !deadline_hit.swap(true, Ordering::Relaxed) {
-                        lisa_telemetry::event(
-                            "gate.deadline_expired",
-                            format!(
-                                "degrading remaining rules to fixed-path sanity checks \
-                                 (from rule {})",
-                                rule.id
-                            ),
-                        );
-                    }
-                    let (report, retries) =
-                        check_one_rule(&pipeline, version, rule, options, past_deadline);
-                    total_retries.fetch_add(retries as u64, Ordering::Relaxed);
-                    // Recover from a poisoned lock: a panicking sibling
-                    // worker must not cost us the reports already folded.
-                    reports
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .push((i, report));
-                }
-            });
-        }
-    });
+    // One slot per rule: tasks finish in any order, reports fold in
+    // registry order. Declared before the scheduler so tasks may borrow it.
+    let slots: Vec<Mutex<Option<RuleReport>>> =
+        registry.rules().iter().map(|_| Mutex::new(None)).collect();
+    let sched = Sched::new(workers);
+    for (i, rule) in registry.rules().iter().enumerate() {
+        let gate_config = &gate_config;
+        let slots = &slots;
+        let total_retries = &total_retries;
+        let degrade = &degrade;
+        sched.spawn_rule(move |exec| {
+            let pipeline = match cache {
+                Some(c) => Pipeline::with_cache(gate_config.clone(), Arc::clone(c)),
+                None => Pipeline::new(gate_config.clone()),
+            };
+            let past_deadline = degrade.expired();
+            if past_deadline && degrade.first_notice() {
+                lisa_telemetry::event(
+                    "gate.deadline_expired",
+                    format!(
+                        "degrading remaining rules to fixed-path sanity checks \
+                         (from rule {})",
+                        rule.id
+                    ),
+                );
+            }
+            let ctx = GateCtx { exec: Some(exec), degrade: Some(degrade) };
+            let (report, retries) =
+                check_one_rule(&pipeline, version, rule, options, past_deadline, ctx);
+            total_retries.fetch_add(retries as u64, Ordering::Relaxed);
+            // Recover from a poisoned lock: a panicking sibling worker
+            // must not cost us this rule's report.
+            *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(report);
+        });
+    }
+    sched.run();
+    sched.publish_metrics();
+    // The scheduler's queues borrow `slots`; release them before folding.
+    drop(sched);
 
-    let mut indexed = reports.into_inner().unwrap_or_else(|p| p.into_inner());
-    indexed.sort_by_key(|(i, _)| *i);
-    let reports: Vec<RuleReport> = indexed.into_iter().map(|(_, r)| r).collect();
+    let reports: Vec<RuleReport> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("every rule task writes its slot before the scheduler drains")
+        })
+        .collect();
 
     let engine_errors = reports.iter().filter(|r| r.has_engine_error()).count();
     let degraded_rules = reports.iter().filter(|r| r.degraded).count();
     let mut warnings = Vec::new();
-    if deadline_hit.load(Ordering::Relaxed) {
+    if degrade.was_hit() {
         warnings.push(format!(
             "gate deadline expired; {degraded_rules} rule(s) checked in degraded mode"
         ));
@@ -305,6 +318,7 @@ pub(crate) fn enforce_impl(
         review_needed += engine_errors;
     }
     gate_span.arg("rules", reports.len() as u64);
+    gate_span.arg("workers", workers as u64);
     gate_span.arg("engine_errors", engine_errors as u64);
     gate_span.arg("degraded_rules", degraded_rules as u64);
     gate_span.arg("retries", total_retries.load(Ordering::Relaxed));
@@ -335,21 +349,23 @@ pub(crate) fn enforce_impl(
         degraded_rules,
         retries: total_retries.load(Ordering::Relaxed),
         warnings,
+        workers,
     }
 }
 
 /// Check one rule with panic isolation, fault arming, and bounded retry.
 /// Never panics; always returns a report.
-fn check_one_rule(
+fn check_one_rule<'env>(
     pipeline: &Pipeline,
-    version: &SystemVersion,
+    version: &'env SystemVersion,
     rule: &SemanticRule,
     options: &GateOptions,
     degraded: bool,
+    ctx: GateCtx<'_, 'env>,
 ) -> (RuleReport, u32) {
     let (result, retries) = retry_with_backoff(
         &options.retry,
-        |_attempt| run_attempt(pipeline, version, rule, options, degraded),
+        |_attempt| run_attempt(pipeline, version, rule, options, degraded, ctx),
         |e: &LisaError| e.is_transient(),
     );
     let mut report = match result {
@@ -368,12 +384,13 @@ fn check_one_rule(
 
 /// One attempt: arm any injected fault, then run the (possibly degraded)
 /// rule check under `catch_unwind`, classifying the unwind payload.
-fn run_attempt(
+fn run_attempt<'env>(
     pipeline: &Pipeline,
-    version: &SystemVersion,
+    version: &'env SystemVersion,
     rule: &SemanticRule,
     options: &GateOptions,
     degraded: bool,
+    ctx: GateCtx<'_, 'env>,
 ) -> Result<RuleReport, LisaError> {
     let fault = options.faults.as_ref().and_then(|inj| inj.arm(&rule.id));
     // Faults that rewrite the input are applied to a clone; the caller's
@@ -418,9 +435,9 @@ fn run_attempt(
                     rule_id: rule.id.clone(),
                     detail: format!("condition {:?}: {e}", rule.condition_src),
                 })
-                .map(|_| pipeline.check_rule_degraded(version, rule))
+                .map(|_| pipeline.check_rule_degraded_ctx(version, rule, ctx))
         } else {
-            pipeline.try_check_rule(version, rule)
+            pipeline.try_check_rule_ctx(version, rule, ctx)
         }
     })?
 }

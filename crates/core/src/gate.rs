@@ -110,15 +110,24 @@ impl GateCache {
         if !lisa_telemetry::metrics_enabled() {
             return;
         }
-        let totals: [(&'static str, u64); 8] = [
+        let totals: [(&'static str, u64); 17] = [
             ("cache.analysis.hits", self.analysis.hits()),
             ("cache.analysis.misses", self.analysis.misses()),
+            ("cache.analysis.coalesced", self.analysis.coalesced()),
+            ("cache.analysis.lock_acquires", self.analysis.lock_acquires()),
+            ("cache.analysis.lock_contended", self.analysis.lock_contended()),
+            ("cache.analysis.lock_wait_us", self.analysis.lock_wait_ns() / 1_000),
             ("cache.trace.hits", self.traces.hits()),
             ("cache.trace.misses", self.traces.misses()),
             ("cache.trace.uncacheable", self.traces.uncacheable()),
+            ("cache.trace.coalesced", self.traces.coalesced()),
+            ("cache.trace.lock_acquires", self.traces.lock_acquires()),
+            ("cache.trace.lock_contended", self.traces.lock_contended()),
             ("cache.smt.hits", self.queries.hits()),
             ("cache.smt.misses", self.queries.misses()),
             ("cache.smt.evictions", self.queries.evictions()),
+            ("cache.smt.lock_acquires", self.queries.lock_acquires()),
+            ("cache.smt.lock_contended", self.queries.lock_contended()),
         ];
         let mut published = self.published.lock().unwrap_or_else(|e| e.into_inner());
         for (name, total) in totals {
@@ -160,7 +169,9 @@ impl<'r> Gate<'r> {
         self
     }
 
-    /// Worker threads for the rule fan-out (clamped to the rule count).
+    /// Scheduler width for the rule/leaf fan-out. `0` means auto: one
+    /// worker per available hardware thread (see
+    /// [`crate::resolve_workers`]).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
@@ -213,7 +224,8 @@ impl Default for GateConfig {
     fn default() -> Self {
         GateConfig {
             pipeline: PipelineConfig::default(),
-            workers: 4,
+            // 0 = auto: resolve to the machine's available parallelism.
+            workers: 0,
             fail_mode: FailMode::default(),
             deadline: None,
             fault_seed: None,
@@ -230,7 +242,8 @@ impl GateConfig {
     ///
     /// - `--rag <k>` — RAG top-k test selection (default: all tests)
     /// - `--test-prefix <p>` — test entry-point prefix (default `test_`)
-    /// - `--workers <n>` — rule fan-out width (default 4)
+    /// - `--workers <n|auto>` — scheduler width; `auto` (or `0`) sizes to
+    ///   the machine's available parallelism (default auto)
     /// - `--fail-mode closed|open`
     /// - `--deadline-ms <n>` — gate deadline
     /// - `--max-solver-conflicts <n>` — SAT conflict budget per query
@@ -268,9 +281,16 @@ impl GateConfig {
             Some("off") => false,
             Some(other) => return Err(format!("--cache {other}: expected on|off")),
         };
+        let workers = match flags.get("workers").map(String::as_str) {
+            None => defaults.workers,
+            Some("auto") => 0,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("--workers {v}: expected a number or `auto`"))?,
+        };
         Ok(GateConfig {
             pipeline,
-            workers: num(flags, "workers")?.unwrap_or(defaults.workers),
+            workers,
             fail_mode: flags
                 .get("fail-mode")
                 .map(|m| m.parse::<FailMode>())
@@ -316,7 +336,7 @@ mod tests {
     fn from_args_defaults() {
         let cfg = GateConfig::from_args(&HashMap::new()).expect("defaults");
         assert!(matches!(cfg.pipeline.selection, TestSelection::All));
-        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.workers, 0, "default is auto");
         assert_eq!(cfg.fail_mode, FailMode::Closed);
         assert!(cfg.deadline.is_none());
         assert!(cfg.cache);
@@ -358,5 +378,14 @@ mod tests {
         assert!(GateConfig::from_args(&flags(&[("workers", "many")])).is_err());
         assert!(GateConfig::from_args(&flags(&[("cache", "maybe")])).is_err());
         assert!(GateConfig::from_args(&flags(&[("fail-mode", "ajar")])).is_err());
+    }
+
+    #[test]
+    fn from_args_workers_auto_resolves_to_zero() {
+        let cfg = GateConfig::from_args(&flags(&[("workers", "auto")])).expect("auto");
+        assert_eq!(cfg.workers, 0);
+        let cfg = GateConfig::from_args(&flags(&[("workers", "0")])).expect("zero");
+        assert_eq!(cfg.workers, 0);
+        assert!(crate::resolve_workers(cfg.workers) >= 1);
     }
 }

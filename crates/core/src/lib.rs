@@ -10,6 +10,8 @@
 //!
 //! - [`pipeline`] — the §3.2 check loop (tree → aliases → test selection
 //!   → concolic assertion → verdicts),
+//! - [`sched`] — the work-stealing scheduler the gate fans rule and
+//!   leaf tasks across, with deterministic indexed merges,
 //! - [`verdict`] — Verified / Violated / NotCovered chain reports,
 //! - [`crosscheck`] — §5's test-grounding validation of mined rules,
 //! - [`mod@enforce`] — the rule registry and CI/CD gate (panic-isolated,
@@ -92,6 +94,7 @@ pub mod json;
 pub mod netloop;
 pub mod pipeline;
 pub mod report;
+pub mod sched;
 pub mod service;
 pub mod tenant;
 pub mod verdict;
@@ -110,6 +113,7 @@ pub use faults::{
 pub use gate::{Gate, GateCache, GateConfig};
 pub use json::Json;
 pub use pipeline::{Pipeline, PipelineConfig, ResourceBudgets, TestSelection};
+pub use sched::resolve_workers;
 pub use service::{
     gate_durable, load_rules, load_system, request, request_tcp, run_key, serve,
     DurableGateReport, DurableOptions, ServeConfig, ServeStats,

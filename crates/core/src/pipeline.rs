@@ -14,6 +14,7 @@
 //! 6. fold arrivals onto static chains: Verified / Violated / NotCovered,
 //!    with the fixed path expected to verify (sanity check).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,7 @@ use lisa_smt::ViolationOutcome;
 
 use crate::error::LisaError;
 use crate::gate::GateCache;
+use crate::sched::GateCtx;
 use crate::verdict::{ChainReport, ChainVerdict, PipelineStats, RuleReport, Violation};
 
 /// How tests are chosen as concolic inputs.
@@ -62,7 +64,7 @@ pub struct ResourceBudgets {
 impl ResourceBudgets {
     /// The budgets used for deadline-degraded rules: a fixed-path sanity
     /// check must finish in milliseconds, not explore exhaustively.
-    fn degraded(self) -> ResourceBudgets {
+    pub(crate) fn degraded(self) -> ResourceBudgets {
         ResourceBudgets {
             max_solver_conflicts: Some(self.max_solver_conflicts.unwrap_or(512).min(512)),
             max_steps_per_test: Some(self.max_steps_per_test.unwrap_or(100_000).min(100_000)),
@@ -127,7 +129,7 @@ impl Pipeline {
 
     /// Assert `rule` over `version`.
     pub fn check_rule(&self, version: &SystemVersion, rule: &SemanticRule) -> RuleReport {
-        self.check_rule_mode(version, rule, false)
+        self.check_rule_mode(version, rule, false, GateCtx::inline())
     }
 
     /// Result-based stage boundary for the gate: validate the rule before
@@ -137,6 +139,18 @@ impl Pipeline {
         &self,
         version: &SystemVersion,
         rule: &SemanticRule,
+    ) -> Result<RuleReport, LisaError> {
+        self.try_check_rule_ctx(version, rule, GateCtx::inline())
+    }
+
+    /// [`Pipeline::try_check_rule`] with a scheduler context: the gate's
+    /// entry point, where per-test concolic runs, per-arrival SMT checks,
+    /// and per-chain alias work fan out as stealable leaf tasks.
+    pub(crate) fn try_check_rule_ctx<'env>(
+        &self,
+        version: &'env SystemVersion,
+        rule: &SemanticRule,
+        ctx: GateCtx<'_, 'env>,
     ) -> Result<RuleReport, LisaError> {
         if let Err(e) = lisa_smt::parse_cond(&rule.condition_src) {
             return Err(LisaError::MalformedRule {
@@ -150,7 +164,7 @@ impl Pipeline {
                 detail: "empty target callee".to_string(),
             });
         }
-        Ok(self.check_rule_mode(version, rule, false))
+        Ok(self.check_rule_mode(version, rule, false, ctx))
     }
 
     /// Degraded check: the fixed-path sanity pass the gate falls back to
@@ -161,14 +175,25 @@ impl Pipeline {
         version: &SystemVersion,
         rule: &SemanticRule,
     ) -> RuleReport {
-        self.check_rule_mode(version, rule, true)
+        self.check_rule_mode(version, rule, true, GateCtx::inline())
     }
 
-    fn check_rule_mode(
+    /// [`Pipeline::check_rule_degraded`] with a scheduler context.
+    pub(crate) fn check_rule_degraded_ctx<'env>(
         &self,
-        version: &SystemVersion,
+        version: &'env SystemVersion,
+        rule: &SemanticRule,
+        ctx: GateCtx<'_, 'env>,
+    ) -> RuleReport {
+        self.check_rule_mode(version, rule, true, ctx)
+    }
+
+    fn check_rule_mode<'env>(
+        &self,
+        version: &'env SystemVersion,
         rule: &SemanticRule,
         degraded_mode: bool,
+        ctx: GateCtx<'_, 'env>,
     ) -> RuleReport {
         let started = Instant::now();
         let mut rule_span = lisa_telemetry::span_with("pipeline.rule", rule.id.clone());
@@ -209,19 +234,26 @@ impl Pipeline {
         stats.static_chains = tree.chains.len() as u64;
 
         // Placeholder aliases, unioned across chains (constraint renaming
-        // is (function, path)-keyed, so the union is chain-safe).
+        // is (function, path)-keyed, so the union is chain-safe). Each
+        // chain's aliases are an independent leaf task; the merge runs in
+        // chain order no matter which worker computed what.
         let t_aliases = Instant::now();
         let mut aliases = AliasMap::default();
         {
             let _s = lisa_telemetry::span("pipeline.aliases");
-            for chain in &tree.chains {
-                aliases.merge(&chain_aliases(
-                    program,
-                    &graph,
-                    chain,
-                    rule.target.callee(),
-                    &rule.placeholder_roots,
-                ));
+            let callee: Arc<str> = Arc::from(rule.target.callee());
+            let roots: Arc<Vec<String>> = Arc::new(rule.placeholder_roots.clone());
+            let jobs: Vec<_> = (0..tree.chains.len())
+                .map(|ci| {
+                    let graph = Arc::clone(&graph);
+                    let tree = Arc::clone(&tree);
+                    let callee = Arc::clone(&callee);
+                    let roots = Arc::clone(&roots);
+                    move || chain_aliases(program, &graph, &tree.chains[ci], &callee, &roots)
+                })
+                .collect();
+            for part in ctx.fan_out(jobs) {
+                aliases.merge(&part);
             }
             // Builtin rules have no parameter aliases; globals still resolve.
             for root in &rule.placeholder_roots {
@@ -243,32 +275,82 @@ impl Pipeline {
         }
         stats.tests_selected = selected.len() as u64;
 
-        // Concolic execution under the harness budget.
+        // Concolic execution under the harness budget. Tests are
+        // independent (each gets a fresh interpreter), so with no wall
+        // budget every selected test is its own leaf task and the batch
+        // is reassembled in test order — the same runs, in the same
+        // order, at any worker count. A wall budget truncates on machine
+        // time, so it keeps the single sequential batch (mirroring the
+        // trace cache's uncacheable bypass). Queued leaves that observe
+        // the gate deadline drop to degraded step budgets and mark the
+        // report degraded.
         let t_concolic = Instant::now();
         let harness_budget = HarnessBudget {
             max_steps_per_test: budgets.max_steps_per_test,
             wall: budgets.rule_wall,
         };
-        let outcome: Arc<HarnessOutcome> = match (cache, program_fp) {
-            (Some(c), Some(fp)) => c.traces().run_tests_budgeted(
-                fp,
-                program,
-                &selected,
-                &rule.target,
-                &aliases,
-                &self.config.policy,
-                &harness_budget,
-            ),
-            _ => Arc::new(run_tests_budgeted(
-                program,
-                &selected,
-                &rule.target,
-                &aliases,
-                &self.config.policy,
-                &harness_budget,
-            )),
-        };
-        let runs = &outcome.runs;
+        let aliases = Arc::new(aliases);
+        let leaf_degraded = Arc::new(AtomicBool::new(false));
+        let degraded_budgets = budgets.degraded();
+        let outcomes: Vec<Arc<HarnessOutcome>> =
+            if harness_budget.wall.is_some() || selected.len() <= 1 {
+                vec![match (cache, program_fp) {
+                    (Some(c), Some(fp)) => c.traces().run_tests_budgeted(
+                        fp,
+                        program,
+                        &selected,
+                        &rule.target,
+                        &aliases,
+                        &self.config.policy,
+                        &harness_budget,
+                    ),
+                    _ => Arc::new(run_tests_budgeted(
+                        program,
+                        &selected,
+                        &rule.target,
+                        &aliases,
+                        &self.config.policy,
+                        &harness_budget,
+                    )),
+                }]
+            } else {
+                let jobs: Vec<_> = selected
+                    .iter()
+                    .cloned()
+                    .map(|test| {
+                        let cache = self.cache.clone();
+                        let aliases = Arc::clone(&aliases);
+                        let target = rule.target.clone();
+                        let policy = self.config.policy.clone();
+                        let degrade = ctx.degrade;
+                        let leaf_degraded = Arc::clone(&leaf_degraded);
+                        let full_steps = harness_budget.max_steps_per_test;
+                        let tight_steps = degraded_budgets.max_steps_per_test;
+                        move || {
+                            let steps = if degrade.is_some_and(|d| d.expired()) {
+                                leaf_degraded.store(true, Ordering::Relaxed);
+                                tight_steps
+                            } else {
+                                full_steps
+                            };
+                            let budget =
+                                HarnessBudget { max_steps_per_test: steps, wall: None };
+                            let tests = [test];
+                            match (&cache, program_fp) {
+                                (Some(c), Some(fp)) => c.traces().run_tests_budgeted(
+                                    fp, program, &tests, &target, &aliases, &policy, &budget,
+                                ),
+                                _ => Arc::new(run_tests_budgeted(
+                                    program, &tests, &target, &aliases, &policy, &budget,
+                                )),
+                            }
+                        }
+                    })
+                    .collect();
+                ctx.fan_out(jobs)
+            };
+        let runs: Vec<_> = outcomes.iter().flat_map(|o| o.runs.iter()).collect();
+        let truncated = outcomes.iter().any(|o| o.truncated);
         stats.tests_executed = runs.len() as u64;
 
         // Judge every arrival; fold onto static chains.
@@ -286,6 +368,38 @@ impl Pipeline {
             })
             .collect();
 
+        // Solver queries are pure functions of (π, condition, budget), so
+        // every arrival's violation check fans out as its own leaf task;
+        // the fold below then consumes the pre-solved outcomes in exactly
+        // the sequential order, keeping verdict folding (last-writer-wins
+        // on Violated, covering-test ordering) byte-identical.
+        let solver_jobs: Vec<_> = runs
+            .iter()
+            .flat_map(|run| run.hits.iter())
+            .map(|hit| {
+                let pi = hit.pi.clone();
+                let cond = rule.condition.clone();
+                let cache = self.cache.clone();
+                let degrade = ctx.degrade;
+                let leaf_degraded = Arc::clone(&leaf_degraded);
+                let full = budgets.max_solver_conflicts;
+                let tight = degraded_budgets.max_solver_conflicts;
+                move || {
+                    let conflicts = if degrade.is_some_and(|d| d.expired()) {
+                        leaf_degraded.store(true, Ordering::Relaxed);
+                        tight
+                    } else {
+                        full
+                    };
+                    match &cache {
+                        Some(c) => c.queries().violates_budgeted(&pi, &cond, conflicts),
+                        None => lisa_smt::violates_budgeted(&pi, &cond, conflicts),
+                    }
+                }
+            })
+            .collect();
+        let mut solved = ctx.fan_out(solver_jobs).into_iter();
+
         let mut off_tree_violations = Vec::new();
         let mut unmatched_hits = 0u64;
         // Chains that saw an arrival the solver could not decide; they
@@ -298,18 +412,7 @@ impl Pipeline {
             stats.interp_steps += run.steps;
             for hit in &run.hits {
                 stats.solver_calls += 1;
-                let query_outcome = match cache {
-                    Some(c) => c.queries().violates_budgeted(
-                        &hit.pi,
-                        &rule.condition,
-                        budgets.max_solver_conflicts,
-                    ),
-                    None => lisa_smt::violates_budgeted(
-                        &hit.pi,
-                        &rule.condition,
-                        budgets.max_solver_conflicts,
-                    ),
-                };
+                let query_outcome = solved.next().expect("one pre-solved outcome per hit");
                 let violation = match query_outcome {
                     ViolationOutcome::Violated(witness) => Some(witness),
                     ViolationOutcome::Verified => None,
@@ -373,6 +476,7 @@ impl Pipeline {
         let sanity_ok = chain_reports
             .iter()
             .any(|c| matches!(c.verdict, ChainVerdict::Verified));
+        let degraded = degraded_mode || truncated || leaf_degraded.load(Ordering::Relaxed);
         stats.wall = started.elapsed();
         if metrics_on {
             let t_end = Instant::now();
@@ -402,7 +506,7 @@ impl Pipeline {
             );
             lisa_telemetry::histogram_record("pipeline.rule_us", stats.wall.as_micros() as u64);
             lisa_telemetry::counter_add("pipeline.rules_checked", 1);
-            if degraded_mode || outcome.truncated {
+            if degraded {
                 lisa_telemetry::counter_add("pipeline.rules_degraded", 1);
             }
             for c in &chain_reports {
@@ -426,7 +530,7 @@ impl Pipeline {
                 "pipeline.degraded",
                 format!("rule {}: deadline-degraded sanity pass", rule.id),
             );
-        } else if outcome.truncated {
+        } else if truncated {
             lisa_telemetry::event(
                 "pipeline.degraded",
                 format!("rule {}: concolic wall budget truncated the test batch", rule.id),
@@ -449,7 +553,7 @@ impl Pipeline {
             sanity_ok,
             off_tree_violations,
             unmatched_hits,
-            degraded: degraded_mode || outcome.truncated,
+            degraded,
             retries: 0,
             stats,
         }

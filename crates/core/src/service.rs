@@ -310,10 +310,14 @@ impl DepHasher {
 }
 
 /// Where and how a durable run persists its state.
-#[derive(Default)]
 pub struct DurableOptions {
     /// Directory holding the run's journal and snapshot.
     pub state_dir: PathBuf,
+    /// Scheduler width for each rule's leaf fan-out (0 = auto). Rules
+    /// themselves settle one at a time — the journal's replay order is
+    /// the registry order — but within a rule the concolic tests, SMT
+    /// queries, and alias chains still spread across this many workers.
+    pub workers: usize,
     /// Disk fault injection at the store's I/O seams (E11, tests).
     pub disk_faults: Option<Arc<dyn IoFaults>>,
     /// Checkpoint (snapshot + journal truncate) after every N fresh
@@ -337,6 +341,24 @@ pub struct DurableOptions {
     /// this run (append, snapshot, reset) is also shipped to subscribed
     /// followers.
     pub repl: Option<Arc<ReplBus>>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            state_dir: PathBuf::new(),
+            // Sequential by default: durable runs are usually one job of
+            // many inside `lisa serve`, which already parallelizes across
+            // jobs. Callers opt into per-rule fan-out explicitly.
+            workers: 1,
+            disk_faults: None,
+            checkpoint_every: 0,
+            progress: None,
+            cancel: None,
+            cache: None,
+            repl: None,
+        }
+    }
 }
 
 /// Result of a durable (journaled, resumable) gate run.
@@ -488,11 +510,18 @@ pub fn gate_durable(
         } else {
             // One rule at a time: the per-rule machinery (panic
             // isolation, retries, budgets) is the gate engine on a
-            // singleton registry.
+            // singleton registry. `durable.workers` widens the fan-out
+            // *inside* the rule without touching the journal order.
             let mut single = RuleRegistry::new();
             single.register(rule.clone());
-            let report =
-                enforce_impl(&single, version, config, 1, gate, durable.cache.as_ref());
+            let report = enforce_impl(
+                &single,
+                version,
+                config,
+                durable.workers,
+                gate,
+                durable.cache.as_ref(),
+            );
             warnings.extend(report.warnings.iter().cloned());
             store.record_finished(outcome_of(&report.reports[0]));
         }
@@ -1899,7 +1928,11 @@ pub fn serve(config: &ServeConfig) -> Result<ServeStats, String> {
         None => None,
     };
 
-    let workers = config.workers.max(1);
+    // 0 = auto-size the pool to the machine, like the gate scheduler.
+    let workers = crate::sched::resolve_workers(config.workers);
+    lisa_telemetry::note("serve", || {
+        format!("worker pool width {workers} (configured {})", config.workers)
+    });
     let mut tenant_specs = config.tenants.clone();
     if !tenant_specs.iter().any(|s| s.name == "default") {
         tenant_specs.push(TenantSpec {
@@ -2296,9 +2329,11 @@ fn tenants_json(shared: &Arc<Shared>) -> String {
 /// via the metrics journal), and per-stage timing summaries.
 fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
     let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).queues.queued_total();
+    let resolved_workers;
     let mut workers = String::from("[");
     {
         let slots = shared.worker_slots.lock().unwrap_or_else(|p| p.into_inner());
+        resolved_workers = slots.len();
         for (i, slot) in slots.iter().enumerate() {
             if i > 0 {
                 workers.push(',');
@@ -2317,7 +2352,7 @@ fn stats_response(shared: &Arc<Shared>, stats: &ServeStats) -> String {
     workers.push(']');
     let (repl_seq, repl_bytes) = shared.repl.position();
     format!(
-        "{{\"status\":\"ok\",\"role\":\"leader\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"promotions\":{},\"followers\":{},\"repl_seq\":{repl_seq},\"repl_bytes\":{repl_bytes},\"queued\":{queued},\"listen_conns\":{},\"tenants\":{},\"workers\":{workers},\"counters\":{},\"timings\":{}}}",
+        "{{\"status\":\"ok\",\"role\":\"leader\",\"jobs_done\":{},\"retries\":{},\"dead_letters\":{},\"respawned_workers\":{},\"rejected_overload\":{},\"promotions\":{},\"followers\":{},\"repl_seq\":{repl_seq},\"repl_bytes\":{repl_bytes},\"queued\":{queued},\"listen_conns\":{},\"tenants\":{},\"resolved_workers\":{resolved_workers},\"workers\":{workers},\"counters\":{},\"timings\":{}}}",
         shared.jobs_done.load(Ordering::Relaxed),
         stats.retries,
         stats.dead_letters,

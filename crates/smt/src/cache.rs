@@ -9,6 +9,14 @@
 //! conflict budget is part of the key: an `Unknown` verdict is only valid
 //! for the budget it was produced under.
 //!
+//! Large caches are lock-striped: the capacity is split across N
+//! independently locked LRU shards (selected by key hash), so parallel
+//! leaf checks on different queries never serialize on one mutex. Small
+//! caches keep a single shard, preserving exact global-LRU eviction
+//! order. Striping trades that global order for concurrency — each shard
+//! evicts its own oldest entry — which changes *what* may be evicted but
+//! never what a hit returns.
+//!
 //! Transparency is the design invariant: a hit returns a clone of the
 //! exact [`ViolationOutcome`] the solver produced, so cached and uncached
 //! gates render byte-identical verdicts.
@@ -17,18 +25,30 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use lisa_util::Fnv1a;
+use lisa_util::{lock_counted, Fnv1a, LockStats};
 
 use crate::nnf::preprocess;
 use crate::solver::{violates_budgeted, ViolationOutcome};
 use crate::term::Term;
+
+/// Entries per shard before another stripe is worth its overhead. A
+/// capacity below this stays a single global LRU (exact classic eviction
+/// order, which small-capacity tests and callers rely on).
+const ENTRIES_PER_SHARD: usize = 256;
+
+/// Stripe count ceiling — past this, shard selection cost dominates any
+/// residual contention win.
+const MAX_SHARDS: usize = 16;
 
 /// Shared, thread-safe query cache. Cheap to share behind an `Arc`; all
 /// methods take `&self`.
 #[derive(Debug)]
 pub struct QueryCache {
     capacity: usize,
-    inner: Mutex<Lru>,
+    /// Per-shard capacity (ceil of capacity / shard count).
+    shard_capacity: usize,
+    shards: Vec<Mutex<Lru>>,
+    locks: LockStats,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -36,8 +56,8 @@ pub struct QueryCache {
 
 #[derive(Debug, Default)]
 struct Lru {
-    /// key → (outcome, last-touch tick). The map is small (bounded by
-    /// `capacity`), so O(n) eviction scans are fine and keep this
+    /// key → (outcome, last-touch tick). Each shard is small (bounded by
+    /// `shard_capacity`), so O(n) eviction scans are fine and keep this
     /// std-only.
     map: HashMap<Key, (ViolationOutcome, u64)>,
     tick: u64,
@@ -48,9 +68,12 @@ type Key = (u64, Option<u64>);
 impl QueryCache {
     /// A cache holding at most `capacity` outcomes; 0 disables caching.
     pub fn new(capacity: usize) -> QueryCache {
+        let nshards = (capacity / ENTRIES_PER_SHARD).clamp(1, MAX_SHARDS);
         QueryCache {
             capacity,
-            inner: Mutex::new(Lru::default()),
+            shard_capacity: capacity.div_ceil(nshards),
+            shards: (0..nshards).map(|_| Mutex::new(Lru::default())).collect(),
+            locks: LockStats::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -64,6 +87,13 @@ impl QueryCache {
         let mut h = Fnv1a::new();
         h.part(query.to_string().as_bytes());
         (h.finish(), max_conflicts)
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Lru> {
+        // key.0 is already an FNV hash of the canonical formula; fold in
+        // the budget so both key components pick the stripe.
+        let mix = key.0 ^ key.1.map_or(u64::MAX, |b| b.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        &self.shards[(mix as usize) % self.shards.len()]
     }
 
     /// Memoized [`violates_budgeted`]: returns the cached outcome when the
@@ -80,7 +110,7 @@ impl QueryCache {
         }
         let key = Self::key(pi, checker, max_conflicts);
         {
-            let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let mut lru = lock_counted(self.shard(&key), &self.locks);
             lru.tick += 1;
             let tick = lru.tick;
             if let Some(entry) = lru.map.get_mut(&key) {
@@ -91,8 +121,8 @@ impl QueryCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let outcome = violates_budgeted(pi, checker, max_conflicts);
-        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if lru.map.len() >= self.capacity && !lru.map.contains_key(&key) {
+        let mut lru = lock_counted(self.shard(&key), &self.locks);
+        if lru.map.len() >= self.shard_capacity && !lru.map.contains_key(&key) {
             if let Some(oldest) = lru.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| *k) {
                 lru.map.remove(&oldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -116,9 +146,29 @@ impl QueryCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Shard-lock acquisitions.
+    pub fn lock_acquires(&self) -> u64 {
+        self.locks.acquires()
+    }
+
+    /// Shard-lock acquisitions that had to block on another worker.
+    pub fn lock_contended(&self) -> u64 {
+        self.locks.contended()
+    }
+
+    /// Cumulative nanoseconds spent blocked on shard locks.
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.locks.wait_ns()
+    }
+
+    /// Number of lock stripes (for tests and introspection).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of live entries (for tests and introspection).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+        self.shards.iter().map(|s| lock_counted(s, &self.locks).map.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -179,6 +229,7 @@ mod tests {
     #[test]
     fn lru_evicts_the_oldest_entry() {
         let cache = QueryCache::new(2);
+        assert_eq!(cache.shard_count(), 1, "small capacity keeps exact global LRU");
         let checker = t("x > 0");
         cache.violates_budgeted(&t("a == true"), &checker, None);
         cache.violates_budgeted(&t("b == true"), &checker, None);
@@ -202,5 +253,21 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn large_capacity_stripes_without_losing_hits() {
+        let cache = QueryCache::new(4096);
+        assert!(cache.shard_count() > 1, "large capacity should stripe");
+        let checker = t("x > 0");
+        for name in ["a", "b", "c", "d"] {
+            cache.violates_budgeted(&t(&format!("{name} == true")), &checker, None);
+        }
+        for name in ["a", "b", "c", "d"] {
+            cache.violates_budgeted(&t(&format!("{name} == true")), &checker, None);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (4, 4));
+        assert_eq!(cache.len(), 4);
+        assert!(cache.lock_acquires() > 0);
     }
 }
