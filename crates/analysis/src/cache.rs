@@ -81,33 +81,9 @@ impl AnalysisCache {
         self.trees.retain(|(fp, ..)| keep.contains(fp));
     }
 
-    pub fn hits(&self) -> u64 {
-        self.graphs.hits() + self.trees.hits()
-    }
-
-    pub fn misses(&self) -> u64 {
-        self.graphs.misses() + self.trees.misses()
-    }
-
-    /// Lookups that coalesced onto another worker's in-flight build
-    /// (a subset of `hits`).
-    pub fn coalesced(&self) -> u64 {
-        self.graphs.coalesced() + self.trees.coalesced()
-    }
-
-    /// Shard-lock acquisitions across both maps.
-    pub fn lock_acquires(&self) -> u64 {
-        self.graphs.lock_stats().acquires() + self.trees.lock_stats().acquires()
-    }
-
-    /// Shard-lock acquisitions that had to block on another worker.
-    pub fn lock_contended(&self) -> u64 {
-        self.graphs.lock_stats().contended() + self.trees.lock_stats().contended()
-    }
-
-    /// Cumulative nanoseconds spent blocked on shard locks.
-    pub fn lock_wait_ns(&self) -> u64 {
-        self.graphs.lock_stats().wait_ns() + self.trees.lock_stats().wait_ns()
+    /// Both maps' counters merged into one uniform snapshot.
+    pub fn stats(&self) -> lisa_util::CacheStats {
+        self.graphs.stats().merge(self.trees.stats())
     }
 
     /// Live entry count across both maps (for tests and introspection).
@@ -150,11 +126,11 @@ mod tests {
             assert!(g.functions().iter().any(|f| f == "act"));
         }
         assert_eq!(builds, 1);
-        assert_eq!(cache.hits(), 2);
-        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
         // A different fingerprint is a different program: rebuild.
         cache.callgraph(2, || CallGraph::build(&p));
-        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]
@@ -173,7 +149,7 @@ mod tests {
         assert_eq!(t1.chains[0].render(&graph), "path_a [act]", "test_drive excluded");
         // Same key hits.
         cache.tree(1, &target, TreeLimits::default(), "test_", || unreachable!());
-        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.stats().hits, 1);
         // Different prefix, limits, or fingerprint miss.
         let t2 = cache.tree(1, &target, TreeLimits::default(), "nope_", || {
             build(TreeLimits::default(), "nope_")
@@ -184,7 +160,7 @@ mod tests {
         cache.tree(9, &target, TreeLimits::default(), "test_", || {
             build(TreeLimits::default(), "test_")
         });
-        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.stats().misses, 4);
     }
 
     #[test]
@@ -209,8 +185,9 @@ mod tests {
         let cache = AnalysisCache::new();
         cache.callgraph(1, || CallGraph::build(&p));
         cache.callgraph(1, || unreachable!());
-        assert!(cache.lock_acquires() >= 2);
-        assert_eq!(cache.lock_contended(), 0, "single thread never blocks");
-        assert_eq!(cache.coalesced(), 0);
+        let stats = cache.stats();
+        assert!(stats.lock_acquires >= 2);
+        assert_eq!(stats.lock_contended, 0, "single thread never blocks");
+        assert_eq!(stats.coalesced, 0);
     }
 }

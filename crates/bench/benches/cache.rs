@@ -7,6 +7,12 @@
 //! This is the CI-loop scenario the cache exists for — the same version
 //! gated repeatedly — so the bench asserts the warm run is at least 2x
 //! faster and that its report renders byte-identically to the cold one.
+//!
+//! A second section measures solver-session clause reuse on the
+//! multi-check-per-rule workload (one checker, many distinct path
+//! conditions — the shape the `QueryCache` cannot help with, since no
+//! query repeats) and asserts the session is at least 1.5x faster than
+//! fresh per-query solving.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -16,6 +22,7 @@ use lisa::report::render_enforcement;
 use lisa::{Gate, GateCache, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::{all_cases, case};
 use lisa_oracle::infer_rules;
+use lisa_smt::{CmpOp, SolverSession, Term, ViolationOutcome};
 
 /// Timed repetitions per variant; the minimum is reported, matching the
 /// harness's use of min as the noise-resistant statistic.
@@ -83,15 +90,103 @@ fn main() {
          (cold {cold_ms:.2} ms, warm {warm_ms:.2} ms)"
     );
 
+    let session = bench_session_reuse();
+
     let mut json = String::from("{");
     let _ = write!(
         json,
         "\"bench\":\"repeated_version_gate\",\"samples\":{SAMPLES},\
          \"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\"speedup\":{speedup:.2},\
-         \"warm_hits\":{hits},\"warm_misses\":{misses}"
+         \"warm_hits\":{hits},\"warm_misses\":{misses},\
+         \"session_fresh_ms\":{:.3},\"session_ms\":{:.3},\"session_speedup\":{:.2},\
+         \"session_queries\":{},\"session_incremental\":{},\
+         \"session_learned_retained\":{},\"session_learned_reused\":{}",
+        session.fresh_ms,
+        session.session_ms,
+        session.speedup,
+        session.stats.queries,
+        session.stats.incremental,
+        session.stats.learned_retained,
+        session.stats.learned_reused,
     );
     json.push('}');
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
     std::fs::write(out, &json).expect("write BENCH_cache.json");
     println!("\nwrote {out}");
+}
+
+struct SessionBench {
+    fresh_ms: f64,
+    session_ms: f64,
+    speedup: f64,
+    stats: lisa_smt::SessionStats,
+}
+
+/// The multi-check-per-rule workload: one rule condition, many distinct
+/// path conditions. Every query is `π ∧ ¬checker` with a π seen exactly
+/// once, so exact-repeat memoization never fires; what a session reuses
+/// is the *refutation* — the clauses learned proving `¬checker` unsat on
+/// the first query carry to every later one.
+fn bench_session_reuse() -> SessionBench {
+    println!("\n== cache/solver_session_reuse ==");
+
+    // A valid checker whose negation needs genuine search: four ints
+    // pairwise distinct in [0,2] is unsatisfiable, but only after the
+    // Eq/Ne splitting explores the assignment space.
+    let in_range = |v: &str| {
+        Term::and([Term::int_cmp_c(v, CmpOp::Ge, 0), Term::int_cmp_c(v, CmpOp::Le, 2)])
+    };
+    let vars = ["c0", "c1", "c2", "c3"];
+    let mut parts: Vec<Term> = vars.iter().map(|v| in_range(v)).collect();
+    for i in 0..vars.len() {
+        for j in (i + 1)..vars.len() {
+            parts.push(Term::int_cmp_v(vars[i], CmpOp::Ne, vars[j]));
+        }
+    }
+    let checker = Term::and(parts).not();
+    let pis: Vec<Term> =
+        (0..32).map(|i| Term::int_cmp_c(format!("a{i}"), CmpOp::Gt, 0)).collect();
+
+    // Fresh-per-query: the pre-session dispatch, re-refuting ¬checker
+    // for every π.
+    let mut fresh_ms = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for pi in &pis {
+            let outcome = lisa_smt::violates_budgeted(pi, &checker, None);
+            assert!(matches!(outcome, ViolationOutcome::Verified), "{outcome:?}");
+        }
+        fresh_ms = fresh_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // One session for the whole batch, as the pipeline dispatches it.
+    let mut session_ms = f64::INFINITY;
+    let mut stats = lisa_smt::SessionStats::default();
+    for _ in 0..SAMPLES {
+        let session = SolverSession::new(&checker);
+        let t0 = Instant::now();
+        for pi in &pis {
+            let outcome = session.violates_budgeted(pi, None);
+            assert!(matches!(outcome, ViolationOutcome::Verified), "{outcome:?}");
+        }
+        session_ms = session_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        stats = session.stats();
+    }
+
+    let speedup = fresh_ms / session_ms;
+    println!("cache/solver_session_reuse/fresh    min {fresh_ms:>9.2} ms/batch  ({SAMPLES} samples)");
+    println!("cache/solver_session_reuse/session  min {session_ms:>9.2} ms/batch  ({SAMPLES} samples)");
+    println!(
+        "cache/solver_session_reuse/speedup {speedup:>9.2} x  \
+         ({} queries, {} incremental, {} learned retained, {} learned reused)",
+        stats.queries, stats.incremental, stats.learned_retained, stats.learned_reused
+    );
+    assert_eq!(stats.incremental, stats.queries, "every query must reuse the session core");
+    assert!(stats.learned_reused > 0, "later queries must start from retained clauses");
+    assert!(
+        speedup >= 1.5,
+        "session must amortize the refutation across the batch \
+         (fresh {fresh_ms:.2} ms, session {session_ms:.2} ms)"
+    );
+    SessionBench { fresh_ms, session_ms, speedup, stats }
 }

@@ -180,12 +180,9 @@ fn main() {
     assert_eq!(render_enforcement(&report), cold_render[0]);
     let spawned = lisa_telemetry::counter_value("sched.tasks_spawned") - spawned0;
     let stolen = lisa_telemetry::counter_value("sched.tasks_stolen") - stolen0;
-    let lock_acquires = cache.analysis().lock_acquires()
-        + cache.traces().lock_acquires()
-        + cache.queries().lock_acquires();
-    let lock_contended = cache.analysis().lock_contended()
-        + cache.traces().lock_contended()
-        + cache.queries().lock_contended();
+    let tiers = cache.tier_stats();
+    let lock_acquires: u64 = tiers.iter().map(|(_, s)| s.lock_acquires).sum();
+    let lock_contended: u64 = tiers.iter().map(|(_, s)| s.lock_contended).sum();
     println!(
         "parallel/sched: {spawned} tasks spawned, {stolen} stolen; \
          {lock_acquires} cache lock acquires, {lock_contended} contended"

@@ -106,37 +106,13 @@ impl TraceCache {
             .get_or_build(key, || run_tests_budgeted(program, tests, target, aliases, policy, budget))
     }
 
-    pub fn hits(&self) -> u64 {
-        self.inner.hits()
-    }
-
-    pub fn misses(&self) -> u64 {
-        self.inner.misses()
-    }
-
-    pub fn uncacheable(&self) -> u64 {
-        self.uncacheable.load(Ordering::Relaxed)
-    }
-
-    /// Lookups that coalesced onto another worker's in-flight batch
-    /// (a subset of `hits`).
-    pub fn coalesced(&self) -> u64 {
-        self.inner.coalesced()
-    }
-
-    /// Shard-lock acquisitions.
-    pub fn lock_acquires(&self) -> u64 {
-        self.inner.lock_stats().acquires()
-    }
-
-    /// Shard-lock acquisitions that had to block on another worker.
-    pub fn lock_contended(&self) -> u64 {
-        self.inner.lock_stats().contended()
-    }
-
-    /// Cumulative nanoseconds spent blocked on shard locks.
-    pub fn lock_wait_ns(&self) -> u64 {
-        self.inner.lock_stats().wait_ns()
+    /// The cache's counters as one uniform snapshot (`uncacheable` counts
+    /// wall-budget batches that bypassed storage).
+    pub fn stats(&self) -> lisa_util::CacheStats {
+        lisa_util::CacheStats {
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            ..self.inner.stats()
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -192,7 +168,8 @@ mod tests {
             &budget,
         );
         assert!(Arc::ptr_eq(&a, &b), "hit must return the same batch");
-        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
         // A different policy is a different batch.
         cache.run_tests_budgeted(
             fp,
@@ -203,7 +180,7 @@ mod tests {
             &Policy::RecordAll,
             &budget,
         );
-        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]
@@ -223,7 +200,8 @@ mod tests {
                 &budget,
             );
         }
-        assert_eq!((cache.hits(), cache.misses(), cache.uncacheable()), (0, 0, 2));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.uncacheable), (0, 0, 2));
         assert!(cache.is_empty());
     }
 }

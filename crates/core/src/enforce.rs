@@ -174,37 +174,11 @@ impl EnforcementReport {
     }
 }
 
-/// Check every registered rule against `version`, in parallel, with the
-/// default resilience options (fail-closed, no deadline, no budgets).
-#[deprecated(since = "0.1.0", note = "use the `lisa::Gate` builder instead")]
-pub fn enforce(
-    registry: &RuleRegistry,
-    version: &SystemVersion,
-    config: &PipelineConfig,
-    workers: usize,
-) -> EnforcementReport {
-    enforce_impl(registry, version, config, workers, &GateOptions::default(), None)
-}
-
-/// Check every registered rule against `version` under explicit
-/// resilience options.
-#[deprecated(since = "0.1.0", note = "use the `lisa::Gate` builder instead")]
-pub fn enforce_with(
-    registry: &RuleRegistry,
-    version: &SystemVersion,
-    config: &PipelineConfig,
-    workers: usize,
-    options: &GateOptions,
-) -> EnforcementReport {
-    enforce_impl(registry, version, config, workers, options, None)
-}
-
-/// The gate engine behind [`crate::Gate`] (and the deprecated free
-/// functions). The gate never propagates a panic: every rule yields a
-/// report, and the worst a faulty rule can do is mark itself as an
-/// engine error. When `cache` is given, workers share its memoized
-/// analysis/trace/query artifacts; its counters are published to
-/// telemetry on the way out.
+/// The gate engine behind [`crate::Gate`]. The gate never propagates a
+/// panic: every rule yields a report, and the worst a faulty rule can do
+/// is mark itself as an engine error. When `cache` is given, workers
+/// share its memoized analysis/trace/query artifacts; its counters are
+/// published to telemetry on the way out.
 pub(crate) fn enforce_impl(
     registry: &RuleRegistry,
     version: &SystemVersion,

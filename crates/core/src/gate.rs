@@ -15,7 +15,8 @@
 //!     .run(&version)
 //! ```
 //!
-//! The old functions survive as `#[deprecated]` thin wrappers.
+//! The old functions lived on for a while as `#[deprecated]` thin
+//! wrappers and are now gone; [`Gate`] is the only entry point.
 //!
 //! This module also holds the two supporting pieces of the facade:
 //!
@@ -56,7 +57,7 @@ pub struct GateCache {
     queries: QueryCache,
     /// Counter values already published to telemetry, so repeated
     /// publishes add deltas instead of re-adding totals.
-    published: Mutex<BTreeMap<&'static str, u64>>,
+    published: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Default for GateCache {
@@ -92,49 +93,48 @@ impl GateCache {
         &self.queries
     }
 
+    /// Per-tier [`CacheStats`](lisa_util::CacheStats) snapshots, in the
+    /// telemetry tier order (`analysis`, `trace`, `smt`). One shape for
+    /// every tier is what keeps the publisher below — and any caller
+    /// poking at cache health — free of per-tier accessor sprawl.
+    pub fn tier_stats(&self) -> [(&'static str, lisa_util::CacheStats); 3] {
+        [
+            ("analysis", self.analysis.stats()),
+            ("trace", self.traces.stats()),
+            ("smt", self.queries.stats()),
+        ]
+    }
+
     /// Total hits across all three layers (introspection / smoke tests).
     pub fn hits(&self) -> u64 {
-        self.analysis.hits() + self.traces.hits() + self.queries.hits()
+        self.tier_stats().iter().map(|(_, s)| s.hits).sum()
     }
 
     /// Total misses across all three layers.
     pub fn misses(&self) -> u64 {
-        self.analysis.misses() + self.traces.misses() + self.queries.misses()
+        self.tier_stats().iter().map(|(_, s)| s.misses).sum()
     }
 
     /// Push cache counters into the telemetry registry (no-op unless
     /// metrics are enabled). Publishes deltas since the previous call, so
     /// the telemetry counters track cumulative totals no matter how many
-    /// gate runs share this cache.
+    /// gate runs share this cache. Counter names are
+    /// `cache.<tier>.<suffix>` for every suffix in
+    /// [`CacheStats::counters`](lisa_util::CacheStats::counters);
+    /// zero-valued counters are elided.
     pub fn publish_metrics(&self) {
         if !lisa_telemetry::metrics_enabled() {
             return;
         }
-        let totals: [(&'static str, u64); 17] = [
-            ("cache.analysis.hits", self.analysis.hits()),
-            ("cache.analysis.misses", self.analysis.misses()),
-            ("cache.analysis.coalesced", self.analysis.coalesced()),
-            ("cache.analysis.lock_acquires", self.analysis.lock_acquires()),
-            ("cache.analysis.lock_contended", self.analysis.lock_contended()),
-            ("cache.analysis.lock_wait_us", self.analysis.lock_wait_ns() / 1_000),
-            ("cache.trace.hits", self.traces.hits()),
-            ("cache.trace.misses", self.traces.misses()),
-            ("cache.trace.uncacheable", self.traces.uncacheable()),
-            ("cache.trace.coalesced", self.traces.coalesced()),
-            ("cache.trace.lock_acquires", self.traces.lock_acquires()),
-            ("cache.trace.lock_contended", self.traces.lock_contended()),
-            ("cache.smt.hits", self.queries.hits()),
-            ("cache.smt.misses", self.queries.misses()),
-            ("cache.smt.evictions", self.queries.evictions()),
-            ("cache.smt.lock_acquires", self.queries.lock_acquires()),
-            ("cache.smt.lock_contended", self.queries.lock_contended()),
-        ];
         let mut published = self.published.lock().unwrap_or_else(|e| e.into_inner());
-        for (name, total) in totals {
-            let prev = published.get(name).copied().unwrap_or(0);
-            if total > prev {
-                lisa_telemetry::counter_add(name, total - prev);
-                published.insert(name, total);
+        for (tier, stats) in self.tier_stats() {
+            for (suffix, total) in stats.counters() {
+                let name = format!("cache.{tier}.{suffix}");
+                let prev = published.get(&name).copied().unwrap_or(0);
+                if total > prev {
+                    lisa_telemetry::counter_add(&name, total - prev);
+                    published.insert(name, total);
+                }
             }
         }
     }

@@ -101,10 +101,7 @@ pub mod verdict;
 
 pub use compose::{compose, CompositionResult, HighLevelProperty, Obligation};
 pub use crosscheck::{cross_check, CrossCheck};
-#[allow(deprecated)]
-pub use enforce::{
-    enforce, enforce_with, EnforcementReport, FailMode, GateDecision, GateOptions, RuleRegistry,
-};
+pub use enforce::{EnforcementReport, FailMode, GateDecision, GateOptions, RuleRegistry};
 pub use error::LisaError;
 pub use faults::{
     DiskFaultInjector, DiskFaultKind, FaultInjector, FaultKind, FaultPlan, StreamFaultInjector,

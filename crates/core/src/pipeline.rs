@@ -373,6 +373,15 @@ impl Pipeline {
         // the fold below then consumes the pre-solved outcomes in exactly
         // the sequential order, keeping verdict folding (last-writer-wins
         // on Violated, covering-test ordering) byte-identical.
+        //
+        // All of a rule's arrivals share one incremental SolverSession:
+        // the checker's refutation CNF is encoded once and clauses
+        // learned on one π carry to the next. Session answers are
+        // byte-identical to fresh ones and query-pure (the session only
+        // decides Unsat incrementally; everything else re-derives on the
+        // fresh path), so sharing it across concurrently scheduled
+        // leaves cannot leak scheduling order into any verdict.
+        let session = Arc::new(lisa_smt::SolverSession::new(&rule.condition));
         let solver_jobs: Vec<_> = runs
             .iter()
             .flat_map(|run| run.hits.iter())
@@ -380,6 +389,7 @@ impl Pipeline {
                 let pi = hit.pi.clone();
                 let cond = rule.condition.clone();
                 let cache = self.cache.clone();
+                let session = Arc::clone(&session);
                 let degrade = ctx.degrade;
                 let leaf_degraded = Arc::clone(&leaf_degraded);
                 let full = budgets.max_solver_conflicts;
@@ -392,13 +402,16 @@ impl Pipeline {
                         full
                     };
                     match &cache {
-                        Some(c) => c.queries().violates_budgeted(&pi, &cond, conflicts),
-                        None => lisa_smt::violates_budgeted(&pi, &cond, conflicts),
+                        Some(c) => c.queries().violates_with(&pi, &cond, conflicts, || {
+                            session.violates_budgeted(&pi, conflicts)
+                        }),
+                        None => session.violates_budgeted(&pi, conflicts),
                     }
                 }
             })
             .collect();
         let mut solved = ctx.fan_out(solver_jobs).into_iter();
+        session.publish_metrics();
 
         let mut off_tree_violations = Vec::new();
         let mut unmatched_hits = 0u64;

@@ -105,8 +105,26 @@ impl QueryCache {
         checker: &Term,
         max_conflicts: Option<u64>,
     ) -> ViolationOutcome {
+        self.violates_with(pi, checker, max_conflicts, || {
+            violates_budgeted(pi, checker, max_conflicts)
+        })
+    }
+
+    /// Memoized violation query with a caller-supplied solver — the hook
+    /// that lets a [`crate::SolverSession`] sit behind the cache. The key
+    /// stays `(canonical formula, budget)`, so a hit returns exactly what
+    /// any solving path would have produced (session answers are
+    /// byte-identical to fresh ones by construction); `solve` runs only
+    /// on a miss, outside every shard lock.
+    pub fn violates_with(
+        &self,
+        pi: &Term,
+        checker: &Term,
+        max_conflicts: Option<u64>,
+        solve: impl FnOnce() -> ViolationOutcome,
+    ) -> ViolationOutcome {
         if self.capacity == 0 {
-            return violates_budgeted(pi, checker, max_conflicts);
+            return solve();
         }
         let key = Self::key(pi, checker, max_conflicts);
         {
@@ -120,7 +138,7 @@ impl QueryCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = violates_budgeted(pi, checker, max_conflicts);
+        let outcome = solve();
         let mut lru = lock_counted(self.shard(&key), &self.locks);
         if lru.map.len() >= self.shard_capacity && !lru.map.contains_key(&key) {
             if let Some(oldest) = lru.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| *k) {
@@ -134,36 +152,19 @@ impl QueryCache {
         outcome
     }
 
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
-
-    /// Shard-lock acquisitions.
-    pub fn lock_acquires(&self) -> u64 {
-        self.locks.acquires()
-    }
-
-    /// Shard-lock acquisitions that had to block on another worker.
-    pub fn lock_contended(&self) -> u64 {
-        self.locks.contended()
-    }
-
-    /// Cumulative nanoseconds spent blocked on shard locks.
-    pub fn lock_wait_ns(&self) -> u64 {
-        self.locks.wait_ns()
-    }
-
-    /// Number of lock stripes (for tests and introspection).
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// The cache's counters as one uniform snapshot.
+    pub fn stats(&self) -> lisa_util::CacheStats {
+        lisa_util::CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            lock_acquires: self.locks.acquires(),
+            lock_contended: self.locks.contended(),
+            lock_wait_ns: self.locks.wait_ns(),
+            shards: self.shards.len() as u64,
+            entries: self.len() as u64,
+            ..Default::default()
+        }
     }
 
     /// Number of live entries (for tests and introspection).
@@ -192,8 +193,8 @@ mod tests {
         let checker = t("s != null && s.isClosing == false && s.ttl > 0");
         let fresh = cache.violates_budgeted(&pi, &checker, None);
         let cached = cache.violates_budgeted(&pi, &checker, None);
-        assert_eq!(cache.hits(), 1);
-        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
         match (&fresh, &cached) {
             (ViolationOutcome::Violated(a), ViolationOutcome::Violated(b)) => {
                 assert_eq!(format!("{a:?}"), format!("{b:?}"));
@@ -212,7 +213,7 @@ mod tests {
         let pi2 = t("3 < x");
         cache.violates_budgeted(&pi1, &checker, None);
         cache.violates_budgeted(&pi2, &checker, None);
-        assert_eq!(cache.hits(), 1, "canonically-equal π should hit");
+        assert_eq!(cache.stats().hits, 1, "canonically-equal π should hit");
     }
 
     #[test]
@@ -222,26 +223,26 @@ mod tests {
         let checker = t("x > 1");
         cache.violates_budgeted(&pi, &checker, None);
         cache.violates_budgeted(&pi, &checker, Some(1000));
-        assert_eq!(cache.misses(), 2);
-        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
     }
 
     #[test]
     fn lru_evicts_the_oldest_entry() {
         let cache = QueryCache::new(2);
-        assert_eq!(cache.shard_count(), 1, "small capacity keeps exact global LRU");
+        assert_eq!(cache.stats().shards, 1, "small capacity keeps exact global LRU");
         let checker = t("x > 0");
         cache.violates_budgeted(&t("a == true"), &checker, None);
         cache.violates_budgeted(&t("b == true"), &checker, None);
         // Touch the first entry so the second becomes LRU.
         cache.violates_budgeted(&t("a == true"), &checker, None);
         cache.violates_budgeted(&t("c == true"), &checker, None);
-        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.stats().evictions, 1);
         // "a" survived; "b" was evicted.
         cache.violates_budgeted(&t("a == true"), &checker, None);
         cache.violates_budgeted(&t("b == true"), &checker, None);
-        assert_eq!(cache.hits(), 2);
-        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 4);
     }
 
     #[test]
@@ -250,15 +251,15 @@ mod tests {
         let pi = t("x > 0");
         cache.violates_budgeted(&pi, &pi, None);
         cache.violates_budgeted(&pi, &pi, None);
-        assert_eq!(cache.hits(), 0);
-        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 0);
         assert!(cache.is_empty());
     }
 
     #[test]
     fn large_capacity_stripes_without_losing_hits() {
         let cache = QueryCache::new(4096);
-        assert!(cache.shard_count() > 1, "large capacity should stripe");
+        assert!(cache.stats().shards > 1, "large capacity should stripe");
         let checker = t("x > 0");
         for name in ["a", "b", "c", "d"] {
             cache.violates_budgeted(&t(&format!("{name} == true")), &checker, None);
@@ -266,8 +267,9 @@ mod tests {
         for name in ["a", "b", "c", "d"] {
             cache.violates_budgeted(&t(&format!("{name} == true")), &checker, None);
         }
-        assert_eq!((cache.hits(), cache.misses()), (4, 4));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (4, 4));
         assert_eq!(cache.len(), 4);
-        assert!(cache.lock_acquires() > 0);
+        assert!(cache.stats().lock_acquires > 0);
     }
 }

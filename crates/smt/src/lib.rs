@@ -17,6 +17,9 @@
 //! - [`theory`] — equality (union-find with explanations) + integer
 //!   difference bounds (negative-cycle detection),
 //! - [`solver`] — the DPLL(T) loop and entailment queries,
+//! - [`session`] — incremental [`SolverSession`]s: one persistent clause
+//!   database per checker, each path condition activated by assumption,
+//!   learned clauses retained across a gate rule's queries,
 //! - [`model`] — witness assignments and evaluation.
 //!
 //! The query LISA cares about most is [`solver::violates`]: a path
@@ -44,11 +47,13 @@ pub mod model;
 pub mod nnf;
 pub mod parse;
 pub mod sat;
+pub mod session;
 pub mod solver;
 pub mod term;
 pub mod theory;
 
 pub use cache::QueryCache;
+pub use session::{SessionStats, SolverSession};
 pub use model::{Model, Value};
 pub use nnf::{preprocess, to_nnf, Literal};
 pub use parse::{parse_cond, parse_cond_with, ParseError};

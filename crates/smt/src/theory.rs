@@ -441,13 +441,17 @@ pub fn check(literals: &[TheoryLit]) -> TheoryResult {
     }
 
     // Distinct string literals are implicitly unequal: if two different
-    // literal nodes were merged, the merge path is the conflict.
-    let lit_nodes: Vec<(String, usize)> = strs
+    // literal nodes were merged, the merge path is the conflict. Sorted
+    // so the *same* conflict (and hence the same blocking clause) is
+    // reported on every solve of the same query — HashMap iteration
+    // order must never pick which lemma the SAT core learns.
+    let mut lit_nodes: Vec<(String, usize)> = strs
         .node_of
         .iter()
         .filter(|(k, _)| k.starts_with("l:"))
         .map(|(k, &n)| (k.clone(), n))
         .collect();
+    lit_nodes.sort();
     for i in 0..lit_nodes.len() {
         for j in (i + 1)..lit_nodes.len() {
             let (a, b) = (lit_nodes[i].1, lit_nodes[j].1);
@@ -478,12 +482,17 @@ pub fn check(literals: &[TheoryLit]) -> TheoryResult {
     };
     let mut class_ids: HashMap<usize, u64> = HashMap::new();
     let mut next_id = 1u64;
-    let ref_vars: Vec<(String, usize)> = refs
+    // Sorted by variable name: class ids are assigned in first-use
+    // order, so the witness must not depend on HashMap iteration order —
+    // the same query must yield the same model on every solve (the
+    // byte-identity invariant caches and sessions are held to).
+    let mut ref_vars: Vec<(String, usize)> = refs
         .node_of
         .iter()
         .filter(|(k, _)| k.starts_with("v:"))
         .map(|(k, &n)| (k[2..].to_string(), n))
         .collect();
+    ref_vars.sort();
     for (var, node) in ref_vars {
         let root = refs.find(node);
         let val = if root == null_root {
@@ -508,12 +517,15 @@ pub fn check(literals: &[TheoryLit]) -> TheoryResult {
         }
     }
     let mut fresh = 0u64;
-    let str_vars: Vec<(String, usize)> = strs
+    // Sorted for the same reason as `ref_vars`: `$fresh-N` numbering is
+    // first-use order and must be reproducible across solves.
+    let mut str_vars: Vec<(String, usize)> = strs
         .node_of
         .iter()
         .filter(|(k, _)| k.starts_with("v:"))
         .map(|(k, &n)| (k[2..].to_string(), n))
         .collect();
+    str_vars.sort();
     for (var, node) in str_vars {
         let root = strs.find(node);
         let val = class_str

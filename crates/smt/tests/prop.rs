@@ -198,6 +198,100 @@ fn parser_roundtrips_display() {
     }
 }
 
+/// Canonical-rendering equality for violation outcomes: witness models
+/// are compared by `Display` (sorted keys; `Debug` leaks HashMap order,
+/// which differs even between two fresh solves of the same query).
+fn outcomes_agree(a: &lisa_smt::ViolationOutcome, b: &lisa_smt::ViolationOutcome) -> bool {
+    use lisa_smt::ViolationOutcome as V;
+    match (a, b) {
+        (V::Violated(ma), V::Violated(mb)) => {
+            ma.to_string() == mb.to_string() && ma.validated == mb.validated
+        }
+        (V::Verified, V::Verified) => true,
+        (V::Unknown { reason: ra }, V::Unknown { reason: rb }) => ra == rb,
+        _ => false,
+    }
+}
+
+#[test]
+fn session_agrees_with_fresh_solver_over_random_sequences() {
+    // The tentpole invariant: a whole sequence of queries through one
+    // SolverSession — clauses learned on earlier π carried into later
+    // ones — answers every query exactly as a fresh solver does,
+    // witness models included.
+    let mut rng = Prng::seed_from_u64(0xabcd_0008);
+    for case in 0..64 {
+        let checker = gen_term(&mut rng, 3);
+        let session = lisa_smt::SolverSession::new(&checker);
+        for step in 0..6 {
+            let pi = gen_term(&mut rng, 3);
+            let fresh = lisa_smt::violates_budgeted(&pi, &checker, None);
+            let via_session = session.violates_budgeted(&pi, None);
+            assert!(
+                outcomes_agree(&fresh, &via_session),
+                "case {case} step {step}: pi {pi} checker {checker}: \
+                 fresh {fresh:?} vs session {via_session:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_exhausted_query_never_poisons_later_session_answers() {
+    // Session robustness: a budget-starved (`Unknown`) query in the
+    // middle of a session must leave every subsequent query answering
+    // exactly as a fresh solver would — exhaustion is an answer about
+    // one query's budget, never contagion into the shared clause
+    // database.
+    let mut rng = Prng::seed_from_u64(0xabcd_0009);
+    for case in 0..64 {
+        let checker = gen_term(&mut rng, 3);
+        let session = lisa_smt::SolverSession::new(&checker);
+        for step in 0..8 {
+            let pi = gen_term(&mut rng, 3);
+            if step % 2 == 1 {
+                // Zero conflict budget: anything needing real search
+                // exhausts. Whatever this returns, it must not disturb
+                // the unbudgeted queries around it.
+                let _ = session.violates_budgeted(&pi, Some(0));
+                continue;
+            }
+            let fresh = lisa_smt::violates_budgeted(&pi, &checker, None);
+            let via_session = session.violates_budgeted(&pi, None);
+            assert!(
+                outcomes_agree(&fresh, &via_session),
+                "case {case} step {step}: pi {pi} checker {checker}: \
+                 fresh {fresh:?} vs session {via_session:?} \
+                 (after interleaved budget-exhausted queries)"
+            );
+        }
+        let stats = session.stats();
+        assert_eq!(stats.budget_isolated, 4, "case {case}: every odd step isolated");
+    }
+}
+
+#[test]
+fn budgeted_session_queries_match_fresh_budgeted_answers() {
+    // Budgeted queries run isolated on a throwaway solver, so even their
+    // `Unknown { reason }` strings must match the fresh path's output
+    // byte for byte.
+    let mut rng = Prng::seed_from_u64(0xabcd_000a);
+    for case in 0..64 {
+        let checker = gen_term(&mut rng, 3);
+        let session = lisa_smt::SolverSession::new(&checker);
+        for (step, budget) in [Some(0), Some(1_000_000), None, Some(0)].into_iter().enumerate() {
+            let pi = gen_term(&mut rng, 3);
+            let fresh = lisa_smt::violates_budgeted(&pi, &checker, budget);
+            let via_session = session.violates_budgeted(&pi, budget);
+            assert!(
+                outcomes_agree(&fresh, &via_session),
+                "case {case} step {step} budget {budget:?}: pi {pi} checker {checker}: \
+                 fresh {fresh:?} vs session {via_session:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn generous_budget_agrees_with_unbudgeted_solver() {
     // A budget large enough never to trip must leave the verdict exactly

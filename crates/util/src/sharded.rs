@@ -224,6 +224,23 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
     pub fn lock_stats(&self) -> &LockStats {
         &self.locks
     }
+
+    /// The map's counters as one uniform [`CacheStats`] snapshot. Note
+    /// `entries` takes every shard lock, so this is an introspection
+    /// call, not a hot-path one.
+    pub fn stats(&self) -> crate::CacheStats {
+        crate::CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            coalesced: self.coalesced(),
+            lock_acquires: self.locks.acquires(),
+            lock_contended: self.locks.contended(),
+            lock_wait_ns: self.locks.wait_ns(),
+            shards: self.shards.len() as u64,
+            entries: self.len() as u64,
+            ..Default::default()
+        }
+    }
 }
 
 /// Resolves an in-flight build on the way out: `complete` publishes the

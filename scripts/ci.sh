@@ -8,6 +8,12 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
+# No call sites may depend on deprecated APIs: the old free-function
+# entry points are gone, and nothing new may rot behind a deprecation
+# warning either.
+RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
+echo "deny-deprecated check: ok"
+
 # Crash-recovery e2e: kill-at-every-boundary matrix, seeded disk faults,
 # and the supervised `lisa serve` daemon.
 cargo test -q -p lisa --test e2e_recovery
@@ -59,6 +65,7 @@ LISA=target/release/lisa
     --metrics-out "$SMOKE/m1.json" > "$SMOKE/on.out"
 cmp "$SMOKE/off.out" "$SMOKE/on.out"
 grep -Eq '"cache\.trace\.hits":[1-9]' "$SMOKE/m1.json"
+grep -q '"smt\.session\.opened"' "$SMOKE/m1.json"
 "$LISA" gate --system "$SMOKE" --rules "$SMOKE/rules.txt" --state "$SMOKE/state" > /dev/null
 "$LISA" gate --system "$SMOKE" --rules "$SMOKE/rules.txt" --state "$SMOKE/state" \
     --metrics-out "$SMOKE/m2.json" > "$SMOKE/d2.out"
@@ -67,9 +74,14 @@ grep -Eq '"service\.verdicts_reused":2' "$SMOKE/m2.json"
 echo "cache smoke: ok"
 
 # Repeated-version cache bench: asserts the warm repeat of an unchanged
-# version is >= 2x faster and writes BENCH_cache.json.
+# version is >= 2x faster and writes BENCH_cache.json. The same bench
+# measures solver-session clause reuse on the multi-check-per-rule
+# workload; hold the session to >= 1.5x over fresh per-query solving.
 cargo bench -q -p lisa-bench --bench cache > /dev/null
-echo "cache bench: ok"
+SESSION_SPEEDUP="$(grep -o '"session_speedup":[0-9.]*' BENCH_cache.json | cut -d: -f2)"
+awk -v s="$SESSION_SPEEDUP" 'BEGIN { exit !(s >= 1.5) }' \
+    || { echo "cache bench: session speedup $SESSION_SPEEDUP < 1.5x"; exit 1; }
+echo "cache bench: ok (session reuse speedup ${SESSION_SPEEDUP}x)"
 
 # Parallel gate: worker count must be a throughput knob, never an input.
 # The width-1/2/4/8 byte-identity matrix (corpus, CLI, WAL) lives in the

@@ -112,9 +112,9 @@ fn cached_gate_report_is_byte_identical_to_uncached() {
 
     // The second run must be served from the cache, not re-explored.
     assert!(cache.hits() > 0, "warm run produced no cache hits");
-    assert!(cache.analysis().hits() > 0, "analysis layer never hit");
-    assert!(cache.traces().hits() > 0, "trace layer never hit");
-    assert!(cache.queries().hits() > 0, "SMT query layer never hit");
+    assert!(cache.analysis().stats().hits > 0, "analysis layer never hit");
+    assert!(cache.traces().stats().hits > 0, "trace layer never hit");
+    assert!(cache.queries().stats().hits > 0, "SMT query layer never hit");
 }
 
 #[test]

@@ -3,12 +3,8 @@
 //! grounds on the fixed version, the fixed version passes the gate, and
 //! the regressed version (the recurrence that cost real clusters a
 //! second outage) is blocked.
-//!
-//! Deliberately exercises the deprecated `enforce` wrapper across the
-//! whole corpus — the compatibility guarantee for pre-`Gate` callers.
-#![allow(deprecated)]
 
-use lisa::{cross_check, enforce, GateDecision, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{cross_check, Gate, GateDecision, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_analysis::TargetSpec;
 use lisa_corpus::all_cases;
 use lisa_oracle::{infer_rules, rescope, Scope, SemanticRule};
@@ -64,7 +60,8 @@ fn fixed_versions_pass_and_regressed_versions_are_blocked() {
         let rule = mined_rule(&case);
         let mut registry = RuleRegistry::new();
         registry.register(rule);
-        let fixed = enforce(&registry, &case.versions.fixed, &config(), 2);
+        let gate = Gate::new(&registry).config(config()).workers(2);
+        let fixed = gate.run(&case.versions.fixed);
         assert_eq!(
             fixed.decision,
             GateDecision::Pass,
@@ -72,7 +69,7 @@ fn fixed_versions_pass_and_regressed_versions_are_blocked() {
             case.meta.id,
             fixed.reports[0].chains
         );
-        let regressed = enforce(&registry, &case.versions.regressed, &config(), 2);
+        let regressed = gate.run(&case.versions.regressed);
         assert_eq!(
             regressed.decision,
             GateDecision::Block,
@@ -95,7 +92,7 @@ fn latest_versions_split_by_latent_bug() {
         let rule = mined_rule(&case);
         let mut registry = RuleRegistry::new();
         registry.register(rule);
-        let latest = enforce(&registry, &case.versions.latest, &config(), 2);
+        let latest = Gate::new(&registry).config(config()).workers(2).run(&case.versions.latest);
         if case.ground_truth.latent_bug_in_latest {
             assert_eq!(
                 latest.decision,

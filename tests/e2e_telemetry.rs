@@ -120,6 +120,10 @@ fn gate_trace_covers_every_pipeline_stage() {
     assert!(counters.u64_of("smt.queries").unwrap_or(0) > 0, "{metrics_text}");
     assert!(counters.u64_of("smt.decisions").unwrap_or(0) > 0, "{metrics_text}");
     assert!(counters.u64_of("smt.clauses").unwrap_or(0) > 0, "{metrics_text}");
+    // The session layer reports its reuse economics: one session per
+    // (rule, batch) dispatch, every query accounted for.
+    assert!(counters.u64_of("smt.session.opened").unwrap_or(0) > 0, "{metrics_text}");
+    assert!(counters.u64_of("smt.session.queries").unwrap_or(0) > 0, "{metrics_text}");
     assert!(counters.u64_of("concolic.steps").unwrap_or(0) > 0, "{metrics_text}");
     assert!(counters.u64_of("analysis.chains").unwrap_or(0) > 0, "{metrics_text}");
     assert!(counters.u64_of("store.appends").unwrap_or(0) > 0, "{metrics_text}");

@@ -2,13 +2,8 @@
 //! ZK-1208 is fixed, LISA mines the low-level semantic from the ticket,
 //! and the ZK-1496-class regression is caught at the gate before it can
 //! ship — while the original fixed path verifies (the sanity check).
-//!
-//! This suite deliberately stays on the deprecated `enforce` free
-//! function: it doubles as the compatibility proof that the pre-`Gate`
-//! API keeps compiling and behaving identically.
-#![allow(deprecated)]
 
-use lisa::{enforce, GateDecision, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
+use lisa::{Gate, GateDecision, Pipeline, PipelineConfig, RuleRegistry, TestSelection};
 use lisa_corpus::case;
 use lisa_oracle::infer_rules;
 
@@ -44,12 +39,13 @@ fn the_full_story_of_zk_1208() {
     // 4. The fixed version passes the gate.
     let mut registry = RuleRegistry::new();
     registry.register(rule.clone());
-    let fixed_report = enforce(&registry, &case.versions.fixed, &config(), 2);
+    let gate = Gate::new(&registry).config(config()).workers(2);
+    let fixed_report = gate.run(&case.versions.fixed);
     assert_eq!(fixed_report.decision, GateDecision::Pass);
 
     // 5. A year later the touch-session path lands: the gate blocks it —
     //    the ZK-1496 regression never ships.
-    let regressed_report = enforce(&registry, &case.versions.regressed, &config(), 2);
+    let regressed_report = gate.run(&case.versions.regressed);
     assert_eq!(regressed_report.decision, GateDecision::Block);
     let rr = &regressed_report.reports[0];
     assert!(rr.sanity_ok, "the original fixed path must still verify");
